@@ -1,0 +1,12 @@
+//! `baselines` — the unsupervised segmentation baselines the paper compares
+//! against: K-means clustering (scikit-learn in the paper) and Otsu
+//! thresholding (scikit-image in the paper), both implemented from scratch.
+//!
+//! Both implement [`imaging::Segmenter`], so they slot into the same
+//! evaluation harness as the IQFT-inspired methods.
+
+pub mod kmeans;
+pub mod otsu;
+
+pub use kmeans::{KMeansConfig, KMeansResult, KMeansSegmenter};
+pub use otsu::{multi_otsu_thresholds, otsu_threshold, OtsuSegmenter};

@@ -1,0 +1,41 @@
+//! Ablation A2: lookup-table acceleration (DESIGN.md §4).  Compares the
+//! direct per-pixel classifier with the colour-memoising LUT wrapper on
+//! images with few vs many distinct colours.
+
+use bench::{synthetic_rgb, voc_split};
+use criterion::{criterion_group, criterion_main, Criterion};
+use imaging::Segmenter;
+use iqft_seg::{IqftRgbSegmenter, LutRgbSegmenter};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    // A dataset-style image (hundreds of distinct colours after blur+noise)
+    // and a worst-case image (essentially all-distinct colours).
+    let natural = voc_split(1, 128, 17)[0].image.clone();
+    let adversarial = synthetic_rgb(128, 96, 23);
+    let mut group = c.benchmark_group("ablation_lut");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    group.bench_function("direct_natural_image", |b| {
+        let seg = IqftRgbSegmenter::paper_default();
+        b.iter(|| seg.segment_rgb(&natural))
+    });
+    group.bench_function("lut_natural_image", |b| {
+        let seg = LutRgbSegmenter::paper_default();
+        b.iter(|| seg.segment_rgb(&natural))
+    });
+    group.bench_function("direct_adversarial_image", |b| {
+        let seg = IqftRgbSegmenter::paper_default();
+        b.iter(|| seg.segment_rgb(&adversarial))
+    });
+    group.bench_function("lut_adversarial_image", |b| {
+        let seg = LutRgbSegmenter::paper_default();
+        b.iter(|| seg.segment_rgb(&adversarial))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

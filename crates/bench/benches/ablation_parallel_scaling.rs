@@ -1,0 +1,42 @@
+//! Ablation A1: parallel scaling of the RGB segmenter (DESIGN.md §4).
+//! Measures per-image segmentation across image sizes and execution backends
+//! (serial, scoped threads, Rayon) — the design knob exposed by `xpar`.
+
+use bench::synthetic_rgb;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use imaging::Segmenter;
+use iqft_seg::IqftRgbSegmenter;
+use std::time::Duration;
+use xpar::Backend;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_parallel_scaling");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for size in [128usize, 256] {
+        let img = synthetic_rgb(size, size, 9);
+        group.throughput(Throughput::Elements((size * size) as u64));
+        let backends: Vec<(&str, Backend)> = vec![
+            ("serial", Backend::Serial),
+            ("threads_2", Backend::Threads(2)),
+            ("threads_all", Backend::Threads(0)),
+            ("rayon", Backend::Rayon),
+        ];
+        for (name, backend) in backends {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{size}x{size}"), name),
+                &img,
+                |b, img| {
+                    let seg = IqftRgbSegmenter::paper_default().with_backend(backend);
+                    b.iter(|| seg.segment_rgb(img))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Ablation A3: quantum cross-check (DESIGN.md §4, eqs. 1–11).  Measures the
+//! cost of the genuine state-vector IQFT against the classical closed form
+//! used by Algorithm 1, and of building the QFT/IQFT unitaries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use iqft_seg::IqftRgbSegmenter;
+use quantum::{phase_product_state, Circuit};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    println!(
+        "QFT circuit vs DFT matrix max deviation (3 qubits): {:.2e}",
+        quantum::circuit::qft_circuit_deviation(3)
+    );
+    let mut group = c.benchmark_group("ablation_quantum_crosscheck");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    group.bench_function("classical_probabilities_per_pixel", |b| {
+        let seg = IqftRgbSegmenter::paper_default();
+        b.iter(|| seg.probabilities_from_phases(black_box(0.9), black_box(1.7), black_box(2.4)))
+    });
+    group.bench_function("statevector_iqft_per_pixel", |b| {
+        let circuit = Circuit::iqft(3);
+        b.iter(|| {
+            let mut state = phase_product_state(&[black_box(2.4), 1.7, 0.9]);
+            circuit.apply(&mut state);
+            state.probabilities()
+        })
+    });
+    for n in [3usize, 6, 10] {
+        group.bench_with_input(BenchmarkId::new("iqft_circuit_apply", n), &n, |b, &n| {
+            let circuit = Circuit::iqft(n);
+            let state = quantum::StateVector::zero_state(n);
+            b.iter(|| {
+                let mut s = state.clone();
+                circuit.apply(&mut s);
+                s
+            })
+        });
+    }
+    group.bench_function("idft_matrix_8x8_construction", |b| {
+        b.iter(|| quantum::idft_matrix(black_box(8)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

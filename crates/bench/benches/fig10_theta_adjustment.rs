@@ -1,0 +1,42 @@
+//! Fig. 10 bench: per-image θ adjustment.  Prints the before/after mIOU of
+//! the adjustment on the worst fixed-θ scene and measures the cost of the
+//! θ-grid search (both the oracle and the unsupervised variant).
+
+use bench::voc_split;
+use criterion::{criterion_group, criterion_main, Criterion};
+use iqft_seg::AutoThetaSearch;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", experiments::figures::fig10_report(8));
+    let sample = &voc_split(1, 96, 1010)[0];
+    let mut group = c.benchmark_group("fig10_theta_adjustment");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    group.bench_function("unsupervised_search_7_candidates", |b| {
+        let search = AutoThetaSearch::default();
+        b.iter(|| search.best_unsupervised(&sample.image))
+    });
+    group.bench_function("oracle_search_7_candidates", |b| {
+        let search = AutoThetaSearch::default();
+        let gt = sample.ground_truth.clone();
+        let img = sample.image.clone();
+        b.iter(|| {
+            search.best_by(&sample.image, |_, seg| {
+                let binary = iqft_seg::reduce_to_foreground(
+                    seg,
+                    iqft_seg::ForegroundPolicy::LargestIsBackground,
+                    Some(&img),
+                    Some(&gt),
+                );
+                metrics::mean_iou(&binary, &gt)
+            })
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Fig. 4 bench: multiple thresholding on the coloured-balls scene.  Prints
+//! the mIOU comparison (IQFT θ=4π vs Otsu vs K-means) and measures the cost
+//! of each method on the scene.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datasets::balls_scene;
+use imaging::{color, Segmenter};
+use iqft_seg::IqftGraySegmenter;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", experiments::figures::fig4_report(None));
+    let scene = balls_scene(180, 120);
+    let gray = color::rgb_to_gray_u8(&scene.image);
+    let mut group = c.benchmark_group("fig4_multi_threshold");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    group.bench_function("iqft_gray_theta_4pi", |b| {
+        let seg = IqftGraySegmenter::new(4.0 * std::f64::consts::PI);
+        b.iter(|| seg.segment_gray(&gray))
+    });
+    group.bench_function("otsu_single_threshold", |b| {
+        let seg = baselines::OtsuSegmenter::new();
+        b.iter(|| seg.segment_gray(&gray))
+    });
+    group.bench_function("kmeans_k2", |b| {
+        let seg = baselines::KMeansSegmenter::binary(4);
+        b.iter(|| seg.segment_rgb(&scene.image))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Fig. 5 bench: the normalisation ablation.  Prints the segment /
+//! connected-component comparison and measures whether skipping the `/255`
+//! normalisation changes the per-image cost (it should not — the ablation is
+//! about quality, not speed).
+
+use bench::synthetic_rgb;
+use criterion::{criterion_group, criterion_main, Criterion};
+use imaging::Segmenter;
+use iqft_seg::IqftRgbSegmenter;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", experiments::figures::fig5_report(None));
+    let img = synthetic_rgb(128, 96, 55);
+    let mut group = c.benchmark_group("fig5_normalization");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    group.bench_function("with_normalization", |b| {
+        let seg = IqftRgbSegmenter::paper_default();
+        b.iter(|| seg.segment_rgb(&img))
+    });
+    group.bench_function("without_normalization", |b| {
+        let seg = IqftRgbSegmenter::paper_default().with_normalization(false);
+        b.iter(|| seg.segment_rgb(&img))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

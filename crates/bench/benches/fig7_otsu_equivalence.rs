@@ -1,0 +1,36 @@
+//! Fig. 7 bench: the Otsu ↔ θ equivalence.  Prints the identical-mask check
+//! and compares the cost of Otsu (histogram + threshold) with the IQFT
+//! grayscale segmenter at the equivalent θ.
+
+use bench::voc_split;
+use criterion::{criterion_group, criterion_main, Criterion};
+use imaging::hist::Histogram;
+use imaging::{color, Segmenter};
+use iqft_seg::theta::theta_for_threshold;
+use iqft_seg::IqftGraySegmenter;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", experiments::figures::fig7_report(None));
+    let sample = &voc_split(1, 128, 707)[0];
+    let gray = color::rgb_to_gray_u8(&sample.image);
+    let threshold = baselines::otsu_threshold(&Histogram::of_gray(&gray)).max(0.34);
+    let theta = theta_for_threshold(threshold);
+    let mut group = c.benchmark_group("fig7_otsu_equivalence");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    group.bench_function("otsu_fit_and_segment", |b| {
+        let seg = baselines::OtsuSegmenter::new();
+        b.iter(|| seg.segment_gray(&gray))
+    });
+    group.bench_function("iqft_gray_equivalent_theta", |b| {
+        let seg = IqftGraySegmenter::new(theta);
+        b.iter(|| seg.segment_gray(&gray))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

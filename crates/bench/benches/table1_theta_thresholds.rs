@@ -1,0 +1,35 @@
+//! Table I bench: θ ↔ threshold conversion (eq. 15) and the full table
+//! regeneration.  Prints the reproduced table once so `cargo bench` output
+//! doubles as an experiment log.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", experiments::tables::table1_text());
+    let mut group = c.benchmark_group("table1_theta_thresholds");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    group.bench_function("thresholds_for_theta_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for i in 1..=64 {
+                let theta = i as f64 * std::f64::consts::PI / 8.0;
+                for t in iqft_seg::theta::thresholds_for_theta(black_box(theta)) {
+                    acc += t;
+                }
+            }
+            acc
+        })
+    });
+    group.bench_function("table1_rows", |b| {
+        b.iter(|| iqft_seg::theta::table1_rows())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Table II bench: the random-input segment-count sweep.  Prints the
+//! reproduced table (at 20k samples) and measures the per-configuration cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use iqft_seg::analysis::max_segments_for_theta;
+use iqft_seg::ThetaParams;
+use std::f64::consts::PI;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", experiments::tables::table2_text(20_000, 7));
+    let mut group = c.benchmark_group("table2_segment_count");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for (label, theta) in [("pi_over_2", PI / 2.0), ("pi", PI), ("2pi", 2.0 * PI)] {
+        group.bench_with_input(
+            BenchmarkId::new("occupancy_10k_samples", label),
+            &theta,
+            |b, &theta| {
+                b.iter(|| max_segments_for_theta(ThetaParams::uniform(theta), 10_000, 7))
+            },
+        );
+    }
+    group.bench_function("occupancy_mixed_10k_samples", |b| {
+        b.iter(|| max_segments_for_theta(ThetaParams::mixed(), 10_000, 7))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Table III bench: the four-method mIOU / runtime comparison on both
+//! synthetic datasets.  Prints a reduced-size reproduction of the table
+//! (12 VOC-like scenes + 12 xVIEW2-like tiles at 96 px) and measures the
+//! per-image segmentation cost of every method — the quantity behind the
+//! paper's "Runtime (sec.)" rows.
+
+use bench::{voc_split, xview_split};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use experiments::tables::{table3_run, table3_text, Table3Config};
+use experiments::Method;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let config = Table3Config {
+        voc_images: 12,
+        xview_images: 12,
+        image_size: 96,
+        seed: 42,
+        ..Table3Config::default()
+    };
+    let summaries = table3_run(&config);
+    println!("{}", table3_text(&summaries));
+
+    let voc = voc_split(1, 128, 3);
+    let xview = xview_split(1, 128, 4);
+    let mut group = c.benchmark_group("table3_runtime_per_image");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for method in Method::table3_methods(42) {
+        let segmenter = method.build();
+        group.bench_with_input(
+            BenchmarkId::new("voc_like_128px", method.name()),
+            &voc[0],
+            |b, sample| b.iter(|| segmenter.segment_rgb(&sample.image)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("xview_like_128px", method.name()),
+            &xview[0],
+            |b, sample| b.iter(|| segmenter.segment_rgb(&sample.image)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Shared fixtures for the benchmark harness.
+//!
+//! Every bench target regenerates one of the paper's tables or figures (or a
+//! design ablation from DESIGN.md §A1–A3).  The helpers here build the small,
+//! deterministic workloads the benches run on, so the measured code is always
+//! the library code itself rather than dataset generation.
+
+use datasets::{LabeledImage, PascalVocLikeConfig, PascalVocLikeDataset, XViewLikeConfig, XViewLikeDataset};
+use imaging::{Rgb, RgbImage};
+
+/// A deterministic pseudo-random RGB image of the given size (no external RNG,
+/// so benches do not pay generator setup costs).
+pub fn synthetic_rgb(width: usize, height: usize, seed: u64) -> RgbImage {
+    RgbImage::from_fn(width, height, |x, y| {
+        let v = seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((x as u64) << 24)
+            .wrapping_add((y as u64) << 8)
+            .wrapping_mul(0xD134_2543_DE82_EF95);
+        Rgb::new((v % 256) as u8, ((v >> 16) % 256) as u8, ((v >> 32) % 256) as u8)
+    })
+}
+
+/// A small VOC-like evaluation split used by the Table III / figure benches.
+pub fn voc_split(len: usize, size: usize, seed: u64) -> Vec<LabeledImage> {
+    PascalVocLikeDataset::new(PascalVocLikeConfig {
+        len,
+        width: size,
+        height: size * 3 / 4,
+        seed,
+        ..PascalVocLikeConfig::default()
+    })
+    .iter()
+    .collect()
+}
+
+/// A small xVIEW2-like evaluation split.
+pub fn xview_split(len: usize, size: usize, seed: u64) -> Vec<LabeledImage> {
+    XViewLikeDataset::new(XViewLikeConfig {
+        len,
+        width: size,
+        height: size,
+        seed,
+        ..XViewLikeConfig::default()
+    })
+    .iter()
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_deterministic_and_sized() {
+        let a = synthetic_rgb(32, 16, 5);
+        let b = synthetic_rgb(32, 16, 5);
+        assert_eq!(a, b);
+        assert_eq!(a.dimensions(), (32, 16));
+        assert_ne!(a, synthetic_rgb(32, 16, 6));
+        assert_eq!(voc_split(2, 48, 1).len(), 2);
+        assert_eq!(xview_split(2, 48, 1).len(), 2);
+    }
+}

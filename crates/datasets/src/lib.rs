@@ -1,0 +1,37 @@
+//! `datasets` — synthetic dataset generators standing in for the paper's two
+//! evaluation datasets, plus an on-disk loader for real imagery.
+//!
+//! The paper evaluates on PASCAL VOC 2012 (2913 natural images with
+//! foreground/background masks and void borders) and on the 148 pre-disaster
+//! satellite tiles of the xVIEW2 "joplin-tornado" split.  Neither dataset can
+//! be redistributed inside this repository, so this crate provides *seeded
+//! synthetic generators* that reproduce the statistical properties those
+//! experiments actually exercise:
+//!
+//! * [`pascal`] — "natural scene" images: 1–3 coloured objects of varied
+//!   shape and brightness on textured / gradient backgrounds, Gaussian
+//!   noise, and a void border around every object (the VOC annotation
+//!   convention).  Difficulty is spread from well-separated to
+//!   overlapping-intensity scenes so method crossovers can appear.
+//! * [`xview`] — "satellite tile" images: ground texture, roads, vegetation
+//!   patches and rectangular buildings with bright roofs as the foreground
+//!   class; foreground occupies a small fraction of the frame, mirroring the
+//!   class imbalance of the real tiles.
+//! * [`balls`] — the multi-band "coloured balls" scene of the paper's Fig. 4,
+//!   used to demonstrate single-parameter multiple thresholding.
+//! * [`loader`] — loads a directory of PPM images + PGM masks for users who
+//!   have the real datasets on disk.
+//!
+//! Every generator takes an explicit seed and is deterministic, so the
+//! experiment harness and the benchmarks always see the same data.
+
+pub mod balls;
+pub mod loader;
+pub mod pascal;
+pub mod sample;
+pub mod xview;
+
+pub use balls::balls_scene;
+pub use pascal::{PascalVocLikeConfig, PascalVocLikeDataset};
+pub use sample::LabeledImage;
+pub use xview::{XViewLikeConfig, XViewLikeDataset};

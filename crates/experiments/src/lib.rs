@@ -1,0 +1,24 @@
+//! `experiments` — the harness that regenerates every table and figure of the
+//! reproduced paper.
+//!
+//! * [`evaluate`] — runs any [`imaging::Segmenter`] over a dataset, reduces
+//!   its output to foreground/background, scores it with mIOU and wall-clock
+//!   runtime, and aggregates per-dataset summaries (the machinery behind
+//!   Table III and Figs. 8–10).
+//! * [`tables`] — Table I (θ ↔ threshold), Table II (θ ↔ segment count) and
+//!   Table III (mIOU / runtime comparison).
+//! * [`figures`] — Figs. 1–3 (worked example), 4 (multi-thresholding),
+//!   5 (normalisation ablation), 6 (θ sweep on scenes), 7 (Otsu equivalence),
+//!   8–9 (qualitative wins) and 10 (per-image θ adjustment).
+//!
+//! The `iqft-experiments` binary exposes one subcommand per experiment; every
+//! experiment is also callable as a library function so the benchmark crate
+//! and the integration tests reuse the exact same code paths.
+
+pub mod evaluate;
+pub mod figures;
+pub mod tables;
+
+pub use evaluate::{
+    evaluate_method, evaluate_methods, DatasetSummary, ImageScore, Method, MethodSummary,
+};

@@ -1,0 +1,144 @@
+//! `iqft-experiments` — CLI that regenerates every table and figure of the
+//! reproduced paper.
+//!
+//! ```text
+//! iqft-experiments <subcommand> [options]
+//!
+//! Subcommands:
+//!   table1                     θ ↔ threshold values (paper Table I)
+//!   table2  [--samples N]      θ ↔ max segment count (paper Table II)
+//!   table3  [--voc N] [--xview N] [--size S] [--seed S]
+//!                              mIOU / runtime comparison (paper Table III)
+//!   fig1-3                     worked example: patterns and probabilities
+//!   fig4    [--out DIR]        multiple thresholding on the balls scene
+//!   fig5    [--out DIR]        normalisation ablation
+//!   fig6    [--out DIR]        θ sweep on real scenes
+//!   fig7    [--out DIR]        Otsu ↔ θ equivalence
+//!   fig8    [--out DIR]        qualitative wins (VOC-like)
+//!   fig9    [--out DIR]        qualitative wins (xVIEW2-like)
+//!   fig10                      per-image θ adjustment
+//!   all     [--out DIR]        everything above with reduced sizes
+//! ```
+
+use experiments::figures;
+use experiments::tables::{self, Table3Config};
+use std::path::PathBuf;
+
+struct Args {
+    command: String,
+    out_dir: Option<PathBuf>,
+    samples: usize,
+    voc: usize,
+    xview: usize,
+    size: usize,
+    seed: u64,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        command: String::new(),
+        out_dir: None,
+        samples: 100_000,
+        voc: 200,
+        xview: 148,
+        size: 160,
+        seed: 42,
+    };
+    let mut iter = std::env::args().skip(1);
+    if let Some(cmd) = iter.next() {
+        args.command = cmd;
+    }
+    while let Some(flag) = iter.next() {
+        let mut value = || iter.next().unwrap_or_default();
+        match flag.as_str() {
+            "--out" => args.out_dir = Some(PathBuf::from(value())),
+            "--samples" => args.samples = value().parse().unwrap_or(args.samples),
+            "--voc" => args.voc = value().parse().unwrap_or(args.voc),
+            "--xview" => args.xview = value().parse().unwrap_or(args.xview),
+            "--size" => args.size = value().parse().unwrap_or(args.size),
+            "--seed" => args.seed = value().parse().unwrap_or(args.seed),
+            other => eprintln!("ignoring unknown flag {other}"),
+        }
+    }
+    args
+}
+
+fn run_table3(args: &Args) -> String {
+    let config = Table3Config {
+        voc_images: args.voc,
+        xview_images: args.xview,
+        image_size: args.size,
+        seed: args.seed,
+        ..Table3Config::default()
+    };
+    let summaries = tables::table3_run(&config);
+    tables::table3_text(&summaries)
+}
+
+fn main() {
+    let args = parse_args();
+    let out = args.out_dir.as_deref();
+    let report = match args.command.as_str() {
+        "table1" => tables::table1_text(),
+        "table2" => tables::table2_text(args.samples, args.seed),
+        "table3" => run_table3(&args),
+        "fig1-3" | "fig1" | "fig2" | "fig3" => figures::fig1_3_text(),
+        "fig4" => figures::fig4_report(out),
+        "fig5" => figures::fig5_report(out),
+        "fig6" => figures::fig6_report(out),
+        "fig7" => figures::fig7_report(out),
+        "fig8" => figures::fig8_9_report(false, out, 30),
+        "fig9" => figures::fig8_9_report(true, out, 30),
+        "fig10" => figures::fig10_report(30),
+        "all" => {
+            let mut all = String::new();
+            all.push_str(&tables::table1_text());
+            all.push('\n');
+            all.push_str(&tables::table2_text(args.samples.min(20_000), args.seed));
+            all.push('\n');
+            let quick = Args {
+                voc: args.voc.min(20),
+                xview: args.xview.min(20),
+                size: args.size.min(96),
+                ..Args {
+                    command: args.command.clone(),
+                    out_dir: args.out_dir.clone(),
+                    samples: args.samples,
+                    voc: args.voc,
+                    xview: args.xview,
+                    size: args.size,
+                    seed: args.seed,
+                }
+            };
+            all.push_str(&run_table3(&quick));
+            all.push('\n');
+            all.push_str(&figures::fig1_3_text());
+            all.push('\n');
+            all.push_str(&figures::fig4_report(out));
+            all.push('\n');
+            all.push_str(&figures::fig5_report(out));
+            all.push('\n');
+            all.push_str(&figures::fig6_report(out));
+            all.push('\n');
+            all.push_str(&figures::fig7_report(out));
+            all.push('\n');
+            all.push_str(&figures::fig8_9_report(false, out, 12));
+            all.push('\n');
+            all.push_str(&figures::fig8_9_report(true, out, 12));
+            all.push('\n');
+            all.push_str(&figures::fig10_report(12));
+            all
+        }
+        "" | "help" | "--help" | "-h" => {
+            eprintln!(
+                "usage: iqft-experiments <table1|table2|table3|fig1-3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|all> [--out DIR] [--samples N] [--voc N] [--xview N] [--size S] [--seed S]"
+            );
+            return;
+        }
+        other => {
+            eprintln!("unknown subcommand '{other}'; run with --help for usage");
+            std::process::exit(2);
+        }
+    };
+    println!("{report}");
+}

@@ -1,0 +1,181 @@
+//! Regeneration of the paper's tables.
+
+use crate::evaluate::{evaluate_methods, DatasetSummary, Method};
+use datasets::{PascalVocLikeConfig, PascalVocLikeDataset, XViewLikeConfig, XViewLikeDataset};
+use iqft_seg::analysis::table2_rows;
+use iqft_seg::theta::table1_rows;
+use iqft_seg::ForegroundPolicy;
+
+/// Renders Table I (θ and the corresponding threshold values, eq. 15) as
+/// plain text, matching the paper's rows.
+pub fn table1_text() -> String {
+    let mut out = String::from("Table I: Parameter θ and the corresponding threshold value\n");
+    out.push_str(&format!("{:<12} {}\n", "θ", "Threshold value, I_th"));
+    for row in table1_rows() {
+        let thresholds: Vec<String> = row.thresholds.iter().map(|t| format!("{t:.3}")).collect();
+        let suffix = if thresholds.len() > 1 { " (multiple)" } else { "" };
+        out.push_str(&format!(
+            "{:<12} {}{}\n",
+            row.theta_label,
+            thresholds.join(", "),
+            suffix
+        ));
+    }
+    out
+}
+
+/// Renders Table II (θ and the possible number of segments) as plain text.
+///
+/// `samples` random RGB triples are classified per configuration (the paper
+/// uses 100,000).
+pub fn table2_text(samples: usize, seed: u64) -> String {
+    let mut out = String::from("Table II: Parameter θ and the possible number of segments\n");
+    out.push_str(&format!("{:<28} {}\n", "θ", "max. number of segments"));
+    for row in table2_rows(samples, seed) {
+        out.push_str(&format!("{:<28} {}\n", row.label, row.max_segments));
+    }
+    out
+}
+
+/// Configuration of the Table III comparison.
+#[derive(Debug, Clone, Copy)]
+pub struct Table3Config {
+    /// Number of VOC-like scenes.
+    pub voc_images: usize,
+    /// Number of xVIEW2-like tiles.
+    pub xview_images: usize,
+    /// Image width/height used for both datasets.
+    pub image_size: usize,
+    /// Seed for dataset generation and K-means initialisation.
+    pub seed: u64,
+    /// Foreground-reduction policy applied to every method.
+    pub policy: ForegroundPolicy,
+}
+
+impl Default for Table3Config {
+    fn default() -> Self {
+        Self {
+            voc_images: 200,
+            xview_images: 148,
+            image_size: 160,
+            seed: 42,
+            policy: ForegroundPolicy::LargestIsBackground,
+        }
+    }
+}
+
+/// Runs the Table III comparison (all four methods on both datasets) and
+/// returns the per-dataset summaries.
+pub fn table3_run(config: &Table3Config) -> Vec<DatasetSummary> {
+    let methods = Method::table3_methods(config.seed);
+    let voc: Vec<_> = PascalVocLikeDataset::new(PascalVocLikeConfig {
+        len: config.voc_images,
+        width: config.image_size,
+        height: config.image_size * 3 / 4,
+        seed: config.seed,
+        ..PascalVocLikeConfig::default()
+    })
+    .iter()
+    .collect();
+    let xview: Vec<_> = XViewLikeDataset::new(XViewLikeConfig {
+        len: config.xview_images,
+        width: config.image_size,
+        height: config.image_size,
+        seed: config.seed.wrapping_add(1),
+        ..XViewLikeConfig::default()
+    })
+    .iter()
+    .collect();
+    vec![
+        evaluate_methods("Pascal VOC 2012 (synthetic)", &methods, &voc, config.policy),
+        evaluate_methods("xVIEW2 (synthetic)", &methods, &xview, config.policy),
+    ]
+}
+
+/// Renders the Table III summaries in the paper's layout (average mIOU and
+/// runtime per method per dataset), plus the win-rate statistics quoted in
+/// the paper's text.
+pub fn table3_text(summaries: &[DatasetSummary]) -> String {
+    let mut out = String::from(
+        "Table III: Comparing the mIOU, computation time, and computational complexity\n",
+    );
+    for dataset in summaries {
+        out.push_str(&format!("\nDataset: {}\n", dataset.dataset));
+        out.push_str(&format!(
+            "{:<20} {:>14} {:>16} {:>12}\n",
+            "Method", "Average mIOU", "Runtime (sec.)", "mIOU<0.1 (%)"
+        ));
+        for m in &dataset.methods {
+            out.push_str(&format!(
+                "{:<20} {:>14.4} {:>16.3} {:>12.1}\n",
+                m.method,
+                m.average_miou,
+                m.total_runtime_secs,
+                m.poor_fraction * 100.0
+            ));
+        }
+        let rgb_vs_kmeans = dataset.win_fraction("IQFT (RGB)", "K-means") * 100.0;
+        let rgb_vs_otsu = dataset.win_fraction("IQFT (RGB)", "OTSU") * 100.0;
+        out.push_str(&format!(
+            "IQFT (RGB) outperforms K-means on {rgb_vs_kmeans:.2}% and OTSU on {rgb_vs_otsu:.2}% of images\n"
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_text_contains_all_paper_rows() {
+        let text = table1_text();
+        assert!(text.contains("3π/4"));
+        assert!(text.contains("0.667"));
+        assert!(text.contains("0.500"));
+        assert!(text.contains("0.400"));
+        assert!(text.contains("0.333"));
+        assert!(text.contains("multiple"));
+        assert!(text.contains("0.250, 0.750"));
+    }
+
+    #[test]
+    fn table2_text_reports_expected_counts() {
+        let text = table2_text(20_000, 9);
+        assert!(text.contains("θ1=θ2=θ3=π/4"));
+        // θ=π/4 row must report one segment; mixed row two segments.
+        let quarter_line = text
+            .lines()
+            .find(|l| l.contains("π/4") && !l.contains("5π/4") && !l.contains("7π/4") && !l.contains(","))
+            .unwrap();
+        assert!(quarter_line.trim_end().ends_with('1'), "{quarter_line}");
+        let mixed_line = text.lines().find(|l| l.contains("θ1=π/4, θ2=π/2")).unwrap();
+        assert!(mixed_line.trim_end().ends_with('2'), "{mixed_line}");
+    }
+
+    #[test]
+    fn table3_small_run_produces_both_datasets_and_all_methods() {
+        let config = Table3Config {
+            voc_images: 3,
+            xview_images: 3,
+            image_size: 48,
+            seed: 5,
+            ..Table3Config::default()
+        };
+        let summaries = table3_run(&config);
+        assert_eq!(summaries.len(), 2);
+        for s in &summaries {
+            assert_eq!(s.methods.len(), 4);
+            for m in &s.methods {
+                assert_eq!(m.scores.len(), 3);
+                assert!((0.0..=1.0).contains(&m.average_miou));
+            }
+        }
+        let text = table3_text(&summaries);
+        assert!(text.contains("Pascal VOC 2012"));
+        assert!(text.contains("xVIEW2"));
+        assert!(text.contains("IQFT (RGB)"));
+        assert!(text.contains("Average mIOU"));
+        assert!(text.contains("outperforms K-means"));
+    }
+}

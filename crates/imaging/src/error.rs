@@ -1,0 +1,119 @@
+//! Error type shared across the imaging substrate.
+
+use std::fmt;
+
+/// Errors produced by the imaging substrate.
+#[derive(Debug)]
+pub enum ImagingError {
+    /// Width/height do not match the supplied buffer length.
+    DimensionMismatch {
+        /// Expected number of elements (`width * height`).
+        expected: usize,
+        /// Number of elements actually supplied.
+        actual: usize,
+    },
+    /// An operation was asked to work on an empty (zero-sized) image.
+    EmptyImage,
+    /// A pixel coordinate was outside the image bounds.
+    OutOfBounds {
+        /// Requested x coordinate.
+        x: usize,
+        /// Requested y coordinate.
+        y: usize,
+        /// Image width.
+        width: usize,
+        /// Image height.
+        height: usize,
+    },
+    /// Two images that were expected to share dimensions do not.
+    ShapeMismatch {
+        /// Dimensions of the first image.
+        left: (usize, usize),
+        /// Dimensions of the second image.
+        right: (usize, usize),
+    },
+    /// A file could not be parsed as the expected format.
+    Decode(String),
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+/// Convenience alias for imaging results.
+pub type Result<T> = std::result::Result<T, ImagingError>;
+
+impl fmt::Display for ImagingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImagingError::DimensionMismatch { expected, actual } => write!(
+                f,
+                "buffer length {actual} does not match width*height = {expected}"
+            ),
+            ImagingError::EmptyImage => write!(f, "operation requires a non-empty image"),
+            ImagingError::OutOfBounds {
+                x,
+                y,
+                width,
+                height,
+            } => write!(f, "pixel ({x}, {y}) out of bounds for {width}x{height} image"),
+            ImagingError::ShapeMismatch { left, right } => write!(
+                f,
+                "image shapes differ: {}x{} vs {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            ImagingError::Decode(msg) => write!(f, "decode error: {msg}"),
+            ImagingError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ImagingError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ImagingError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ImagingError {
+    fn from(e: std::io::Error) -> Self {
+        ImagingError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = ImagingError::DimensionMismatch {
+            expected: 100,
+            actual: 50,
+        };
+        assert!(e.to_string().contains("100"));
+        let e = ImagingError::OutOfBounds {
+            x: 5,
+            y: 6,
+            width: 4,
+            height: 4,
+        };
+        assert!(e.to_string().contains("(5, 6)"));
+        let e = ImagingError::ShapeMismatch {
+            left: (2, 3),
+            right: (4, 5),
+        };
+        assert!(e.to_string().contains("2x3"));
+        let e = ImagingError::Decode("bad magic".into());
+        assert!(e.to_string().contains("bad magic"));
+        assert!(ImagingError::EmptyImage.to_string().contains("non-empty"));
+    }
+
+    #[test]
+    fn io_errors_convert_and_expose_source() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
+        let e: ImagingError = io.into();
+        assert!(e.to_string().contains("missing"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

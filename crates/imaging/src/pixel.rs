@@ -1,0 +1,203 @@
+//! Pixel types: RGB triples and single-channel luma values.
+
+/// An RGB pixel with channel type `T`.
+///
+/// The workspace uses `Rgb<u8>` for stored images and `Rgb<f64>` for the
+/// normalised `[0, 1]` representation consumed by the segmentation algorithms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Rgb<T>(pub [T; 3]);
+
+/// A single-channel (grayscale) pixel with channel type `T`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Luma<T>(pub T);
+
+impl<T: Copy> Rgb<T> {
+    /// Creates a pixel from individual channel values.
+    pub fn new(r: T, g: T, b: T) -> Self {
+        Rgb([r, g, b])
+    }
+
+    /// Red channel.
+    pub fn r(&self) -> T {
+        self.0[0]
+    }
+
+    /// Green channel.
+    pub fn g(&self) -> T {
+        self.0[1]
+    }
+
+    /// Blue channel.
+    pub fn b(&self) -> T {
+        self.0[2]
+    }
+
+    /// Applies `f` to every channel.
+    pub fn map<U: Copy, F: Fn(T) -> U>(&self, f: F) -> Rgb<U> {
+        Rgb([f(self.0[0]), f(self.0[1]), f(self.0[2])])
+    }
+}
+
+impl Rgb<u8> {
+    /// Converts to a floating-point pixel with channels in `[0, 1]`.
+    pub fn to_f64(self) -> Rgb<f64> {
+        self.map(|c| c as f64 / 255.0)
+    }
+
+    /// Per-channel squared Euclidean distance to `other` (in u8 units).
+    pub fn dist2(self, other: Rgb<u8>) -> f64 {
+        let dr = self.r() as f64 - other.r() as f64;
+        let dg = self.g() as f64 - other.g() as f64;
+        let db = self.b() as f64 - other.b() as f64;
+        dr * dr + dg * dg + db * db
+    }
+
+    /// Fully saturated channel shortcut colours used by the synthetic scenes.
+    pub const BLACK: Rgb<u8> = Rgb([0, 0, 0]);
+    /// White.
+    pub const WHITE: Rgb<u8> = Rgb([255, 255, 255]);
+    /// Red.
+    pub const RED: Rgb<u8> = Rgb([255, 0, 0]);
+    /// Green.
+    pub const GREEN: Rgb<u8> = Rgb([0, 255, 0]);
+    /// Blue.
+    pub const BLUE: Rgb<u8> = Rgb([0, 0, 255]);
+}
+
+impl Rgb<f64> {
+    /// Converts to an 8-bit pixel, clamping to `[0, 1]` first.
+    pub fn to_u8(self) -> Rgb<u8> {
+        self.map(|c| (c.clamp(0.0, 1.0) * 255.0).round() as u8)
+    }
+
+    /// Squared Euclidean distance to `other`.
+    pub fn dist2(self, other: Rgb<f64>) -> f64 {
+        let dr = self.r() - other.r();
+        let dg = self.g() - other.g();
+        let db = self.b() - other.b();
+        dr * dr + dg * dg + db * db
+    }
+
+    /// Channel-wise addition (used when accumulating cluster means).
+    pub fn add(self, other: Rgb<f64>) -> Rgb<f64> {
+        Rgb([
+            self.r() + other.r(),
+            self.g() + other.g(),
+            self.b() + other.b(),
+        ])
+    }
+
+    /// Channel-wise scaling.
+    pub fn scale(self, k: f64) -> Rgb<f64> {
+        self.map(|c| c * k)
+    }
+}
+
+impl<T: Copy> Luma<T> {
+    /// Creates a luma pixel.
+    pub fn new(v: T) -> Self {
+        Luma(v)
+    }
+
+    /// The underlying intensity value.
+    pub fn value(&self) -> T {
+        self.0
+    }
+}
+
+impl Luma<u8> {
+    /// Converts to a normalised `[0, 1]` intensity.
+    pub fn to_f64(self) -> Luma<f64> {
+        Luma(self.0 as f64 / 255.0)
+    }
+}
+
+impl Luma<f64> {
+    /// Converts to an 8-bit intensity, clamping to `[0, 1]` first.
+    pub fn to_u8(self) -> Luma<u8> {
+        Luma((self.0.clamp(0.0, 1.0) * 255.0).round() as u8)
+    }
+}
+
+impl<T: Copy> From<[T; 3]> for Rgb<T> {
+    fn from(v: [T; 3]) -> Self {
+        Rgb(v)
+    }
+}
+
+impl<T: Copy> From<T> for Luma<T> {
+    fn from(v: T) -> Self {
+        Luma(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rgb_accessors() {
+        let p = Rgb::new(1u8, 2, 3);
+        assert_eq!((p.r(), p.g(), p.b()), (1, 2, 3));
+        assert_eq!(Rgb::from([4u8, 5, 6]), Rgb::new(4, 5, 6));
+    }
+
+    #[test]
+    fn u8_to_f64_roundtrip() {
+        for v in [0u8, 1, 17, 127, 200, 255] {
+            let p = Rgb::new(v, v, v).to_f64();
+            assert!(p.r() >= 0.0 && p.r() <= 1.0);
+            assert_eq!(p.to_u8(), Rgb::new(v, v, v));
+        }
+        assert_eq!(Luma::new(255u8).to_f64().value(), 1.0);
+        assert_eq!(Luma::new(0.5f64).to_u8().value(), 128);
+    }
+
+    #[test]
+    fn f64_to_u8_clamps() {
+        let p = Rgb::new(-0.5f64, 1.5, 0.5).to_u8();
+        assert_eq!(p, Rgb::new(0u8, 255, 128));
+        assert_eq!(Luma::new(2.0f64).to_u8().value(), 255);
+        assert_eq!(Luma::new(-1.0f64).to_u8().value(), 0);
+    }
+
+    #[test]
+    fn distances_are_euclidean_squared() {
+        let a = Rgb::new(0u8, 0, 0);
+        let b = Rgb::new(3u8, 4, 0);
+        assert_eq!(a.dist2(b), 25.0);
+        let af = a.to_f64();
+        let bf = b.to_f64();
+        let expected = (3.0f64 / 255.0).powi(2) + (4.0f64 / 255.0).powi(2);
+        assert!((af.dist2(bf) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic_helpers() {
+        let a = Rgb::new(0.1, 0.2, 0.3);
+        let b = Rgb::new(0.4, 0.5, 0.6);
+        let s = a.add(b);
+        assert!((s.r() - 0.5).abs() < 1e-12);
+        assert!((s.b() - 0.9).abs() < 1e-12);
+        let h = s.scale(0.5);
+        assert!((h.g() - 0.35).abs() < 1e-12);
+    }
+
+    #[test]
+    fn named_colors() {
+        assert_eq!(Rgb::RED.r(), 255);
+        assert_eq!(Rgb::RED.g(), 0);
+        assert_eq!(Rgb::BLACK, Rgb::new(0, 0, 0));
+        assert_eq!(Rgb::WHITE, Rgb::new(255, 255, 255));
+        assert_eq!(Rgb::GREEN.g(), 255);
+        assert_eq!(Rgb::BLUE.b(), 255);
+    }
+
+    #[test]
+    fn map_applies_per_channel() {
+        let p = Rgb::new(1u8, 2, 3).map(|c| c as u16 * 10);
+        assert_eq!(p, Rgb::new(10u16, 20, 30));
+        let l: Luma<u8> = 7u8.into();
+        assert_eq!(l.value(), 7);
+    }
+}

@@ -1,0 +1,59 @@
+//! The common interface every segmentation algorithm in the workspace
+//! implements (the IQFT-inspired methods and the K-means / Otsu baselines).
+
+use crate::{GrayImage, LabelMap, RgbImage};
+
+/// An unsupervised image segmenter.
+///
+/// Implementations return a dense [`LabelMap`]: one `u32` segment id per
+/// pixel.  There is no requirement that ids are contiguous or start at 0 —
+/// downstream consumers use [`crate::labels::relabel_by_frequency`] /
+/// [`crate::labels::binarize`] when a canonical form is needed.
+pub trait Segmenter {
+    /// A short human-readable name used in experiment tables (e.g. "K-means").
+    fn name(&self) -> &str;
+
+    /// Segments an RGB image.
+    fn segment_rgb(&self, img: &RgbImage) -> LabelMap;
+
+    /// Segments a grayscale image.  The default converts the image to RGB by
+    /// channel replication and calls [`Segmenter::segment_rgb`]; grayscale-
+    /// native algorithms override this.
+    fn segment_gray(&self, img: &GrayImage) -> LabelMap {
+        self.segment_rgb(&crate::color::gray_to_rgb(img))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pixel::{Luma, Rgb};
+
+    /// A trivial segmenter used to exercise the trait's default method.
+    struct BrightnessHalver;
+
+    impl Segmenter for BrightnessHalver {
+        fn name(&self) -> &str {
+            "halver"
+        }
+
+        fn segment_rgb(&self, img: &RgbImage) -> LabelMap {
+            img.map(|p| u32::from(crate::color::luma_of(p) >= 0.5))
+        }
+    }
+
+    #[test]
+    fn default_gray_path_replicates_channels() {
+        let gray = GrayImage::from_fn(2, 1, |x, _| Luma(if x == 0 { 10 } else { 250 }));
+        let seg = BrightnessHalver;
+        assert_eq!(seg.name(), "halver");
+        let labels = seg.segment_gray(&gray);
+        assert_eq!(labels.get(0, 0), 0);
+        assert_eq!(labels.get(1, 0), 1);
+        // And the RGB path agrees with a manual conversion.
+        let rgb = crate::color::gray_to_rgb(&gray);
+        assert_eq!(seg.segment_rgb(&rgb), labels);
+        let bright = RgbImage::new(1, 1, Rgb::WHITE);
+        assert_eq!(seg.segment_rgb(&bright).get(0, 0), 1);
+    }
+}

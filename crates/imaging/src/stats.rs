@@ -1,0 +1,131 @@
+//! Per-channel image statistics.
+
+use crate::{GrayImage, GrayImageF, RgbImage};
+
+/// Mean and standard deviation of a sequence of samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeanStd {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+}
+
+fn mean_std(values: impl Iterator<Item = f64>) -> MeanStd {
+    let mut n = 0usize;
+    let mut sum = 0.0;
+    let mut sum_sq = 0.0;
+    for v in values {
+        n += 1;
+        sum += v;
+        sum_sq += v * v;
+    }
+    if n == 0 {
+        return MeanStd { mean: 0.0, std: 0.0 };
+    }
+    let mean = sum / n as f64;
+    let var = (sum_sq / n as f64 - mean * mean).max(0.0);
+    MeanStd {
+        mean,
+        std: var.sqrt(),
+    }
+}
+
+/// Per-channel statistics of an RGB image (0–255 scale).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RgbStats {
+    /// Red channel statistics.
+    pub r: MeanStd,
+    /// Green channel statistics.
+    pub g: MeanStd,
+    /// Blue channel statistics.
+    pub b: MeanStd,
+}
+
+/// Computes per-channel mean/std of an RGB image.
+pub fn rgb_stats(img: &RgbImage) -> RgbStats {
+    RgbStats {
+        r: mean_std(img.pixels().map(|p| p.r() as f64)),
+        g: mean_std(img.pixels().map(|p| p.g() as f64)),
+        b: mean_std(img.pixels().map(|p| p.b() as f64)),
+    }
+}
+
+/// Mean/std of an 8-bit grayscale image (0–255 scale).
+pub fn gray_stats(img: &GrayImage) -> MeanStd {
+    mean_std(img.pixels().map(|p| p.value() as f64))
+}
+
+/// Mean/std of a normalised grayscale image (`[0, 1]` scale).
+pub fn gray_f_stats(img: &GrayImageF) -> MeanStd {
+    mean_std(img.pixels().map(|p| p.value()))
+}
+
+/// Michelson contrast of a grayscale image: `(max - min) / (max + min)`.
+///
+/// Returns 0 for constant or empty images.
+pub fn michelson_contrast(img: &GrayImage) -> f64 {
+    let mut min = u8::MAX;
+    let mut max = u8::MIN;
+    for p in img.pixels() {
+        min = min.min(p.value());
+        max = max.max(p.value());
+    }
+    if img.is_empty() || (max as u16 + min as u16) == 0 {
+        return 0.0;
+    }
+    (max as f64 - min as f64) / (max as f64 + min as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pixel::{Luma, Rgb};
+
+    #[test]
+    fn constant_image_has_zero_std() {
+        let img = RgbImage::new(8, 8, Rgb::new(10, 20, 30));
+        let s = rgb_stats(&img);
+        assert_eq!(s.r.mean, 10.0);
+        assert_eq!(s.g.mean, 20.0);
+        assert_eq!(s.b.mean, 30.0);
+        assert_eq!(s.r.std, 0.0);
+    }
+
+    #[test]
+    fn two_value_image_statistics() {
+        let img = GrayImage::from_fn(2, 1, |x, _| Luma(if x == 0 { 0 } else { 200 }));
+        let s = gray_stats(&img);
+        assert_eq!(s.mean, 100.0);
+        assert_eq!(s.std, 100.0);
+    }
+
+    #[test]
+    fn empty_image_statistics_are_zero() {
+        let img = GrayImage::new(0, 0, Luma(0));
+        let s = gray_stats(&img);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(michelson_contrast(&img), 0.0);
+    }
+
+    #[test]
+    fn normalized_stats_match_u8_stats() {
+        let img = GrayImage::from_fn(16, 1, |x, _| Luma((x * 16) as u8));
+        let imgf = crate::color::normalize_gray(&img);
+        let s8 = gray_stats(&img);
+        let sf = gray_f_stats(&imgf);
+        assert!((s8.mean / 255.0 - sf.mean).abs() < 1e-12);
+        assert!((s8.std / 255.0 - sf.std).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contrast_extremes() {
+        let flat = GrayImage::new(4, 4, Luma(128));
+        assert_eq!(michelson_contrast(&flat), 0.0);
+        let full = GrayImage::from_fn(2, 1, |x, _| Luma(if x == 0 { 0 } else { 255 }));
+        assert_eq!(michelson_contrast(&full), 1.0);
+        let black = GrayImage::new(2, 2, Luma(0));
+        assert_eq!(michelson_contrast(&black), 0.0);
+    }
+}

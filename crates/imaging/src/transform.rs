@@ -1,0 +1,150 @@
+//! Geometric transforms: resize, crop, flip.
+
+use crate::image::ImageBuffer;
+use crate::pixel::Rgb;
+use crate::RgbImage;
+
+/// Nearest-neighbour resize for any element type (used for label maps, where
+/// interpolation would invent labels).
+pub fn resize_nearest<P: Copy>(
+    img: &ImageBuffer<P>,
+    new_width: usize,
+    new_height: usize,
+) -> ImageBuffer<P> {
+    assert!(!img.is_empty(), "cannot resize an empty image");
+    ImageBuffer::from_fn(new_width, new_height, |x, y| {
+        let sx = (x as f64 + 0.5) * img.width() as f64 / new_width.max(1) as f64;
+        let sy = (y as f64 + 0.5) * img.height() as f64 / new_height.max(1) as f64;
+        let sx = (sx as usize).min(img.width() - 1);
+        let sy = (sy as usize).min(img.height() - 1);
+        img.get(sx, sy)
+    })
+}
+
+/// Bilinear resize for RGB images.
+pub fn resize_bilinear_rgb(img: &RgbImage, new_width: usize, new_height: usize) -> RgbImage {
+    assert!(!img.is_empty(), "cannot resize an empty image");
+    let (w, h) = img.dimensions();
+    RgbImage::from_fn(new_width, new_height, |x, y| {
+        let sx = (x as f64 + 0.5) * w as f64 / new_width.max(1) as f64 - 0.5;
+        let sy = (y as f64 + 0.5) * h as f64 / new_height.max(1) as f64 - 0.5;
+        let x0 = sx.floor().clamp(0.0, (w - 1) as f64) as usize;
+        let y0 = sy.floor().clamp(0.0, (h - 1) as f64) as usize;
+        let x1 = (x0 + 1).min(w - 1);
+        let y1 = (y0 + 1).min(h - 1);
+        let fx = (sx - x0 as f64).clamp(0.0, 1.0);
+        let fy = (sy - y0 as f64).clamp(0.0, 1.0);
+        let p00 = img.get(x0, y0);
+        let p10 = img.get(x1, y0);
+        let p01 = img.get(x0, y1);
+        let p11 = img.get(x1, y1);
+        let lerp_channel = |c00: u8, c10: u8, c01: u8, c11: u8| -> u8 {
+            let top = c00 as f64 + (c10 as f64 - c00 as f64) * fx;
+            let bottom = c01 as f64 + (c11 as f64 - c01 as f64) * fx;
+            (top + (bottom - top) * fy).round().clamp(0.0, 255.0) as u8
+        };
+        Rgb::new(
+            lerp_channel(p00.r(), p10.r(), p01.r(), p11.r()),
+            lerp_channel(p00.g(), p10.g(), p01.g(), p11.g()),
+            lerp_channel(p00.b(), p10.b(), p01.b(), p11.b()),
+        )
+    })
+}
+
+/// Crops the rectangle `(x, y, width, height)`; the rectangle is clipped to
+/// the image bounds.
+pub fn crop<P: Copy>(
+    img: &ImageBuffer<P>,
+    x: usize,
+    y: usize,
+    width: usize,
+    height: usize,
+) -> ImageBuffer<P> {
+    let x = x.min(img.width());
+    let y = y.min(img.height());
+    let width = width.min(img.width() - x);
+    let height = height.min(img.height() - y);
+    ImageBuffer::from_fn(width, height, |cx, cy| img.get(x + cx, y + cy))
+}
+
+/// Horizontal mirror.
+pub fn flip_horizontal<P: Copy>(img: &ImageBuffer<P>) -> ImageBuffer<P> {
+    ImageBuffer::from_fn(img.width(), img.height(), |x, y| {
+        img.get(img.width() - 1 - x, y)
+    })
+}
+
+/// Vertical mirror.
+pub fn flip_vertical<P: Copy>(img: &ImageBuffer<P>) -> ImageBuffer<P> {
+    ImageBuffer::from_fn(img.width(), img.height(), |x, y| {
+        img.get(x, img.height() - 1 - y)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LabelMap;
+
+    #[test]
+    fn nearest_resize_preserves_label_set() {
+        let labels = LabelMap::from_fn(10, 10, |x, _| if x < 5 { 0 } else { 7 });
+        let resized = resize_nearest(&labels, 23, 17);
+        assert_eq!(resized.dimensions(), (23, 17));
+        let mut values: Vec<u32> = resized.pixels().copied().collect();
+        values.sort_unstable();
+        values.dedup();
+        assert_eq!(values, vec![0, 7]);
+    }
+
+    #[test]
+    fn nearest_resize_identity_size_is_identity() {
+        let img = LabelMap::from_fn(6, 4, |x, y| (x * 10 + y) as u32);
+        assert_eq!(resize_nearest(&img, 6, 4), img);
+    }
+
+    #[test]
+    fn bilinear_resize_of_constant_is_constant() {
+        let img = RgbImage::new(9, 7, Rgb::new(13, 77, 200));
+        let out = resize_bilinear_rgb(&img, 20, 3);
+        assert!(out.pixels().all(|&p| p == Rgb::new(13, 77, 200)));
+    }
+
+    #[test]
+    fn bilinear_downscale_averages_checkerboard() {
+        let img = RgbImage::from_fn(4, 4, |x, y| {
+            if (x + y) % 2 == 0 {
+                Rgb::new(0, 0, 0)
+            } else {
+                Rgb::new(255, 255, 255)
+            }
+        });
+        let out = resize_bilinear_rgb(&img, 2, 2);
+        // Every sampled neighbourhood mixes black and white pixels.
+        for p in out.pixels() {
+            assert!(p.r() > 0 && p.r() < 255);
+        }
+    }
+
+    #[test]
+    fn crop_extracts_subregion_and_clips() {
+        let img = LabelMap::from_fn(8, 8, |x, y| (y * 8 + x) as u32);
+        let c = crop(&img, 2, 3, 4, 2);
+        assert_eq!(c.dimensions(), (4, 2));
+        assert_eq!(c.get(0, 0), 3 * 8 + 2);
+        assert_eq!(c.get(3, 1), 4 * 8 + 5);
+        let clipped = crop(&img, 6, 6, 10, 10);
+        assert_eq!(clipped.dimensions(), (2, 2));
+    }
+
+    #[test]
+    fn flips_are_involutions() {
+        let img = LabelMap::from_fn(7, 5, |x, y| (x * 31 + y * 7) as u32);
+        assert_eq!(flip_horizontal(&flip_horizontal(&img)), img);
+        assert_eq!(flip_vertical(&flip_vertical(&img)), img);
+        let h = flip_horizontal(&img);
+        assert_eq!(h.get(0, 0), img.get(6, 0));
+        let v = flip_vertical(&img);
+        assert_eq!(v.get(0, 0), img.get(0, 4));
+    }
+}

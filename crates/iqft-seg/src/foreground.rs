@@ -1,0 +1,256 @@
+//! Reduction of a multi-label segmentation to a foreground/background mask.
+//!
+//! The paper evaluates *foreground/background* mIOU although Algorithm 1
+//! emits up to eight labels (and K-means emits `k`).  This module makes the
+//! reduction explicit and configurable so the evaluation harness can state
+//! exactly which rule produced each number (see DESIGN.md §5.1).
+
+use imaging::{color, labels, LabelMap, RgbImage, VOID_LABEL};
+
+/// Strategy for mapping a multi-label segmentation to a binary mask
+/// (1 = foreground, 0 = background, void preserved).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ForegroundPolicy {
+    /// The most frequent label becomes background; every other label becomes
+    /// foreground.  This is the default and mirrors how an unsupervised
+    /// output is binarised in practice (the object of interest is usually
+    /// smaller than the background).
+    #[default]
+    LargestIsBackground,
+    /// Labels are ordered by their mean luminance in the source image and
+    /// split at the point that maximises the between-class variance (an
+    /// Otsu-style split on label statistics).  The brighter side becomes
+    /// foreground.  Requires the source image.
+    BestBinarySplit,
+    /// Each label is assigned to foreground if the majority of its pixels are
+    /// foreground in the ground truth.  This is an oracle upper bound used
+    /// only in ablation reporting, never in the headline comparison.
+    Oracle,
+}
+
+/// Reduces `segmentation` to a binary mask according to `policy`.
+///
+/// * `image` is required by [`ForegroundPolicy::BestBinarySplit`] (ignored
+///   otherwise); when absent the policy falls back to
+///   [`ForegroundPolicy::LargestIsBackground`].
+/// * `ground_truth` is required by [`ForegroundPolicy::Oracle`] (ignored
+///   otherwise); when absent the policy falls back to
+///   [`ForegroundPolicy::LargestIsBackground`].
+pub fn reduce_to_foreground(
+    segmentation: &LabelMap,
+    policy: ForegroundPolicy,
+    image: Option<&RgbImage>,
+    ground_truth: Option<&LabelMap>,
+) -> LabelMap {
+    match policy {
+        ForegroundPolicy::LargestIsBackground => largest_is_background(segmentation),
+        ForegroundPolicy::BestBinarySplit => match image {
+            Some(img) => best_binary_split(segmentation, img),
+            None => largest_is_background(segmentation),
+        },
+        ForegroundPolicy::Oracle => match ground_truth {
+            Some(gt) => oracle_assignment(segmentation, gt),
+            None => largest_is_background(segmentation),
+        },
+    }
+}
+
+fn largest_is_background(segmentation: &LabelMap) -> LabelMap {
+    match labels::dominant_label(segmentation) {
+        Some(background) => segmentation.map(|l| {
+            if l == VOID_LABEL {
+                VOID_LABEL
+            } else {
+                u32::from(l != background)
+            }
+        }),
+        None => segmentation.clone(),
+    }
+}
+
+fn best_binary_split(segmentation: &LabelMap, image: &RgbImage) -> LabelMap {
+    segmentation
+        .check_same_shape(image)
+        .expect("segmentation and image must share dimensions");
+    // Mean luminance and pixel count per label.
+    let census = labels::label_census(segmentation);
+    let mut stats: Vec<(u32, f64, usize)> = Vec::new(); // (label, mean luma, count)
+    for (label, count) in census {
+        if label == VOID_LABEL {
+            continue;
+        }
+        let mut sum = 0.0;
+        for (i, &l) in segmentation.as_slice().iter().enumerate() {
+            if l == label {
+                sum += color::luma_of(image.as_slice()[i]);
+            }
+        }
+        stats.push((label, sum / count as f64, count));
+    }
+    if stats.len() < 2 {
+        return largest_is_background(segmentation);
+    }
+    stats.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+    // Try every split point; maximise between-class variance
+    // ω0·ω1·(μ0 − μ1)² over the label-level statistics.
+    let total: usize = stats.iter().map(|s| s.2).sum();
+    let mut best_split = 1usize;
+    let mut best_score = f64::MIN;
+    for split in 1..stats.len() {
+        let (low, high) = stats.split_at(split);
+        let w0: usize = low.iter().map(|s| s.2).sum();
+        let w1: usize = high.iter().map(|s| s.2).sum();
+        let mu0: f64 = low.iter().map(|s| s.1 * s.2 as f64).sum::<f64>() / w0 as f64;
+        let mu1: f64 = high.iter().map(|s| s.1 * s.2 as f64).sum::<f64>() / w1 as f64;
+        let score =
+            (w0 as f64 / total as f64) * (w1 as f64 / total as f64) * (mu0 - mu1).powi(2);
+        if score > best_score {
+            best_score = score;
+            best_split = split;
+        }
+    }
+    // The brighter side (above the split) is foreground.
+    let foreground: Vec<u32> = stats[best_split..].iter().map(|s| s.0).collect();
+    labels::binarize(segmentation, &foreground)
+}
+
+fn oracle_assignment(segmentation: &LabelMap, ground_truth: &LabelMap) -> LabelMap {
+    segmentation
+        .check_same_shape(ground_truth)
+        .expect("segmentation and ground truth must share dimensions");
+    let census = labels::label_census(segmentation);
+    let mut foreground = Vec::new();
+    for (label, _) in census {
+        if label == VOID_LABEL {
+            continue;
+        }
+        let mut fg = 0usize;
+        let mut bg = 0usize;
+        for (&l, &g) in segmentation
+            .as_slice()
+            .iter()
+            .zip(ground_truth.as_slice().iter())
+        {
+            if l != label || g == VOID_LABEL {
+                continue;
+            }
+            if g != 0 {
+                fg += 1;
+            } else {
+                bg += 1;
+            }
+        }
+        if fg > bg {
+            foreground.push(label);
+        }
+    }
+    labels::binarize(segmentation, &foreground)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imaging::Rgb;
+
+    /// 6x4 segmentation: label 0 fills the border (14 px), label 3 a bright
+    /// blob (6 px), label 5 a small dark blob (4 px).
+    fn fixture() -> (LabelMap, RgbImage, LabelMap) {
+        let mut seg = LabelMap::new(6, 4, 0);
+        for y in 1..3 {
+            for x in 1..4 {
+                seg.set(x, y, 3);
+            }
+        }
+        seg.set(4, 1, 5);
+        seg.set(4, 2, 5);
+        seg.set(5, 1, 5);
+        seg.set(5, 2, 5);
+        let img = RgbImage::from_fn(6, 4, |x, y| match seg.get(x, y) {
+            3 => Rgb::new(240, 240, 240), // bright object
+            5 => Rgb::new(5, 5, 5),       // dark object
+            _ => Rgb::new(100, 100, 100), // mid background
+        });
+        // Ground truth: label-3 blob and label-5 blob are both foreground.
+        let gt = seg.map(|l| u32::from(l != 0));
+        (seg, img, gt)
+    }
+
+    #[test]
+    fn largest_is_background_marks_minority_labels_foreground() {
+        let (seg, _, _) = fixture();
+        let bin = reduce_to_foreground(&seg, ForegroundPolicy::LargestIsBackground, None, None);
+        assert_eq!(bin.get(0, 0), 0);
+        assert_eq!(bin.get(2, 1), 1);
+        assert_eq!(bin.get(4, 2), 1);
+        assert_eq!(imaging::labels::distinct_labels(&bin), 2);
+    }
+
+    #[test]
+    fn largest_is_background_preserves_void() {
+        let (mut seg, _, _) = fixture();
+        seg.set(0, 3, VOID_LABEL);
+        let bin = reduce_to_foreground(&seg, ForegroundPolicy::LargestIsBackground, None, None);
+        assert_eq!(bin.get(0, 3), VOID_LABEL);
+    }
+
+    #[test]
+    fn best_binary_split_separates_by_brightness() {
+        let (seg, img, _) = fixture();
+        let bin = reduce_to_foreground(&seg, ForegroundPolicy::BestBinarySplit, Some(&img), None);
+        // The bright blob is foreground; the dark blob joins the (darker)
+        // background side of the split.
+        assert_eq!(bin.get(2, 1), 1);
+        assert_eq!(bin.get(0, 0), 0);
+        assert_eq!(bin.get(4, 1), 0);
+    }
+
+    #[test]
+    fn best_binary_split_without_image_falls_back() {
+        let (seg, _, _) = fixture();
+        let with_fallback =
+            reduce_to_foreground(&seg, ForegroundPolicy::BestBinarySplit, None, None);
+        let largest = reduce_to_foreground(&seg, ForegroundPolicy::LargestIsBackground, None, None);
+        assert_eq!(with_fallback, largest);
+    }
+
+    #[test]
+    fn oracle_follows_ground_truth_majorities() {
+        let (seg, _, gt) = fixture();
+        let bin = reduce_to_foreground(&seg, ForegroundPolicy::Oracle, None, Some(&gt));
+        assert_eq!(bin.get(2, 1), 1);
+        assert_eq!(bin.get(4, 1), 1);
+        assert_eq!(bin.get(0, 0), 0);
+    }
+
+    #[test]
+    fn oracle_without_ground_truth_falls_back() {
+        let (seg, _, _) = fixture();
+        let fallback = reduce_to_foreground(&seg, ForegroundPolicy::Oracle, None, None);
+        let largest = reduce_to_foreground(&seg, ForegroundPolicy::LargestIsBackground, None, None);
+        assert_eq!(fallback, largest);
+    }
+
+    #[test]
+    fn single_label_segmentation_becomes_all_background() {
+        let seg = LabelMap::new(5, 5, 7);
+        let bin = reduce_to_foreground(&seg, ForegroundPolicy::LargestIsBackground, None, None);
+        assert!(bin.pixels().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn already_binary_input_is_preserved_up_to_naming() {
+        // A binary map whose foreground is the minority stays semantically
+        // the same under LargestIsBackground.
+        let seg = LabelMap::from_fn(10, 1, |x, _| u32::from(x >= 7));
+        let bin = reduce_to_foreground(&seg, ForegroundPolicy::LargestIsBackground, None, None);
+        assert_eq!(bin, seg);
+    }
+
+    #[test]
+    fn policy_default_is_largest_is_background() {
+        assert_eq!(
+            ForegroundPolicy::default(),
+            ForegroundPolicy::LargestIsBackground
+        );
+    }
+}

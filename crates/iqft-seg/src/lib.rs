@@ -1,0 +1,81 @@
+//! `iqft-seg` — the IQFT-inspired unsupervised image segmentation algorithm.
+//!
+//! This crate is the core contribution of the reproduced paper
+//! (*"Inverse Quantum Fourier Transform Inspired Algorithm for Unsupervised
+//! Image Segmentation"*, IPPS 2023).  The idea: encode a pixel's channel
+//! intensities as the relative phases of a small quantum register, apply the
+//! inverse quantum Fourier transform, and classify the pixel by the most
+//! probable computational basis state.  Because the register is a product
+//! state with known phases, the whole pipeline collapses to a tiny classical
+//! computation per pixel — no training, no iteration, no neighbourhood
+//! dependence.
+//!
+//! # Modules
+//!
+//! * [`theta`] — the angle parameters `(θ1, θ2, θ3)` and the θ ↔ threshold
+//!   correspondence of the paper's eq. 15/16 (Table I).
+//! * [`rgb`] — Algorithm 1: the 3-qubit, 8-label RGB segmenter.
+//! * [`gray`] — the 1-qubit, 2-class grayscale segmenter (eqs. 12–14),
+//!   including the multi-threshold behaviour of eq. 16.
+//! * [`lut`] — a lookup-table accelerated RGB segmenter (identical output,
+//!   amortises repeated colours).
+//! * [`foreground`] — reduction of a multi-label segmentation to a
+//!   foreground/background mask for mIOU evaluation.
+//! * [`analysis`] — segment-count analysis used for the paper's Table II.
+//! * [`auto_theta`] — per-image θ selection (the paper's Fig. 10 adjustment).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use imaging::{RgbImage, Rgb, Segmenter};
+//! use iqft_seg::rgb::IqftRgbSegmenter;
+//! use iqft_seg::theta::ThetaParams;
+//!
+//! // A toy image: dark left half, bright right half.
+//! let img = RgbImage::from_fn(16, 8, |x, _| {
+//!     if x < 8 { Rgb::new(20, 20, 20) } else { Rgb::new(240, 240, 240) }
+//! });
+//! let segmenter = IqftRgbSegmenter::new(ThetaParams::uniform(std::f64::consts::PI));
+//! let labels = segmenter.segment_rgb(&img);
+//! assert_ne!(labels.get(0, 0), labels.get(15, 0));
+//! ```
+
+pub mod analysis;
+pub mod auto_theta;
+pub mod foreground;
+pub mod gray;
+pub mod lut;
+pub mod rgb;
+pub mod theta;
+
+pub use analysis::max_segments_for_theta;
+pub use auto_theta::AutoThetaSearch;
+pub use foreground::{reduce_to_foreground, ForegroundPolicy};
+pub use gray::IqftGraySegmenter;
+pub use lut::LutRgbSegmenter;
+pub use rgb::IqftRgbSegmenter;
+pub use theta::ThetaParams;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imaging::{Rgb, RgbImage, Segmenter};
+
+    /// The doc example as a regular test so it also runs under `--no-doc`.
+    #[test]
+    fn quickstart_separates_dark_and_bright_halves() {
+        let img = RgbImage::from_fn(16, 8, |x, _| {
+            if x < 8 {
+                Rgb::new(20, 20, 20)
+            } else {
+                Rgb::new(240, 240, 240)
+            }
+        });
+        let segmenter = IqftRgbSegmenter::new(ThetaParams::uniform(std::f64::consts::PI));
+        let labels = segmenter.segment_rgb(&img);
+        assert_ne!(labels.get(0, 0), labels.get(15, 0));
+        // Left half is homogeneous, right half is homogeneous.
+        assert_eq!(labels.get(0, 0), labels.get(7, 7));
+        assert_eq!(labels.get(8, 0), labels.get(15, 7));
+    }
+}

@@ -1,0 +1,161 @@
+//! Lookup-table accelerated RGB segmentation.
+//!
+//! The label produced by Algorithm 1 depends only on the pixel's colour, so a
+//! real image — which typically contains far fewer distinct colours than
+//! pixels — can be segmented by classifying each *distinct* colour once and
+//! reusing the answer.  This module wraps [`IqftRgbSegmenter`] with such a
+//! memoisation layer; the output is bit-for-bit identical to the direct
+//! segmenter (this is asserted by tests and measured by the `ablation_lut`
+//! benchmark).
+
+use crate::rgb::IqftRgbSegmenter;
+use imaging::{LabelMap, Rgb, RgbImage, Segmenter};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+/// A memoising wrapper around [`IqftRgbSegmenter`].
+///
+/// The cache persists across calls, so segmenting many frames of similar
+/// content (e.g. video, or a dataset of satellite tiles with a common
+/// palette) amortises classification work across images.
+#[derive(Debug)]
+pub struct LutRgbSegmenter {
+    inner: IqftRgbSegmenter,
+    cache: RwLock<HashMap<[u8; 3], u32>>,
+}
+
+impl LutRgbSegmenter {
+    /// Wraps `inner` with an empty cache.
+    pub fn new(inner: IqftRgbSegmenter) -> Self {
+        Self {
+            inner,
+            cache: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// The paper's headline configuration with memoisation.
+    pub fn paper_default() -> Self {
+        Self::new(IqftRgbSegmenter::paper_default())
+    }
+
+    /// Access to the wrapped segmenter.
+    pub fn inner(&self) -> &IqftRgbSegmenter {
+        &self.inner
+    }
+
+    /// Number of distinct colours currently cached.
+    pub fn cache_len(&self) -> usize {
+        self.cache.read().len()
+    }
+
+    /// Clears the memoisation cache.
+    pub fn clear_cache(&self) {
+        self.cache.write().clear();
+    }
+
+    /// Classifies a pixel, consulting the cache first.
+    pub fn classify(&self, pixel: Rgb<u8>) -> u32 {
+        let key = pixel.0;
+        if let Some(&label) = self.cache.read().get(&key) {
+            return label;
+        }
+        let label = self.inner.classify(pixel);
+        self.cache.write().insert(key, label);
+        label
+    }
+}
+
+impl Segmenter for LutRgbSegmenter {
+    fn name(&self) -> &str {
+        "IQFT (RGB, LUT)"
+    }
+
+    fn segment_rgb(&self, img: &RgbImage) -> LabelMap {
+        // Classify each distinct colour once, then map pixels through the
+        // resulting table.  Working on the distinct-colour set keeps the lock
+        // traffic negligible even for large images.
+        let mut local: HashMap<[u8; 3], u32> = HashMap::new();
+        {
+            let cache = self.cache.read();
+            for p in img.pixels() {
+                if let Some(&l) = cache.get(&p.0) {
+                    local.insert(p.0, l);
+                }
+            }
+        }
+        let mut new_entries: Vec<([u8; 3], u32)> = Vec::new();
+        for p in img.pixels() {
+            if !local.contains_key(&p.0) {
+                let label = self.inner.classify(*p);
+                local.insert(p.0, label);
+                new_entries.push((p.0, label));
+            }
+        }
+        if !new_entries.is_empty() {
+            let mut cache = self.cache.write();
+            for (k, v) in new_entries {
+                cache.insert(k, v);
+            }
+        }
+        img.map(|p| local[&p.0])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::theta::ThetaParams;
+
+    fn test_image() -> RgbImage {
+        RgbImage::from_fn(40, 30, |x, y| {
+            // Deliberately few distinct colours (4 quadrant colours + noise band).
+            match (x < 20, y < 15) {
+                (true, true) => Rgb::new(10, 20, 30),
+                (false, true) => Rgb::new(200, 180, 40),
+                (true, false) => Rgb::new(90, 140, 220),
+                (false, false) => Rgb::new((x % 3 * 60) as u8, 250, 128),
+            }
+        })
+    }
+
+    #[test]
+    fn lut_output_matches_direct_segmenter() {
+        let direct = IqftRgbSegmenter::paper_default();
+        let lut = LutRgbSegmenter::paper_default();
+        let img = test_image();
+        assert_eq!(lut.segment_rgb(&img), direct.segment_rgb(&img));
+    }
+
+    #[test]
+    fn cache_is_populated_and_reused() {
+        let lut = LutRgbSegmenter::paper_default();
+        assert_eq!(lut.cache_len(), 0);
+        let img = test_image();
+        let first = lut.segment_rgb(&img);
+        let cached_after_first = lut.cache_len();
+        assert!(cached_after_first > 0);
+        assert!(cached_after_first <= 7, "only distinct colours are cached");
+        // A second pass reuses the cache and yields the same output.
+        let second = lut.segment_rgb(&img);
+        assert_eq!(first, second);
+        assert_eq!(lut.cache_len(), cached_after_first);
+        lut.clear_cache();
+        assert_eq!(lut.cache_len(), 0);
+    }
+
+    #[test]
+    fn classify_single_pixels_matches_inner() {
+        let lut = LutRgbSegmenter::new(IqftRgbSegmenter::new(ThetaParams::uniform(2.0)));
+        for pixel in [Rgb::new(0, 0, 0), Rgb::new(255, 10, 90), Rgb::new(128, 128, 128)] {
+            assert_eq!(lut.classify(pixel), lut.inner().classify(pixel));
+            // Second lookup hits the cache and still agrees.
+            assert_eq!(lut.classify(pixel), lut.inner().classify(pixel));
+        }
+        assert_eq!(lut.cache_len(), 3);
+    }
+
+    #[test]
+    fn name_distinguishes_lut_variant() {
+        assert_eq!(LutRgbSegmenter::paper_default().name(), "IQFT (RGB, LUT)");
+    }
+}

@@ -1,0 +1,14 @@
+//! `metrics` — segmentation evaluation metrics.
+//!
+//! The paper scores every method with the foreground/background mean
+//! intersection-over-union (its eqs. 18–19), computed with TensorFlow's
+//! `MeanIoU` and with PASCAL VOC "void" border pixels excluded.  This crate
+//! reimplements that metric (plus the usual companions: pixel accuracy,
+//! precision/recall/F1, Dice) natively so the evaluation pipeline is fully
+//! self-contained.
+
+pub mod confusion;
+pub mod iou;
+
+pub use confusion::BinaryConfusion;
+pub use iou::{dice, iou_binary, mean_iou, miou_fg_bg, pixel_accuracy, MiouBreakdown};

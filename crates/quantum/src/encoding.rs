@@ -1,0 +1,129 @@
+//! Phase encoding of classical vectors into product states.
+//!
+//! The paper encodes a pixel's three channel intensities as the relative
+//! phases of a 3-qubit product state (eq. 7):
+//!
+//! ```text
+//! |ψ⟩ = (|0⟩ + e^{iα}|1⟩)/√2 ⊗ (|0⟩ + e^{iβ}|1⟩)/√2 ⊗ (|0⟩ + e^{iγ}|1⟩)/√2
+//! ```
+//!
+//! Expanding the tensor product gives the 8-component phase vector of eq. 11:
+//! component `k` carries the phase `Σ_j θ_j` over the bits `j` set in `k`
+//! (with bit 0 = the most significant qubit = `α`).
+
+use crate::complex::Complex;
+use crate::state::StateVector;
+
+/// The unnormalised phase vector of the paper's eq. 11: entry `k` is
+/// `e^{i Σ θ_j}` over the angles whose qubit bit is set in `k`.
+///
+/// `angles[0]` is the most significant qubit (the paper's `α`); for the RGB
+/// algorithm the call is therefore `phase_vector(&[alpha, beta, gamma])`.
+pub fn phase_vector(angles: &[f64]) -> Vec<Complex> {
+    let n = angles.len();
+    assert!(n > 0 && n <= 24, "angle count out of range (1..=24)");
+    let dim = 1usize << n;
+    let mut out = Vec::with_capacity(dim);
+    for index in 0..dim {
+        let mut phase = 0.0;
+        for (q, &theta) in angles.iter().enumerate() {
+            if index & (1 << (n - 1 - q)) != 0 {
+                phase += theta;
+            }
+        }
+        out.push(Complex::from_phase(phase));
+    }
+    out
+}
+
+/// The normalised product state `⊗_j (|0⟩ + e^{iθ_j}|1⟩)/√2`.
+pub fn phase_product_state(angles: &[f64]) -> StateVector {
+    let dim = 1usize << angles.len();
+    let norm = 1.0 / (dim as f64).sqrt();
+    let amplitudes = phase_vector(angles)
+        .into_iter()
+        .map(|c| c.scale(norm))
+        .collect();
+    StateVector::from_amplitudes(amplitudes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Circuit;
+    use crate::gates::Gate;
+
+    #[test]
+    fn single_angle_phase_vector() {
+        let v = phase_vector(&[std::f64::consts::PI]);
+        assert_eq!(v.len(), 2);
+        assert!(v[0].approx_eq(Complex::ONE, 1e-12));
+        assert!(v[1].approx_eq(Complex::real(-1.0), 1e-12));
+    }
+
+    #[test]
+    fn three_angle_phase_vector_matches_eq11_layout() {
+        let (alpha, beta, gamma) = (0.3, 0.7, 1.1);
+        let v = phase_vector(&[alpha, beta, gamma]);
+        assert_eq!(v.len(), 8);
+        // Ordering from eq. 11: [1, e^{iγ}, e^{iβ}, e^{i(β+γ)}, e^{iα}, ...]
+        assert!(v[0].approx_eq(Complex::ONE, 1e-12));
+        assert!(v[1].approx_eq(Complex::from_phase(gamma), 1e-12));
+        assert!(v[2].approx_eq(Complex::from_phase(beta), 1e-12));
+        assert!(v[3].approx_eq(Complex::from_phase(beta + gamma), 1e-12));
+        assert!(v[4].approx_eq(Complex::from_phase(alpha), 1e-12));
+        assert!(v[5].approx_eq(Complex::from_phase(alpha + gamma), 1e-12));
+        assert!(v[6].approx_eq(Complex::from_phase(alpha + beta), 1e-12));
+        assert!(v[7].approx_eq(Complex::from_phase(alpha + beta + gamma), 1e-12));
+    }
+
+    #[test]
+    fn product_state_is_normalized_and_uniform_in_magnitude() {
+        let s = phase_product_state(&[0.4, 2.2, 5.1]);
+        assert!((s.norm_sqr() - 1.0).abs() < 1e-12);
+        for p in s.probabilities() {
+            assert!((p - 1.0 / 8.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn product_state_equals_tensor_of_single_qubit_states() {
+        let angles = [1.2, 0.5, 2.8];
+        let combined = phase_product_state(&angles);
+        let singles: Vec<StateVector> = angles
+            .iter()
+            .map(|&a| phase_product_state(&[a]))
+            .collect();
+        let tensored = singles[0].tensor(&singles[1]).tensor(&singles[2]);
+        assert!((combined.fidelity(&tensored) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn product_state_can_be_prepared_by_h_and_phase_gates() {
+        // |ψ⟩ = ∏ Phase(q, θ_q) H(q) |0…0⟩
+        let angles = [0.9, 1.7, 0.2];
+        let mut circuit = Circuit::new(3);
+        for (q, &theta) in angles.iter().enumerate() {
+            circuit.push(Gate::H(q));
+            circuit.push(Gate::Phase(q, theta));
+        }
+        let mut prepared = StateVector::zero_state(3);
+        circuit.apply(&mut prepared);
+        let direct = phase_product_state(&angles);
+        assert!((prepared.fidelity(&direct) - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn zero_angles_give_uniform_real_superposition() {
+        let s = phase_product_state(&[0.0, 0.0]);
+        for a in s.amplitudes() {
+            assert!(a.approx_eq(Complex::real(0.5), 1e-12));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn empty_angle_list_is_rejected() {
+        let _ = phase_vector(&[]);
+    }
+}

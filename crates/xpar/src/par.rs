@@ -1,0 +1,219 @@
+//! Scoped, chunk-based data-parallel helpers.
+//!
+//! These helpers use `std::thread::scope`, so closures may borrow from the
+//! caller's stack (no `'static` bound), which keeps the call sites in the
+//! imaging and segmentation crates free of `Arc` plumbing.
+
+/// Number of chunks a workload of `len` items should be split into when run on
+/// `threads` workers.
+///
+/// A small oversubscription factor (4×) keeps the workers busy when chunks have
+/// uneven cost (e.g. rows of an image with differing content).
+pub fn par_chunk_count(len: usize, threads: usize) -> usize {
+    if len == 0 {
+        return 1;
+    }
+    (threads.max(1) * 4).min(len)
+}
+
+/// Splits `0..len` into `chunks` contiguous ranges of near-equal size.
+fn split_ranges(len: usize, chunks: usize) -> Vec<std::ops::Range<usize>> {
+    let chunks = chunks.max(1).min(len.max(1));
+    let base = len / chunks;
+    let rem = len % chunks;
+    let mut out = Vec::with_capacity(chunks);
+    let mut start = 0;
+    for i in 0..chunks {
+        let size = base + usize::from(i < rem);
+        out.push(start..start + size);
+        start += size;
+    }
+    out
+}
+
+/// Applies `f` to every index in `0..len` in parallel and collects the results
+/// in index order.
+///
+/// `threads == 0` or `threads == 1` runs serially on the calling thread.
+pub fn par_map_indexed<T, F>(len: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if threads <= 1 || len <= 1 {
+        return (0..len).map(f).collect();
+    }
+    let ranges = split_ranges(len, par_chunk_count(len, threads));
+    let mut pieces: Vec<Vec<T>> = Vec::with_capacity(ranges.len());
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(ranges.len());
+        for range in ranges {
+            let f = &f;
+            handles.push(scope.spawn(move || range.map(f).collect::<Vec<T>>()));
+        }
+        for handle in handles {
+            pieces.push(handle.join().expect("parallel map worker panicked"));
+        }
+    });
+    let mut out = Vec::with_capacity(len);
+    for piece in pieces {
+        out.extend(piece);
+    }
+    out
+}
+
+/// Maps `f` over contiguous chunks of `items`, in parallel, preserving order.
+///
+/// Each invocation of `f` receives the chunk's starting index and the chunk
+/// slice, and returns one result per chunk.
+pub fn par_map_chunks<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> R + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    if threads <= 1 {
+        return vec![f(0, items)];
+    }
+    let ranges = split_ranges(items.len(), par_chunk_count(items.len(), threads));
+    let mut out: Vec<Option<R>> = Vec::new();
+    out.resize_with(ranges.len(), || None);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(ranges.len());
+        for (chunk_idx, range) in ranges.into_iter().enumerate() {
+            let f = &f;
+            let slice = &items[range.clone()];
+            let start = range.start;
+            handles.push((chunk_idx, scope.spawn(move || f(start, slice))));
+        }
+        for (chunk_idx, handle) in handles {
+            out[chunk_idx] = Some(handle.join().expect("parallel chunk worker panicked"));
+        }
+    });
+    out.into_iter().map(|r| r.expect("chunk result missing")).collect()
+}
+
+/// Runs `f` over disjoint mutable chunks of `items` in parallel.
+///
+/// `f` receives the starting index of the chunk and the mutable chunk slice.
+/// Chunk boundaries are chosen internally; callers must not rely on a
+/// particular chunk size, only on every element being visited exactly once.
+pub fn par_for_each_chunk_mut<T, F>(items: &mut [T], threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    if items.is_empty() {
+        return;
+    }
+    if threads <= 1 {
+        f(0, items);
+        return;
+    }
+    let len = items.len();
+    let ranges = split_ranges(len, par_chunk_count(len, threads));
+    std::thread::scope(|scope| {
+        let mut rest = items;
+        let mut consumed = 0usize;
+        for range in ranges {
+            let size = range.len();
+            let (chunk, tail) = rest.split_at_mut(size);
+            rest = tail;
+            let f = &f;
+            let start = consumed;
+            consumed += size;
+            scope.spawn(move || f(start, chunk));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_ranges_covers_everything_exactly_once() {
+        for len in [0usize, 1, 2, 7, 16, 101] {
+            for chunks in [1usize, 2, 3, 8, 50] {
+                let ranges = split_ranges(len, chunks);
+                let mut seen = vec![false; len];
+                for r in &ranges {
+                    for i in r.clone() {
+                        assert!(!seen[i], "index {i} visited twice");
+                        seen[i] = true;
+                    }
+                }
+                assert!(seen.into_iter().all(|s| s), "len={len} chunks={chunks}");
+            }
+        }
+    }
+
+    #[test]
+    fn par_map_indexed_matches_serial() {
+        let serial: Vec<usize> = (0..1000).map(|i| i * i).collect();
+        for threads in [1usize, 2, 4, 8] {
+            let par = par_map_indexed(1000, threads, |i| i * i);
+            assert_eq!(par, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_indexed_empty_and_single() {
+        assert!(par_map_indexed(0, 4, |i| i).is_empty());
+        assert_eq!(par_map_indexed(1, 4, |i| i + 10), vec![10]);
+    }
+
+    #[test]
+    fn par_map_chunks_sums_match() {
+        let data: Vec<u64> = (0..10_000).collect();
+        let expected: u64 = data.iter().sum();
+        for threads in [1usize, 3, 8] {
+            let partials = par_map_chunks(&data, threads, |_, chunk| chunk.iter().sum::<u64>());
+            let total: u64 = partials.iter().sum();
+            assert_eq!(total, expected);
+        }
+    }
+
+    #[test]
+    fn par_map_chunks_start_indices_are_correct() {
+        let data: Vec<usize> = (0..257).collect();
+        let starts = par_map_chunks(&data, 4, |start, chunk| (start, chunk[0]));
+        for (start, first) in starts {
+            assert_eq!(start, first);
+        }
+    }
+
+    #[test]
+    fn par_for_each_chunk_mut_touches_every_element() {
+        let mut data = vec![0i64; 4096];
+        par_for_each_chunk_mut(&mut data, 8, |start, chunk| {
+            for (offset, v) in chunk.iter_mut().enumerate() {
+                *v = (start + offset) as i64;
+            }
+        });
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, i as i64);
+        }
+    }
+
+    #[test]
+    fn par_for_each_chunk_mut_serial_path() {
+        let mut data = vec![1u32; 17];
+        par_for_each_chunk_mut(&mut data, 1, |_, chunk| {
+            for v in chunk {
+                *v += 1;
+            }
+        });
+        assert!(data.iter().all(|&v| v == 2));
+    }
+
+    #[test]
+    fn chunk_count_bounds() {
+        assert_eq!(par_chunk_count(0, 8), 1);
+        assert!(par_chunk_count(3, 8) <= 3);
+        assert!(par_chunk_count(1_000_000, 8) >= 8);
+    }
+}

@@ -1,0 +1,202 @@
+//! A fixed-size thread pool fed through a crossbeam channel.
+//!
+//! The pool is deliberately simple: jobs are boxed `FnOnce` closures, workers
+//! pull from a shared MPMC channel, and dropping the pool joins every worker.
+//! Panics inside a job are caught and surfaced when [`ThreadPool::join`] is
+//! called, so a failing job cannot silently disappear.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size pool of worker threads.
+pub struct ThreadPool {
+    sender: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    pending: Arc<AtomicUsize>,
+    panics: Arc<Mutex<Vec<String>>>,
+}
+
+impl ThreadPool {
+    /// Creates a pool with `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let (sender, receiver): (Sender<Job>, Receiver<Job>) = unbounded();
+        let pending = Arc::new(AtomicUsize::new(0));
+        let panics = Arc::new(Mutex::new(Vec::new()));
+        let mut workers = Vec::with_capacity(threads);
+        for idx in 0..threads {
+            let receiver = receiver.clone();
+            let pending = Arc::clone(&pending);
+            let panics = Arc::clone(&panics);
+            let handle = std::thread::Builder::new()
+                .name(format!("xpar-worker-{idx}"))
+                .spawn(move || {
+                    while let Ok(job) = receiver.recv() {
+                        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+                        if let Err(payload) = result {
+                            let msg = payload_to_string(&payload);
+                            panics.lock().push(msg);
+                        }
+                        pending.fetch_sub(1, Ordering::AcqRel);
+                    }
+                })
+                .expect("failed to spawn xpar worker thread");
+            workers.push(handle);
+        }
+        Self {
+            sender: Some(sender),
+            workers,
+            pending,
+            panics,
+        }
+    }
+
+    /// Creates a pool sized to [`crate::default_threads`].
+    pub fn with_default_threads() -> Self {
+        Self::new(crate::default_threads())
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submits a job for execution.
+    pub fn execute<F>(&self, job: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        self.pending.fetch_add(1, Ordering::AcqRel);
+        self.sender
+            .as_ref()
+            .expect("thread pool already shut down")
+            .send(Box::new(job))
+            .expect("worker threads terminated unexpectedly");
+    }
+
+    /// Blocks until every submitted job has finished.
+    ///
+    /// Returns an `Err` carrying the panic messages if any job panicked since
+    /// the last call to `join`.
+    pub fn join(&self) -> Result<(), Vec<String>> {
+        while self.pending.load(Ordering::Acquire) > 0 {
+            std::thread::yield_now();
+        }
+        let mut panics = self.panics.lock();
+        if panics.is_empty() {
+            Ok(())
+        } else {
+            Err(std::mem::take(&mut *panics))
+        }
+    }
+
+    /// Number of jobs submitted but not yet completed.
+    pub fn pending(&self) -> usize {
+        self.pending.load(Ordering::Acquire)
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        // Closing the channel makes every worker's `recv` fail and exit.
+        drop(self.sender.take());
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn payload_to_string(payload: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "job panicked with a non-string payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn pool_runs_all_jobs() {
+        let pool = ThreadPool::new(4);
+        let counter = Arc::new(AtomicU64::new(0));
+        for _ in 0..100 {
+            let counter = Arc::clone(&counter);
+            pool.execute(move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.join().unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+        assert_eq!(pool.pending(), 0);
+    }
+
+    #[test]
+    fn thread_count_is_clamped_to_one() {
+        let pool = ThreadPool::new(0);
+        assert_eq!(pool.threads(), 1);
+        let done = Arc::new(AtomicU64::new(0));
+        let d = Arc::clone(&done);
+        pool.execute(move || {
+            d.store(7, Ordering::Relaxed);
+        });
+        pool.join().unwrap();
+        assert_eq!(done.load(Ordering::Relaxed), 7);
+    }
+
+    #[test]
+    fn panics_are_reported_on_join() {
+        let pool = ThreadPool::new(2);
+        pool.execute(|| panic!("boom"));
+        pool.execute(|| {});
+        let err = pool.join().unwrap_err();
+        assert_eq!(err.len(), 1);
+        assert!(err[0].contains("boom"));
+        // Subsequent joins succeed because the panic list was drained.
+        pool.join().unwrap();
+    }
+
+    #[test]
+    fn default_sized_pool_works() {
+        let pool = ThreadPool::with_default_threads();
+        assert!(pool.threads() >= 1);
+        let flag = Arc::new(AtomicU64::new(0));
+        let f = Arc::clone(&flag);
+        pool.execute(move || {
+            f.store(1, Ordering::Relaxed);
+        });
+        pool.join().unwrap();
+        assert_eq!(flag.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn jobs_submitted_after_join_still_run() {
+        let pool = ThreadPool::new(2);
+        let counter = Arc::new(AtomicU64::new(0));
+        for _ in 0..10 {
+            let c = Arc::clone(&counter);
+            pool.execute(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.join().unwrap();
+        for _ in 0..10 {
+            let c = Arc::clone(&counter);
+            pool.execute(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.join().unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 20);
+    }
+}

@@ -1,0 +1,112 @@
+//! Atomic progress reporting for long-running sweeps.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// A cheap, thread-safe progress counter.
+///
+/// Workers call [`Progress::inc`] (relaxed ordering — counts never synchronise
+/// other data), observers call [`Progress::done`] / [`Progress::fraction`].
+#[derive(Debug)]
+pub struct Progress {
+    total: usize,
+    done: AtomicUsize,
+    started: Instant,
+}
+
+impl Progress {
+    /// Creates a progress tracker expecting `total` units of work.
+    pub fn new(total: usize) -> Self {
+        Self {
+            total,
+            done: AtomicUsize::new(0),
+            started: Instant::now(),
+        }
+    }
+
+    /// Records `n` completed units and returns the new completed count.
+    pub fn inc(&self, n: usize) -> usize {
+        self.done.fetch_add(n, Ordering::Relaxed) + n
+    }
+
+    /// Number of completed units.
+    pub fn done(&self) -> usize {
+        self.done.load(Ordering::Relaxed)
+    }
+
+    /// Total number of units this tracker expects.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Completed fraction in `[0, 1]`; returns 1.0 for an empty workload.
+    pub fn fraction(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            (self.done() as f64 / self.total as f64).min(1.0)
+        }
+    }
+
+    /// Seconds elapsed since the tracker was created.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// True once at least `total` units have been recorded.
+    pub fn is_complete(&self) -> bool {
+        self.done() >= self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn empty_workload_is_complete() {
+        let p = Progress::new(0);
+        assert!(p.is_complete());
+        assert_eq!(p.fraction(), 1.0);
+    }
+
+    #[test]
+    fn increments_accumulate() {
+        let p = Progress::new(10);
+        assert_eq!(p.inc(3), 3);
+        assert_eq!(p.inc(2), 5);
+        assert_eq!(p.done(), 5);
+        assert!((p.fraction() - 0.5).abs() < 1e-12);
+        assert!(!p.is_complete());
+        p.inc(5);
+        assert!(p.is_complete());
+    }
+
+    #[test]
+    fn fraction_is_clamped_to_one() {
+        let p = Progress::new(4);
+        p.inc(100);
+        assert_eq!(p.fraction(), 1.0);
+    }
+
+    #[test]
+    fn concurrent_increments_sum_correctly() {
+        let p = Arc::new(Progress::new(8 * 1000));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let p = Arc::clone(&p);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    p.inc(1);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(p.done(), 8000);
+        assert!(p.is_complete());
+        assert!(p.elapsed_secs() >= 0.0);
+    }
+}

@@ -1,0 +1,77 @@
+//! Table-III-style comparison on the synthetic PASCAL-VOC-like dataset:
+//! K-means, Otsu, IQFT (RGB) and IQFT (grayscale), scored by average
+//! foreground/background mIOU and wall-clock runtime.
+//!
+//! ```text
+//! cargo run --release --example pascal_voc_synthetic [num_images]
+//! ```
+
+use datasets::{LabeledImage, PascalVocLikeConfig, PascalVocLikeDataset};
+use imaging::Segmenter;
+use iqft_seg::{reduce_to_foreground, ForegroundPolicy};
+use std::time::Instant;
+
+/// Runs the four paper methods over `samples` and prints a Table-III-like
+/// summary.  (The `experiments` crate offers the full-featured version of
+/// this loop; the example keeps the logic visible.)
+fn run_comparison(dataset_name: &str, samples: &[LabeledImage]) {
+    let methods: Vec<(&str, Box<dyn Segmenter>)> = vec![
+        ("K-means", Box::new(baselines::KMeansSegmenter::binary(42))),
+        ("OTSU", Box::new(baselines::OtsuSegmenter::new())),
+        (
+            "IQFT (RGB)",
+            Box::new(iqft_seg::IqftRgbSegmenter::paper_default()),
+        ),
+        (
+            "IQFT (Grayscale)",
+            Box::new(iqft_seg::IqftGraySegmenter::paper_default()),
+        ),
+    ];
+    println!("Dataset: {dataset_name} ({} images)", samples.len());
+    println!(
+        "{:<18} {:>14} {:>16}",
+        "Method", "Average mIOU", "Runtime (sec.)"
+    );
+    for (name, segmenter) in &methods {
+        let mut total_miou = 0.0;
+        let mut runtime = 0.0;
+        for sample in samples {
+            let start = Instant::now();
+            let raw = segmenter.segment_rgb(&sample.image);
+            runtime += start.elapsed().as_secs_f64();
+            let binary = reduce_to_foreground(
+                &raw,
+                ForegroundPolicy::LargestIsBackground,
+                Some(&sample.image),
+                None,
+            );
+            total_miou += metrics::mean_iou(&binary, &sample.ground_truth);
+        }
+        println!(
+            "{:<18} {:>14.4} {:>16.3}",
+            name,
+            total_miou / samples.len() as f64,
+            runtime
+        );
+    }
+}
+
+fn main() {
+    let num_images: usize = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(30);
+    let samples: Vec<_> = PascalVocLikeDataset::new(PascalVocLikeConfig {
+        len: num_images,
+        width: 160,
+        height: 120,
+        seed: 2012,
+        ..PascalVocLikeConfig::default()
+    })
+    .iter()
+    .collect();
+    run_comparison("PASCAL VOC 2012 (synthetic stand-in)", &samples);
+    println!();
+    println!("For the full Table III (both datasets, win rates, poor-image fractions):");
+    println!("  cargo run --release -p experiments --bin iqft-experiments -- table3");
+}

@@ -1,0 +1,55 @@
+//! Cross-check of the classical "IQFT-inspired" pipeline against a genuine
+//! quantum simulation: for a handful of pixels, compare Algorithm 1's
+//! probability vector to the measurement distribution of the 3-qubit IQFT
+//! circuit applied to the phase-encoded register, and verify the QFT circuit
+//! against the DFT unitary.
+//!
+//! ```text
+//! cargo run --release --example quantum_crosscheck
+//! ```
+
+use imaging::Rgb;
+use iqft_seg::IqftRgbSegmenter;
+use quantum::{circuit::qft_circuit_deviation, phase_product_state, Circuit};
+
+fn main() {
+    println!("== QFT / IQFT circuit vs DFT matrix ==");
+    for n in 1..=5 {
+        println!(
+            "  {n} qubit(s): max |circuit - matrix| = {:.2e}",
+            qft_circuit_deviation(n)
+        );
+    }
+
+    println!("\n== Algorithm 1 vs 3-qubit IQFT measurement distribution ==");
+    let segmenter = IqftRgbSegmenter::paper_default();
+    let pixels = [
+        Rgb::new(0, 0, 0),
+        Rgb::new(255, 255, 255),
+        Rgb::new(170, 40, 220),
+        Rgb::new(63, 191, 127),
+    ];
+    for pixel in pixels {
+        let [gamma, beta, alpha] = segmenter.phases(pixel);
+        // The paper's eq. 11 register order: α on the most significant qubit.
+        let mut state = phase_product_state(&[alpha, beta, gamma]);
+        Circuit::iqft(3).apply(&mut state);
+        let classical = segmenter.probabilities(pixel);
+        let quantum_probs = state.probabilities();
+        let max_diff = classical
+            .iter()
+            .zip(quantum_probs.iter())
+            .map(|(c, q)| (c - q).abs())
+            .fold(0.0f64, f64::max);
+        println!(
+            "  pixel ({:>3},{:>3},{:>3}): label {} (quantum argmax {}), max probability difference {:.2e}",
+            pixel.r(),
+            pixel.g(),
+            pixel.b(),
+            segmenter.classify(pixel),
+            state.most_probable(),
+            max_diff
+        );
+    }
+    println!("\nThe classical pipeline is numerically identical to measuring the IQFT output register.");
+}

@@ -1,0 +1,70 @@
+//! θ exploration (the paper's Table I, Table II and Fig. 6 in one place):
+//! prints the θ ↔ threshold table, the reachable segment counts, and the
+//! per-image effect of θ on a synthetic scene, then runs the per-image θ
+//! search of Fig. 10.
+//!
+//! ```text
+//! cargo run --release --example theta_sweep
+//! ```
+
+use datasets::{PascalVocLikeConfig, PascalVocLikeDataset};
+use imaging::Segmenter;
+use iqft_seg::analysis::{count_segments, table2_rows};
+use iqft_seg::theta::{table1_rows, thresholds_for_theta};
+use iqft_seg::{AutoThetaSearch, IqftRgbSegmenter, ThetaParams};
+use std::f64::consts::PI;
+
+fn main() {
+    println!("== θ and the corresponding threshold values (eq. 15, Table I) ==");
+    for row in table1_rows() {
+        let thresholds: Vec<String> = row.thresholds.iter().map(|t| format!("{t:.3}")).collect();
+        println!(
+            "  θ = {:<6} → I_th = {}",
+            row.theta_label,
+            thresholds.join(", ")
+        );
+    }
+    println!(
+        "  θ = 4π     → I_th = {:?}  (eq. 16)",
+        thresholds_for_theta(4.0 * PI)
+    );
+
+    println!("\n== θ and the reachable number of segments (Table II, 20k samples) ==");
+    for row in table2_rows(20_000, 7) {
+        println!("  {:<28} {}", row.label, row.max_segments);
+    }
+
+    println!("\n== effect of θ on a real scene (Fig. 6) ==");
+    let scene = PascalVocLikeDataset::new(PascalVocLikeConfig {
+        len: 1,
+        width: 128,
+        height: 96,
+        seed: 606,
+        ..PascalVocLikeConfig::default()
+    })
+    .sample(0);
+    for (name, thetas) in [
+        ("π/4", ThetaParams::uniform(PI / 4.0)),
+        ("π/2", ThetaParams::uniform(PI / 2.0)),
+        ("π", ThetaParams::uniform(PI)),
+        ("2π", ThetaParams::uniform(2.0 * PI)),
+        ("mixed", ThetaParams::mixed()),
+    ] {
+        let labels = IqftRgbSegmenter::new(thetas).segment_rgb(&scene.image);
+        println!("  θ = {name:<6} → {} segment(s)", count_segments(&labels));
+    }
+
+    println!("\n== per-image θ adjustment (Fig. 10, unsupervised criterion) ==");
+    let result = AutoThetaSearch::default().best_unsupervised(&scene.image);
+    println!(
+        "  best θ = {:.3}π (score {:.4}); candidates: {}",
+        result.theta / PI,
+        result.score,
+        result
+            .candidate_scores
+            .iter()
+            .map(|(t, s)| format!("{:.2}π→{s:.3}", t / PI))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+}

@@ -1,0 +1,40 @@
+//! `iqft-repro` — umbrella crate for the reproduction of
+//! *"Inverse Quantum Fourier Transform Inspired Algorithm for Unsupervised
+//! Image Segmentation"* (IPPS 2023).
+//!
+//! This crate re-exports the workspace's public surface so examples,
+//! integration tests and downstream users can depend on a single crate:
+//!
+//! * [`iqft_seg`] — the IQFT-inspired segmenters (the paper's contribution);
+//! * [`imaging`] — the imaging substrate (containers, I/O, drawing, labels);
+//! * [`quantum`] — the state-vector simulator and QFT/IQFT circuits;
+//! * [`baselines`] — K-means and Otsu baselines;
+//! * [`metrics`] — foreground/background mIOU and friends;
+//! * [`datasets`] — synthetic VOC-like / xVIEW2-like / balls datasets;
+//! * [`xpar`] — the parallel execution substrate.
+//!
+//! See the `examples/` directory for runnable entry points and the
+//! `iqft-experiments` binary (in `crates/experiments`) for the full
+//! table/figure reproduction harness.
+
+pub use baselines;
+pub use datasets;
+pub use imaging;
+pub use iqft_seg;
+pub use metrics;
+pub use quantum;
+pub use xpar;
+
+/// The θ configuration used in the paper's headline Table III comparison.
+pub fn paper_default_theta() -> iqft_seg::ThetaParams {
+    iqft_seg::ThetaParams::paper_default()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn reexports_are_wired_up() {
+        let theta = super::paper_default_theta();
+        assert!((theta.theta1 - std::f64::consts::PI).abs() < 1e-12);
+    }
+}
