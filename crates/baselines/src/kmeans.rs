@@ -6,6 +6,7 @@ use imaging::{LabelMap, Rgb, RgbImage, Segmenter};
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use seg_engine::SegmentEngine;
 use xpar::Backend;
 
 /// Configuration for the K-means segmenter.
@@ -82,6 +83,16 @@ impl KMeansSegmenter {
         self
     }
 
+    /// Routes the assignment step through `engine`.
+    pub fn with_engine(self, engine: SegmentEngine) -> Self {
+        self.with_backend(engine.backend())
+    }
+
+    /// The engine the assignment step executes on.
+    pub fn engine(&self) -> SegmentEngine {
+        SegmentEngine::new(self.backend)
+    }
+
     /// The configuration in use.
     pub fn config(&self) -> &KMeansConfig {
         &self.config
@@ -113,13 +124,14 @@ impl KMeansSegmenter {
 
     fn fit_once<R: Rng>(&self, samples: &[Rgb<f64>], rng: &mut R) -> KMeansResult {
         let k = self.config.k.min(samples.len());
+        let engine = self.engine();
         let mut centroids = kmeans_plus_plus_init(samples, k, rng);
         let mut assignments = vec![0u32; samples.len()];
         let mut iterations = 0usize;
         for iter in 0..self.config.max_iters.max(1) {
             iterations = iter + 1;
-            // Assignment step (parallel over samples).
-            let new_assignments: Vec<u32> = self.backend.map_indexed(samples.len(), |i| {
+            // Assignment step (parallel over samples, via the engine).
+            let new_assignments: Vec<u32> = engine.map_indexed(samples.len(), |i| {
                 nearest_centroid(samples[i], &centroids) as u32
             });
             assignments = new_assignments;
@@ -333,9 +345,7 @@ mod tests {
 
     #[test]
     fn backend_choice_does_not_change_assignments() {
-        let img = RgbImage::from_fn(16, 16, |x, y| {
-            Rgb::new((x * 16) as u8, (y * 16) as u8, 128)
-        });
+        let img = RgbImage::from_fn(16, 16, |x, y| Rgb::new((x * 16) as u8, (y * 16) as u8, 128));
         let serial = KMeansSegmenter::binary(5)
             .with_backend(Backend::Serial)
             .segment_rgb(&img);

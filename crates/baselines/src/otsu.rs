@@ -7,7 +7,9 @@
 //! identical mask.
 
 use imaging::hist::Histogram;
-use imaging::{color, GrayImage, LabelMap, RgbImage, Segmenter};
+use imaging::{color, GrayImage, LabelMap, PixelClassifier, RgbImage, Segmenter};
+use seg_engine::SegmentEngine;
+use xpar::Backend;
 
 /// Computes Otsu's threshold from a 256-bin histogram, returned as a
 /// normalised intensity in `[0, 1]`.
@@ -31,9 +33,9 @@ pub fn otsu_threshold(hist: &Histogram) -> f64 {
     let mut best_variance = f64::MIN;
     let mut w0 = 0.0; // cumulative class-0 probability
     let mut mu0_acc = 0.0; // cumulative class-0 mean numerator
-    for t in 0..256 {
-        w0 += probabilities[t];
-        mu0_acc += t as f64 * probabilities[t];
+    for (t, &p_t) in probabilities.iter().enumerate() {
+        w0 += p_t;
+        mu0_acc += t as f64 * p_t;
         let w1 = 1.0 - w0;
         if w0 <= 0.0 || w1 <= 0.0 {
             continue;
@@ -114,11 +116,15 @@ pub fn multi_otsu_thresholds(hist: &Histogram, levels: usize) -> Vec<f64> {
 #[derive(Debug, Clone)]
 pub struct OtsuSegmenter {
     levels: usize,
+    backend: Backend,
 }
 
 impl Default for OtsuSegmenter {
     fn default() -> Self {
-        Self { levels: 1 }
+        Self {
+            levels: 1,
+            backend: Backend::default(),
+        }
     }
 }
 
@@ -131,7 +137,22 @@ impl OtsuSegmenter {
     /// Multi-level Otsu with `levels` thresholds (1–3).
     pub fn multi(levels: usize) -> Self {
         assert!((1..=3).contains(&levels));
-        Self { levels }
+        Self {
+            levels,
+            ..Self::default()
+        }
+    }
+
+    /// Selects the execution backend for the per-pixel thresholding pass
+    /// (the histogram fit itself is a cheap serial scan).
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Routes the per-pixel thresholding pass through `engine`.
+    pub fn with_engine(self, engine: SegmentEngine) -> Self {
+        self.with_backend(engine.backend())
     }
 
     /// Number of thresholds this segmenter fits.
@@ -146,6 +167,37 @@ impl OtsuSegmenter {
     }
 }
 
+/// The per-pixel rule of a *fitted* Otsu model: a pixel's label is the number
+/// of fitted thresholds below its normalised intensity.  This is what the
+/// `SegmentEngine` parallelises after the global histogram fit.
+#[derive(Debug, Clone)]
+pub struct FittedThresholds {
+    thresholds: Vec<f64>,
+}
+
+impl FittedThresholds {
+    /// Wraps an explicit set of normalised thresholds.
+    pub fn new(thresholds: Vec<f64>) -> Self {
+        Self { thresholds }
+    }
+
+    /// The wrapped thresholds.
+    pub fn thresholds(&self) -> &[f64] {
+        &self.thresholds
+    }
+}
+
+impl PixelClassifier for FittedThresholds {
+    fn classify_rgb_pixel(&self, pixel: imaging::Rgb<u8>) -> u32 {
+        self.classify_gray_pixel(imaging::Luma(color::luma_u8_of(pixel)))
+    }
+
+    fn classify_gray_pixel(&self, pixel: imaging::Luma<u8>) -> u32 {
+        let intensity = pixel.value() as f64 / 255.0;
+        self.thresholds.iter().filter(|&&t| intensity > t).count() as u32
+    }
+}
+
 impl Segmenter for OtsuSegmenter {
     fn name(&self) -> &str {
         "Otsu"
@@ -156,11 +208,8 @@ impl Segmenter for OtsuSegmenter {
     }
 
     fn segment_gray(&self, img: &GrayImage) -> LabelMap {
-        let thresholds = self.thresholds_for(img);
-        img.map(|p| {
-            let intensity = p.value() as f64 / 255.0;
-            thresholds.iter().filter(|&&t| intensity > t).count() as u32
-        })
+        let fitted = FittedThresholds::new(self.thresholds_for(img));
+        SegmentEngine::new(self.backend).segment_gray(&fitted, img)
     }
 }
 
@@ -228,7 +277,11 @@ mod tests {
         let t = multi_otsu_thresholds(&Histogram::of_gray(&img), 2);
         assert_eq!(t.len(), 2);
         assert!((20.0 / 255.0..128.0 / 255.0).contains(&t[0]), "t0={}", t[0]);
-        assert!((128.0 / 255.0..240.0 / 255.0).contains(&t[1]), "t1={}", t[1]);
+        assert!(
+            (128.0 / 255.0..240.0 / 255.0).contains(&t[1]),
+            "t1={}",
+            t[1]
+        );
         let labels = OtsuSegmenter::multi(2).segment_gray(&img);
         assert_eq!(imaging::labels::distinct_labels(&labels), 3);
         assert_eq!(labels.get(0, 0), 0);

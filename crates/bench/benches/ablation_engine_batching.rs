@@ -1,0 +1,53 @@
+//! Ablation A1b: scaling of the engine's *image-batch* axis.
+//!
+//! The experiment harness parallelises over images (serial per-image
+//! segmenters, `SegmentEngine::map_images` over the dataset) rather than over
+//! pixels.  This target measures that axis: a small VOC-like split evaluated
+//! end-to-end (segment → binarise → mIOU) at 1/2/4/8 batch threads.
+
+use bench::voc_split;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use experiments::{evaluate_method_with, Method, SegmentEngine};
+use iqft_seg::ForegroundPolicy;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_engine_batching");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    let samples = voc_split(16, 96, 5);
+    group.throughput(Throughput::Elements(samples.len() as u64));
+    let method = Method::IqftRgb {
+        theta: std::f64::consts::PI,
+    };
+    let mut engines: Vec<(String, SegmentEngine)> =
+        vec![("serial".to_string(), SegmentEngine::serial())];
+    for threads in [1usize, 2, 4, 8] {
+        engines.push((
+            format!("threads_{threads}"),
+            SegmentEngine::with_threads(threads),
+        ));
+    }
+    for (name, engine) in engines {
+        group.bench_with_input(
+            BenchmarkId::new("voc16_96px_iqft_rgb", name),
+            &samples,
+            |b, samples| {
+                b.iter(|| {
+                    evaluate_method_with(
+                        &engine,
+                        &method,
+                        samples,
+                        ForegroundPolicy::LargestIsBackground,
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

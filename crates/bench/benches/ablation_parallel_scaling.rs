@@ -1,11 +1,15 @@
 //! Ablation A1: parallel scaling of the RGB segmenter (DESIGN.md §4).
-//! Measures per-image segmentation across image sizes and execution backends
-//! (serial, scoped threads, Rayon) — the design knob exposed by `xpar`.
+//!
+//! Exercises the `SegmentEngine` across image sizes and execution policies —
+//! serial, the scoped-thread backend at 1/2/4/8 threads and with one worker
+//! per core, and the Rayon policy (which falls back to scoped threads when
+//! the `rayon-backend` feature of `xpar` is off).  `BENCH_parallel_scaling
+//! .json` at the repo root snapshots a baseline of this target (see the
+//! criterion shim's `CRITERION_JSON` export).
 
 use bench::synthetic_rgb;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use imaging::Segmenter;
-use iqft_seg::IqftRgbSegmenter;
+use iqft_seg::{IqftRgbSegmenter, SegmentEngine};
 use std::time::Duration;
 use xpar::Backend;
 
@@ -18,19 +22,23 @@ fn bench(c: &mut Criterion) {
     for size in [128usize, 256] {
         let img = synthetic_rgb(size, size, 9);
         group.throughput(Throughput::Elements((size * size) as u64));
-        let backends: Vec<(&str, Backend)> = vec![
-            ("serial", Backend::Serial),
-            ("threads_2", Backend::Threads(2)),
-            ("threads_all", Backend::Threads(0)),
-            ("rayon", Backend::Rayon),
-        ];
-        for (name, backend) in backends {
+        let mut engines: Vec<(String, SegmentEngine)> =
+            vec![("serial".to_string(), SegmentEngine::serial())];
+        for threads in [1usize, 2, 4, 8] {
+            engines.push((
+                format!("threads_{threads}"),
+                SegmentEngine::with_threads(threads),
+            ));
+        }
+        engines.push(("threads_all".to_string(), SegmentEngine::with_threads(0)));
+        engines.push(("rayon".to_string(), SegmentEngine::new(Backend::Rayon)));
+        for (name, engine) in engines {
             group.bench_with_input(
                 BenchmarkId::new(format!("{size}x{size}"), name),
                 &img,
                 |b, img| {
-                    let seg = IqftRgbSegmenter::paper_default().with_backend(backend);
-                    b.iter(|| seg.segment_rgb(img))
+                    let seg = IqftRgbSegmenter::paper_default();
+                    b.iter(|| engine.segment_rgb(&seg, img))
                 },
             );
         }

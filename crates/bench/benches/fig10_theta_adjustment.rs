@@ -8,7 +8,10 @@ use iqft_seg::AutoThetaSearch;
 use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
-    println!("{}", experiments::figures::fig10_report(8));
+    println!(
+        "{}",
+        experiments::figures::fig10_report(&experiments::SegmentEngine::default(), 8)
+    );
     let sample = &voc_split(1, 96, 1010)[0];
     let mut group = c.benchmark_group("fig10_theta_adjustment");
     group

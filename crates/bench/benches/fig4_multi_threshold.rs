@@ -9,7 +9,10 @@ use iqft_seg::IqftGraySegmenter;
 use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
-    println!("{}", experiments::figures::fig4_report(None));
+    println!(
+        "{}",
+        experiments::figures::fig4_report(&experiments::SegmentEngine::default(), None)
+    );
     let scene = balls_scene(180, 120);
     let gray = color::rgb_to_gray_u8(&scene.image);
     let mut group = c.benchmark_group("fig4_multi_threshold");

@@ -10,7 +10,10 @@ use iqft_seg::IqftRgbSegmenter;
 use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
-    println!("{}", experiments::figures::fig5_report(None));
+    println!(
+        "{}",
+        experiments::figures::fig5_report(&experiments::SegmentEngine::default(), None)
+    );
     let img = synthetic_rgb(128, 96, 55);
     let mut group = c.benchmark_group("fig5_normalization");
     group

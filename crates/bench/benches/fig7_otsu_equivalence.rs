@@ -11,7 +11,10 @@ use iqft_seg::IqftGraySegmenter;
 use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
-    println!("{}", experiments::figures::fig7_report(None));
+    println!(
+        "{}",
+        experiments::figures::fig7_report(&experiments::SegmentEngine::default(), None)
+    );
     let sample = &voc_split(1, 128, 707)[0];
     let gray = color::rgb_to_gray_u8(&sample.image);
     let threshold = baselines::otsu_threshold(&Histogram::of_gray(&gray)).max(0.34);

@@ -25,9 +25,7 @@ fn bench(c: &mut Criterion) {
             acc
         })
     });
-    group.bench_function("table1_rows", |b| {
-        b.iter(|| iqft_seg::theta::table1_rows())
-    });
+    group.bench_function("table1_rows", |b| b.iter(iqft_seg::theta::table1_rows));
     group.finish();
 }
 

@@ -18,9 +18,7 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("occupancy_10k_samples", label),
             &theta,
-            |b, &theta| {
-                b.iter(|| max_segments_for_theta(ThetaParams::uniform(theta), 10_000, 7))
-            },
+            |b, &theta| b.iter(|| max_segments_for_theta(ThetaParams::uniform(theta), 10_000, 7)),
         );
     }
     group.bench_function("occupancy_mixed_10k_samples", |b| {

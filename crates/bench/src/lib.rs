@@ -5,7 +5,9 @@
 //! deterministic workloads the benches run on, so the measured code is always
 //! the library code itself rather than dataset generation.
 
-use datasets::{LabeledImage, PascalVocLikeConfig, PascalVocLikeDataset, XViewLikeConfig, XViewLikeDataset};
+use datasets::{
+    LabeledImage, PascalVocLikeConfig, PascalVocLikeDataset, XViewLikeConfig, XViewLikeDataset,
+};
 use imaging::{Rgb, RgbImage};
 
 /// A deterministic pseudo-random RGB image of the given size (no external RNG,
@@ -17,7 +19,11 @@ pub fn synthetic_rgb(width: usize, height: usize, seed: u64) -> RgbImage {
             .wrapping_add((x as u64) << 24)
             .wrapping_add((y as u64) << 8)
             .wrapping_mul(0xD134_2543_DE82_EF95);
-        Rgb::new((v % 256) as u8, ((v >> 16) % 256) as u8, ((v >> 32) % 256) as u8)
+        Rgb::new(
+            (v % 256) as u8,
+            ((v >> 16) % 256) as u8,
+            ((v >> 32) % 256) as u8,
+        )
     })
 }
 

@@ -34,12 +34,30 @@ pub fn balls_scene(width: usize, height: usize) -> LabeledImage {
     //   lemon        ≈ 0.78   (between 5/8 and 7/8)  → target
     //   white-ish    ≈ 0.95   (above 7/8)            → background
     let balls = [
-        Ball { color: Rgb::new(15, 15, 60), target: false },
-        Ball { color: Rgb::new(60, 15, 20), target: false },
-        Ball { color: Rgb::new(230, 40, 40), target: true },
-        Ball { color: Rgb::new(60, 170, 60), target: false },
-        Ball { color: Rgb::new(230, 220, 60), target: true },
-        Ball { color: Rgb::new(245, 245, 240), target: false },
+        Ball {
+            color: Rgb::new(15, 15, 60),
+            target: false,
+        },
+        Ball {
+            color: Rgb::new(60, 15, 20),
+            target: false,
+        },
+        Ball {
+            color: Rgb::new(230, 40, 40),
+            target: true,
+        },
+        Ball {
+            color: Rgb::new(60, 170, 60),
+            target: false,
+        },
+        Ball {
+            color: Rgb::new(230, 220, 60),
+            target: true,
+        },
+        Ball {
+            color: Rgb::new(245, 245, 240),
+            target: false,
+        },
     ];
     let background = Rgb::new(5, 5, 5); // near-black backdrop (luma ≈ 0.02)
     let mut image = RgbImage::new(width, height, background);

@@ -100,7 +100,7 @@ fn generate_scene(config: &PascalVocLikeConfig, index: usize) -> LabeledImage {
 
     // --- Background -------------------------------------------------------
     let bg_dark = rng.gen_range(20..100) as u8;
-    let bg_bright = (bg_dark as u16 + rng.gen_range(30..120)).min(255) as u8;
+    let bg_bright = (bg_dark as u16 + rng.gen_range(30u16..120)).min(255) as u8;
     let bg_a = Rgb::new(
         jitter(bg_dark, 20, &mut rng),
         jitter(bg_dark, 20, &mut rng),
@@ -128,7 +128,7 @@ fn generate_scene(config: &PascalVocLikeConfig, index: usize) -> LabeledImage {
             rng.gen_range(170..=250) as u8
         } else {
             // Hard: brightness overlaps the background's bright end.
-            (bg_bright as i32 + rng.gen_range(-25..=35)).clamp(40, 255) as u8
+            (bg_bright as i32 + rng.gen_range(-25i32..=35)).clamp(40, 255) as u8
         };
         let color = Rgb::new(
             jitter(base, 40, &mut rng),

@@ -93,6 +93,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "share dimensions")]
     fn mismatched_shapes_panic() {
-        let _ = LabeledImage::new("bad", RgbImage::new(2, 2, Rgb::BLACK), LabelMap::new(3, 2, 0));
+        let _ = LabeledImage::new(
+            "bad",
+            RgbImage::new(2, 2, Rgb::BLACK),
+            LabelMap::new(3, 2, 0),
+        );
     }
 }

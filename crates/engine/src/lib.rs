@@ -1,0 +1,228 @@
+//! `seg-engine` — the backend-aware parallel segmentation engine.
+//!
+//! Every segmentation algorithm in this workspace classifies pixels
+//! independently once its (optional) global fitting step has run — the shape
+//! [`imaging::PixelClassifier`] captures.  This crate owns the *execution* of
+//! that shape: a [`SegmentEngine`] holds an [`xpar::Backend`] (serial, scoped
+//! threads with a thread count, or Rayon) and provides
+//!
+//! * [`SegmentEngine::segment_rgb`] / [`SegmentEngine::segment_gray`] —
+//!   chunk-parallel per-pixel classification over the label buffer
+//!   (`xpar::par_for_each_chunk_mut` underneath), byte-identical to a serial
+//!   pass for any backend and thread count;
+//! * [`SegmentEngine::map_images`] — batched multi-image evaluation
+//!   (`Backend::map_indexed` over a dataset slice), used by the experiment
+//!   harness to score whole datasets in parallel;
+//! * [`SegmentEngine::map_indexed`] — the raw indexed map for irregular
+//!   workloads (e.g. the K-means assignment step).
+//!
+//! The algorithm crates (`iqft-seg`, `baselines`) route their `Segmenter`
+//! implementations through an engine, and the `iqft-experiments` binary
+//! exposes the engine's knob as `--backend serial|threads|rayon --threads N`,
+//! so one flag controls parallelism across every layer of the workspace.
+
+use imaging::{GrayImage, LabelMap, PixelClassifier, RgbImage};
+use xpar::Backend;
+
+/// Executes pixel classifiers and dataset sweeps on a configured
+/// [`xpar::Backend`].
+///
+/// The engine is `Copy` and trivially cheap to construct; segmenters hold one
+/// by value and the harness passes one down the call tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SegmentEngine {
+    backend: Backend,
+}
+
+impl SegmentEngine {
+    /// Creates an engine executing on `backend`.
+    pub fn new(backend: Backend) -> Self {
+        Self { backend }
+    }
+
+    /// An engine that runs everything on the calling thread.
+    pub fn serial() -> Self {
+        Self::new(Backend::Serial)
+    }
+
+    /// An engine using the scoped-thread substrate with `threads` workers
+    /// (0 = one per available core).
+    pub fn with_threads(threads: usize) -> Self {
+        Self::new(Backend::Threads(threads))
+    }
+
+    /// Parses the harness flags `--backend serial|threads|rayon` and
+    /// `--threads N` into an engine.
+    ///
+    /// `threads` is only meaningful for the `threads` backend (0 = one per
+    /// core); `serial` ignores it and `rayon` uses the global Rayon pool (or
+    /// the scoped-thread fallback when the `rayon-backend` feature of `xpar`
+    /// is disabled).
+    pub fn from_flags(backend: &str, threads: usize) -> Result<Self, String> {
+        match backend {
+            "serial" => Ok(Self::serial()),
+            "threads" => Ok(Self::with_threads(threads)),
+            "rayon" => Ok(Self::new(Backend::Rayon)),
+            other => Err(format!(
+                "unknown backend '{other}' (expected serial, threads or rayon)"
+            )),
+        }
+    }
+
+    /// The configured execution backend.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// Effective worker-thread count of the configured backend.
+    pub fn threads(&self) -> usize {
+        self.backend.effective_threads()
+    }
+
+    /// Classifies every pixel of `img` with `classifier`, filling the label
+    /// buffer in disjoint parallel chunks.
+    ///
+    /// The output is byte-identical across backends and thread counts because
+    /// each label depends only on its own pixel.
+    pub fn segment_rgb<C>(&self, classifier: &C, img: &RgbImage) -> LabelMap
+    where
+        C: PixelClassifier + Sync + ?Sized,
+    {
+        let (w, h) = img.dimensions();
+        let pixels = img.as_slice();
+        let mut labels = vec![0u32; pixels.len()];
+        self.backend
+            .for_each_chunk_mut(&mut labels, |start, chunk| {
+                for (offset, label) in chunk.iter_mut().enumerate() {
+                    *label = classifier.classify_rgb_pixel(pixels[start + offset]);
+                }
+            });
+        LabelMap::from_vec(w, h, labels).expect("label buffer matches image size")
+    }
+
+    /// Grayscale counterpart of [`SegmentEngine::segment_rgb`].
+    pub fn segment_gray<C>(&self, classifier: &C, img: &GrayImage) -> LabelMap
+    where
+        C: PixelClassifier + Sync + ?Sized,
+    {
+        let (w, h) = img.dimensions();
+        let pixels = img.as_slice();
+        let mut labels = vec![0u32; pixels.len()];
+        self.backend
+            .for_each_chunk_mut(&mut labels, |start, chunk| {
+                for (offset, label) in chunk.iter_mut().enumerate() {
+                    *label = classifier.classify_gray_pixel(pixels[start + offset]);
+                }
+            });
+        LabelMap::from_vec(w, h, labels).expect("label buffer matches image size")
+    }
+
+    /// Maps `f` over a dataset slice in parallel, collecting results in
+    /// dataset order (batched multi-image evaluation).
+    pub fn map_images<S, T, F>(&self, samples: &[S], f: F) -> Vec<T>
+    where
+        S: Sync,
+        T: Send,
+        F: Fn(&S) -> T + Sync + Send,
+    {
+        self.backend.map_indexed(samples.len(), |i| f(&samples[i]))
+    }
+
+    /// Maps `f` over `0..len` in index order on the configured backend.
+    pub fn map_indexed<T, F>(&self, len: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync + Send,
+    {
+        self.backend.map_indexed(len, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imaging::{Luma, Rgb};
+
+    fn all_engines() -> Vec<SegmentEngine> {
+        vec![
+            SegmentEngine::serial(),
+            SegmentEngine::with_threads(1),
+            SegmentEngine::with_threads(2),
+            SegmentEngine::with_threads(8),
+            SegmentEngine::with_threads(0),
+            SegmentEngine::new(Backend::Rayon),
+        ]
+    }
+
+    fn test_image() -> RgbImage {
+        RgbImage::from_fn(37, 23, |x, y| {
+            Rgb::new((x * 7) as u8, (y * 11) as u8, ((x * y) % 251) as u8)
+        })
+    }
+
+    #[test]
+    fn closure_classifier_is_backend_independent() {
+        let img = test_image();
+        let rule = |p: Rgb<u8>| u32::from(p.r() as u16 + p.g() as u16 + p.b() as u16 > 300);
+        let serial = SegmentEngine::serial().segment_rgb(&rule, &img);
+        for engine in all_engines() {
+            assert_eq!(engine.segment_rgb(&rule, &img), serial, "{engine:?}");
+        }
+    }
+
+    #[test]
+    fn gray_path_uses_the_gray_rule() {
+        struct Parity;
+        impl PixelClassifier for Parity {
+            fn classify_rgb_pixel(&self, p: Rgb<u8>) -> u32 {
+                u32::from(p.r()) % 2
+            }
+            fn classify_gray_pixel(&self, p: Luma<u8>) -> u32 {
+                u32::from(p.value()) % 2
+            }
+        }
+        let img = GrayImage::from_fn(19, 5, |x, y| Luma((x * 3 + y) as u8));
+        let serial = SegmentEngine::serial().segment_gray(&Parity, &img);
+        for engine in all_engines() {
+            assert_eq!(engine.segment_gray(&Parity, &img), serial, "{engine:?}");
+        }
+        assert_eq!(serial.get(1, 0), 1);
+    }
+
+    #[test]
+    fn map_images_preserves_dataset_order() {
+        let samples: Vec<u64> = (0..97).collect();
+        let expected: Vec<u64> = samples.iter().map(|s| s * s).collect();
+        for engine in all_engines() {
+            assert_eq!(engine.map_images(&samples, |&s| s * s), expected);
+        }
+    }
+
+    #[test]
+    fn flag_parsing_round_trips() {
+        assert_eq!(
+            SegmentEngine::from_flags("serial", 4).unwrap().backend(),
+            Backend::Serial
+        );
+        assert_eq!(
+            SegmentEngine::from_flags("threads", 4).unwrap().backend(),
+            Backend::Threads(4)
+        );
+        assert_eq!(
+            SegmentEngine::from_flags("rayon", 4).unwrap().backend(),
+            Backend::Rayon
+        );
+        assert!(SegmentEngine::from_flags("gpu", 1).is_err());
+        assert_eq!(SegmentEngine::with_threads(3).threads(), 3);
+        assert!(SegmentEngine::serial().threads() == 1);
+    }
+
+    #[test]
+    fn empty_image_yields_empty_labels() {
+        let img = RgbImage::from_fn(0, 0, |_, _| Rgb::new(0, 0, 0));
+        let rule = |_: Rgb<u8>| 1u32;
+        for engine in all_engines() {
+            assert_eq!(engine.segment_rgb(&rule, &img).len(), 0);
+        }
+    }
+}

@@ -7,7 +7,10 @@
 
 use crate::evaluate::score_single;
 use baselines::{multi_otsu_thresholds, otsu_threshold, KMeansSegmenter, OtsuSegmenter};
-use datasets::{balls_scene, LabeledImage, PascalVocLikeConfig, PascalVocLikeDataset, XViewLikeConfig, XViewLikeDataset};
+use datasets::{
+    balls_scene, LabeledImage, PascalVocLikeConfig, PascalVocLikeDataset, XViewLikeConfig,
+    XViewLikeDataset,
+};
 use imaging::hist::Histogram;
 use imaging::{color, io, labels, RgbImage, Segmenter};
 use iqft_seg::analysis::count_segments;
@@ -17,6 +20,7 @@ use iqft_seg::{
     AutoThetaSearch, ForegroundPolicy, IqftGraySegmenter, IqftRgbSegmenter, ThetaParams,
 };
 use metrics::mean_iou;
+use seg_engine::SegmentEngine;
 use std::f64::consts::PI;
 use std::path::Path;
 
@@ -70,19 +74,23 @@ pub fn fig1_3_text() -> String {
 /// Fig. 4: multiple thresholding on the coloured-balls scene — the IQFT
 /// grayscale segmenter with θ = 4π selects the mid-intensity balls with one
 /// parameter, while single-threshold Otsu and 2-means cannot.
-pub fn fig4_report(out_dir: Option<&Path>) -> String {
+pub fn fig4_report(engine: &SegmentEngine, out_dir: Option<&Path>) -> String {
     let scene = balls_scene(180, 120);
     maybe_write_rgb(out_dir, "fig4_input", &scene.image);
     let gray = color::rgb_to_gray_u8(&scene.image);
 
     // K-means (k = 2) on RGB.
-    let km = KMeansSegmenter::binary(4).segment_rgb(&scene.image);
+    let km = KMeansSegmenter::binary(4)
+        .with_engine(*engine)
+        .segment_rgb(&scene.image);
     let (_, km_miou, _, _) = score_and_render(&km, &scene, out_dir, "fig4_kmeans");
     // Otsu single threshold.
-    let otsu = OtsuSegmenter::new().segment_gray(&gray);
+    let otsu = OtsuSegmenter::new()
+        .with_engine(*engine)
+        .segment_gray(&gray);
     let (_, otsu_miou, _, _) = score_and_render(&otsu, &scene, out_dir, "fig4_otsu");
     // IQFT grayscale with θ = 4π (eq. 16 thresholds 1/8, 3/8, 5/8, 7/8).
-    let iqft = IqftGraySegmenter::new(4.0 * PI);
+    let iqft = IqftGraySegmenter::new(4.0 * PI).with_engine(*engine);
     let iqft_labels = iqft.segment_gray(&gray);
     maybe_write_rgb(
         out_dir,
@@ -129,7 +137,7 @@ fn score_and_render(
 /// Fig. 5: effect of the normalisation step — without `/255` normalisation
 /// the phases wrap many times around the circle and the segmentation becomes
 /// "noisy" (many tiny connected components).
-pub fn fig5_report(out_dir: Option<&Path>) -> String {
+pub fn fig5_report(engine: &SegmentEngine, out_dir: Option<&Path>) -> String {
     let dataset = PascalVocLikeDataset::new(PascalVocLikeConfig {
         len: 2,
         width: 96,
@@ -140,8 +148,11 @@ pub fn fig5_report(out_dir: Option<&Path>) -> String {
     let mut out = String::from("Fig. 5: effect of the normalisation process\n");
     for (i, sample) in dataset.iter().enumerate() {
         maybe_write_rgb(out_dir, &format!("fig5_image{i}"), &sample.image);
-        let with_norm = IqftRgbSegmenter::paper_default().segment_rgb(&sample.image);
+        let with_norm = IqftRgbSegmenter::paper_default()
+            .with_engine(*engine)
+            .segment_rgb(&sample.image);
         let without_norm = IqftRgbSegmenter::paper_default()
+            .with_engine(*engine)
             .with_normalization(false)
             .segment_rgb(&sample.image);
         maybe_write_rgb(
@@ -169,12 +180,12 @@ pub fn fig5_report(out_dir: Option<&Path>) -> String {
 
 /// Fig. 6 / Table II on real scenes: the number of segments produced on
 /// images as θ grows, including the mixed configuration.
-pub fn fig6_report(out_dir: Option<&Path>) -> String {
+pub fn fig6_report(engine: &SegmentEngine, out_dir: Option<&Path>) -> String {
     let dataset = PascalVocLikeDataset::new(PascalVocLikeConfig {
         len: 3,
         width: 96,
         height: 72,
-        seed: 606,
+        seed: 608,
         ..PascalVocLikeConfig::default()
     });
     let configs: Vec<(String, ThetaParams)> = vec![
@@ -188,7 +199,9 @@ pub fn fig6_report(out_dir: Option<&Path>) -> String {
         maybe_write_rgb(out_dir, &format!("fig6_image{i}"), &sample.image);
         let mut parts = Vec::new();
         for (name, thetas) in &configs {
-            let seg = IqftRgbSegmenter::new(*thetas).segment_rgb(&sample.image);
+            let seg = IqftRgbSegmenter::new(*thetas)
+                .with_engine(*engine)
+                .segment_rgb(&sample.image);
             maybe_write_rgb(
                 out_dir,
                 &format!("fig6_image{i}_{name}"),
@@ -204,7 +217,7 @@ pub fn fig6_report(out_dir: Option<&Path>) -> String {
 /// Fig. 7: converting the Otsu threshold to θ via eq. 15 makes the IQFT
 /// grayscale segmenter produce an identical mask (and therefore identical
 /// mIOU).
-pub fn fig7_report(out_dir: Option<&Path>) -> String {
+pub fn fig7_report(engine: &SegmentEngine, out_dir: Option<&Path>) -> String {
     let dataset = PascalVocLikeDataset::new(PascalVocLikeConfig {
         len: 2,
         width: 96,
@@ -226,8 +239,12 @@ pub fn fig7_report(out_dir: Option<&Path>) -> String {
         // Otsu bin boundary fall on the same side under both decision rules
         // (`I > threshold` vs `cos(Iθ) < 0`).
         let theta = theta_for_threshold((threshold + 0.5 / 255.0).min(1.0));
-        let otsu_mask = OtsuSegmenter::new().segment_gray(&gray);
-        let iqft_mask = IqftGraySegmenter::new(theta).segment_gray(&gray);
+        let otsu_mask = OtsuSegmenter::new()
+            .with_engine(*engine)
+            .segment_gray(&gray);
+        let iqft_mask = IqftGraySegmenter::new(theta)
+            .with_engine(*engine)
+            .segment_gray(&gray);
         let identical = otsu_mask == iqft_mask;
         let otsu_miou = mean_iou(&otsu_mask, &sample.ground_truth);
         let iqft_miou = mean_iou(&iqft_mask, &sample.ground_truth);
@@ -254,7 +271,12 @@ pub fn fig7_report(out_dir: Option<&Path>) -> String {
 /// Figs. 8–9: qualitative examples where the IQFT RGB algorithm beats both
 /// baselines, with per-image mIOU.  `xview` selects the satellite-like
 /// dataset (Fig. 9) instead of the VOC-like one (Fig. 8).
-pub fn fig8_9_report(xview: bool, out_dir: Option<&Path>, scan: usize) -> String {
+pub fn fig8_9_report(
+    engine: &SegmentEngine,
+    xview: bool,
+    out_dir: Option<&Path>,
+    scan: usize,
+) -> String {
     let samples: Vec<LabeledImage> = if xview {
         XViewLikeDataset::new(XViewLikeConfig {
             len: scan,
@@ -279,16 +301,18 @@ pub fn fig8_9_report(xview: bool, out_dir: Option<&Path>, scan: usize) -> String
     let figure = if xview { "Fig. 9" } else { "Fig. 8" };
     let dataset_name = if xview { "xVIEW2-like" } else { "VOC-like" };
     let policy = ForegroundPolicy::LargestIsBackground;
-    let kmeans = KMeansSegmenter::binary(2);
-    let otsu = OtsuSegmenter::new();
-    let iqft = IqftRgbSegmenter::paper_default();
-    let mut rows: Vec<(String, f64, f64, f64)> = Vec::new();
-    for sample in &samples {
+    // The batch parallelism lives at the image level; each per-image
+    // segmenter runs serially (see `evaluate_method_with`).
+    let kmeans = KMeansSegmenter::binary(2).with_engine(SegmentEngine::serial());
+    let otsu = OtsuSegmenter::new().with_engine(SegmentEngine::serial());
+    let iqft = IqftRgbSegmenter::paper_default().with_engine(SegmentEngine::serial());
+    let rows: Vec<(String, f64, f64, f64)> = engine.map_images(&samples, |sample| {
         let (_, km, _, _) = score_single(&kmeans, &sample.image, &sample.ground_truth, policy);
         let (_, ot, _, _) = score_single(&otsu, &sample.image, &sample.ground_truth, policy);
         let (_, iq, _, _) = score_single(&iqft, &sample.image, &sample.ground_truth, policy);
-        rows.push((sample.id.clone(), km, ot, iq));
-    }
+        (sample.id.clone(), km, ot, iq)
+    });
+    let mut rows = rows;
     // Show the three images with the largest IQFT margin over the best baseline.
     rows.sort_by(|a, b| {
         let margin_a = a.3 - a.1.max(a.2);
@@ -305,7 +329,11 @@ pub fn fig8_9_report(xview: bool, out_dir: Option<&Path>, scan: usize) -> String
             if let Some(sample) = samples.iter().find(|s| &s.id == id) {
                 maybe_write_rgb(Some(dir), &format!("{id}_input"), &sample.image);
                 let seg = iqft.segment_rgb(&sample.image);
-                maybe_write_rgb(Some(dir), &format!("{id}_iqft"), &labels::render_labels(&seg));
+                maybe_write_rgb(
+                    Some(dir),
+                    &format!("{id}_iqft"),
+                    &labels::render_labels(&seg),
+                );
             }
         }
     }
@@ -316,7 +344,7 @@ pub fn fig8_9_report(xview: bool, out_dir: Option<&Path>, scan: usize) -> String
 /// configuration performs poorly and shows the improvement from searching the
 /// θ grid (scored by ground-truth mIOU, exactly as the paper adjusted per
 /// image).
-pub fn fig10_report(scan: usize) -> String {
+pub fn fig10_report(engine: &SegmentEngine, scan: usize) -> String {
     let dataset = PascalVocLikeDataset::new(PascalVocLikeConfig {
         len: scan,
         width: 96,
@@ -325,17 +353,25 @@ pub fn fig10_report(scan: usize) -> String {
         ..PascalVocLikeConfig::default()
     });
     let policy = ForegroundPolicy::LargestIsBackground;
-    let fixed = IqftRgbSegmenter::paper_default();
-    // Pick the scene on which fixed θ = π does worst.
-    let mut worst: Option<(LabeledImage, f64)> = None;
-    for sample in dataset.iter() {
+    let fixed = IqftRgbSegmenter::paper_default().with_engine(SegmentEngine::serial());
+    // Score every scene in one parallel batch, then pick the one on which
+    // fixed θ = π does worst (ties to the earliest scene, as before).
+    let samples: Vec<LabeledImage> = dataset.iter().collect();
+    let mious: Vec<f64> = engine.map_images(&samples, |sample| {
         let (_, miou, _, _) = score_single(&fixed, &sample.image, &sample.ground_truth, policy);
-        if worst.as_ref().map(|(_, m)| miou < *m).unwrap_or(true) {
-            worst = Some((sample, miou));
-        }
-    }
-    let (sample, fixed_miou) = worst.expect("non-empty dataset");
-    let search = AutoThetaSearch::default();
+        miou
+    });
+    let (worst_idx, fixed_miou) = mious
+        .iter()
+        .copied()
+        .enumerate()
+        .fold(None::<(usize, f64)>, |acc, (i, m)| match acc {
+            Some((_, best)) if best <= m => acc,
+            _ => Some((i, m)),
+        })
+        .expect("non-empty dataset");
+    let sample = samples[worst_idx].clone();
+    let search = AutoThetaSearch::default().with_engine(*engine);
     let gt = sample.ground_truth.clone();
     let img = sample.image.clone();
     let result = search.best_by(&sample.image, |_, seg| {
@@ -377,7 +413,7 @@ mod tests {
 
     #[test]
     fn fig4_iqft_beats_single_threshold_baselines() {
-        let text = fig4_report(None);
+        let text = fig4_report(&SegmentEngine::default(), None);
         let miou_of = |tag: &str| -> f64 {
             text.lines()
                 .find(|l| l.contains(tag))
@@ -395,7 +431,7 @@ mod tests {
 
     #[test]
     fn fig5_unnormalized_variant_is_noisier() {
-        let text = fig5_report(None);
+        let text = fig5_report(&SegmentEngine::default(), None);
         // Parse "connected components with = X, without = Y" per image and
         // check Y > X for both images.
         for line in text.lines().filter(|l| l.starts_with("image")) {
@@ -422,7 +458,7 @@ mod tests {
 
     #[test]
     fn fig6_segment_count_grows_with_theta() {
-        let text = fig6_report(None);
+        let text = fig6_report(&SegmentEngine::default(), None);
         for line in text.lines().filter(|l| l.starts_with("image")) {
             let seg_count = |tag: &str| -> usize {
                 line.split(&format!("{tag}: "))
@@ -439,7 +475,7 @@ mod tests {
             let full = seg_count("θ=π");
             let mixed = seg_count("mixed");
             assert_eq!(quarter, 1, "{line}");
-            assert!(half >= 1 && half <= 3, "{line}");
+            assert!((1..=3).contains(&half), "{line}");
             assert!((2..=6).contains(&full), "{line}");
             assert!(mixed <= 2, "{line}");
         }
@@ -447,7 +483,7 @@ mod tests {
 
     #[test]
     fn fig7_masks_are_identical() {
-        let text = fig7_report(None);
+        let text = fig7_report(&SegmentEngine::default(), None);
         let identical_count = text.matches("identical masks = true").count();
         assert_eq!(identical_count, 2, "{text}");
     }
@@ -455,18 +491,15 @@ mod tests {
     #[test]
     fn fig8_and_9_produce_three_rows_each() {
         for xview in [false, true] {
-            let text = fig8_9_report(xview, None, 6);
-            let rows = text
-                .lines()
-                .filter(|l| l.contains("like-"))
-                .count();
+            let text = fig8_9_report(&SegmentEngine::default(), xview, None, 6);
+            let rows = text.lines().filter(|l| l.contains("like-")).count();
             assert_eq!(rows, 3, "{text}");
         }
     }
 
     #[test]
     fn fig10_adjustment_does_not_hurt() {
-        let text = fig10_report(6);
+        let text = fig10_report(&SegmentEngine::default(), 6);
         let value_after = |tag: &str| -> f64 {
             text.lines()
                 .find(|l| l.contains(tag))

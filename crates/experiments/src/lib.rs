@@ -14,11 +14,19 @@
 //! The `iqft-experiments` binary exposes one subcommand per experiment; every
 //! experiment is also callable as a library function so the benchmark crate
 //! and the integration tests reuse the exact same code paths.
+//!
+//! Every experiment executes on a [`SegmentEngine`], selected once at the CLI
+//! with `--backend serial|threads|rayon --threads N`; datasets are generated
+//! and evaluated in parallel image batches, and the per-pixel segmenters use
+//! the same engine machinery, so the single knob controls parallelism across
+//! the whole harness.  Outputs are byte-identical across backends.
 
 pub mod evaluate;
 pub mod figures;
 pub mod tables;
 
 pub use evaluate::{
-    evaluate_method, evaluate_methods, DatasetSummary, ImageScore, Method, MethodSummary,
+    evaluate_method, evaluate_method_with, evaluate_methods, evaluate_methods_with, DatasetSummary,
+    ImageScore, Method, MethodSummary,
 };
+pub use seg_engine::SegmentEngine;

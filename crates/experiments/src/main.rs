@@ -18,10 +18,20 @@
 //!   fig9    [--out DIR]        qualitative wins (xVIEW2-like)
 //!   fig10                      per-image θ adjustment
 //!   all     [--out DIR]        everything above with reduced sizes
+//!
+//! Global options:
+//!   --backend serial|threads|rayon   execution backend for every experiment
+//!                                    (default: threads)
+//!   --threads N                      worker threads for the threads backend
+//!                                    (default: 0 = one per core)
 //! ```
+//!
+//! Label maps and scores are byte-identical across backends; the knob only
+//! changes how the work is scheduled.
 
 use experiments::figures;
 use experiments::tables::{self, Table3Config};
+use experiments::SegmentEngine;
 use std::path::PathBuf;
 
 struct Args {
@@ -32,6 +42,8 @@ struct Args {
     xview: usize,
     size: usize,
     seed: u64,
+    backend: String,
+    threads: usize,
 }
 
 fn parse_args() -> Args {
@@ -43,6 +55,8 @@ fn parse_args() -> Args {
         xview: 148,
         size: 160,
         seed: 42,
+        backend: "threads".to_string(),
+        threads: 0,
     };
     let mut iter = std::env::args().skip(1);
     if let Some(cmd) = iter.next() {
@@ -57,18 +71,21 @@ fn parse_args() -> Args {
             "--xview" => args.xview = value().parse().unwrap_or(args.xview),
             "--size" => args.size = value().parse().unwrap_or(args.size),
             "--seed" => args.seed = value().parse().unwrap_or(args.seed),
+            "--backend" => args.backend = value(),
+            "--threads" => args.threads = value().parse().unwrap_or(args.threads),
             other => eprintln!("ignoring unknown flag {other}"),
         }
     }
     args
 }
 
-fn run_table3(args: &Args) -> String {
+fn run_table3(args: &Args, engine: &SegmentEngine) -> String {
     let config = Table3Config {
         voc_images: args.voc,
         xview_images: args.xview,
         image_size: args.size,
         seed: args.seed,
+        backend: engine.backend(),
         ..Table3Config::default()
     };
     let summaries = tables::table3_run(&config);
@@ -77,19 +94,26 @@ fn run_table3(args: &Args) -> String {
 
 fn main() {
     let args = parse_args();
+    let engine = match SegmentEngine::from_flags(&args.backend, args.threads) {
+        Ok(engine) => engine,
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    };
     let out = args.out_dir.as_deref();
     let report = match args.command.as_str() {
         "table1" => tables::table1_text(),
         "table2" => tables::table2_text(args.samples, args.seed),
-        "table3" => run_table3(&args),
+        "table3" => run_table3(&args, &engine),
         "fig1-3" | "fig1" | "fig2" | "fig3" => figures::fig1_3_text(),
-        "fig4" => figures::fig4_report(out),
-        "fig5" => figures::fig5_report(out),
-        "fig6" => figures::fig6_report(out),
-        "fig7" => figures::fig7_report(out),
-        "fig8" => figures::fig8_9_report(false, out, 30),
-        "fig9" => figures::fig8_9_report(true, out, 30),
-        "fig10" => figures::fig10_report(30),
+        "fig4" => figures::fig4_report(&engine, out),
+        "fig5" => figures::fig5_report(&engine, out),
+        "fig6" => figures::fig6_report(&engine, out),
+        "fig7" => figures::fig7_report(&engine, out),
+        "fig8" => figures::fig8_9_report(&engine, false, out, 30),
+        "fig9" => figures::fig8_9_report(&engine, true, out, 30),
+        "fig10" => figures::fig10_report(&engine, 30),
         "all" => {
             let mut all = String::new();
             all.push_str(&tables::table1_text());
@@ -97,41 +121,38 @@ fn main() {
             all.push_str(&tables::table2_text(args.samples.min(20_000), args.seed));
             all.push('\n');
             let quick = Args {
+                command: args.command.clone(),
+                out_dir: args.out_dir.clone(),
+                backend: args.backend.clone(),
+                samples: args.samples,
                 voc: args.voc.min(20),
                 xview: args.xview.min(20),
                 size: args.size.min(96),
-                ..Args {
-                    command: args.command.clone(),
-                    out_dir: args.out_dir.clone(),
-                    samples: args.samples,
-                    voc: args.voc,
-                    xview: args.xview,
-                    size: args.size,
-                    seed: args.seed,
-                }
+                seed: args.seed,
+                threads: args.threads,
             };
-            all.push_str(&run_table3(&quick));
+            all.push_str(&run_table3(&quick, &engine));
             all.push('\n');
             all.push_str(&figures::fig1_3_text());
             all.push('\n');
-            all.push_str(&figures::fig4_report(out));
+            all.push_str(&figures::fig4_report(&engine, out));
             all.push('\n');
-            all.push_str(&figures::fig5_report(out));
+            all.push_str(&figures::fig5_report(&engine, out));
             all.push('\n');
-            all.push_str(&figures::fig6_report(out));
+            all.push_str(&figures::fig6_report(&engine, out));
             all.push('\n');
-            all.push_str(&figures::fig7_report(out));
+            all.push_str(&figures::fig7_report(&engine, out));
             all.push('\n');
-            all.push_str(&figures::fig8_9_report(false, out, 12));
+            all.push_str(&figures::fig8_9_report(&engine, false, out, 12));
             all.push('\n');
-            all.push_str(&figures::fig8_9_report(true, out, 12));
+            all.push_str(&figures::fig8_9_report(&engine, true, out, 12));
             all.push('\n');
-            all.push_str(&figures::fig10_report(12));
+            all.push_str(&figures::fig10_report(&engine, 12));
             all
         }
         "" | "help" | "--help" | "-h" => {
             eprintln!(
-                "usage: iqft-experiments <table1|table2|table3|fig1-3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|all> [--out DIR] [--samples N] [--voc N] [--xview N] [--size S] [--seed S]"
+                "usage: iqft-experiments <table1|table2|table3|fig1-3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|all> [--out DIR] [--samples N] [--voc N] [--xview N] [--size S] [--seed S] [--backend serial|threads|rayon] [--threads N]"
             );
             return;
         }

@@ -1,10 +1,12 @@
 //! Regeneration of the paper's tables.
 
-use crate::evaluate::{evaluate_methods, DatasetSummary, Method};
+use crate::evaluate::{evaluate_methods_with, DatasetSummary, Method};
 use datasets::{PascalVocLikeConfig, PascalVocLikeDataset, XViewLikeConfig, XViewLikeDataset};
 use iqft_seg::analysis::table2_rows;
 use iqft_seg::theta::table1_rows;
 use iqft_seg::ForegroundPolicy;
+use seg_engine::SegmentEngine;
+use xpar::Backend;
 
 /// Renders Table I (θ and the corresponding threshold values, eq. 15) as
 /// plain text, matching the paper's rows.
@@ -13,7 +15,11 @@ pub fn table1_text() -> String {
     out.push_str(&format!("{:<12} {}\n", "θ", "Threshold value, I_th"));
     for row in table1_rows() {
         let thresholds: Vec<String> = row.thresholds.iter().map(|t| format!("{t:.3}")).collect();
-        let suffix = if thresholds.len() > 1 { " (multiple)" } else { "" };
+        let suffix = if thresholds.len() > 1 {
+            " (multiple)"
+        } else {
+            ""
+        };
         out.push_str(&format!(
             "{:<12} {}{}\n",
             row.theta_label,
@@ -50,6 +56,8 @@ pub struct Table3Config {
     pub seed: u64,
     /// Foreground-reduction policy applied to every method.
     pub policy: ForegroundPolicy,
+    /// Execution backend for dataset generation and evaluation batching.
+    pub backend: Backend,
 }
 
 impl Default for Table3Config {
@@ -60,35 +68,51 @@ impl Default for Table3Config {
             image_size: 160,
             seed: 42,
             policy: ForegroundPolicy::LargestIsBackground,
+            backend: Backend::default(),
         }
     }
 }
 
 /// Runs the Table III comparison (all four methods on both datasets) and
 /// returns the per-dataset summaries.
+///
+/// Both dataset generation (samples are a deterministic function of their
+/// index) and evaluation run as parallel image batches on the configured
+/// backend.
 pub fn table3_run(config: &Table3Config) -> Vec<DatasetSummary> {
+    let engine = SegmentEngine::new(config.backend);
     let methods = Method::table3_methods(config.seed);
-    let voc: Vec<_> = PascalVocLikeDataset::new(PascalVocLikeConfig {
+    let voc_ds = PascalVocLikeDataset::new(PascalVocLikeConfig {
         len: config.voc_images,
         width: config.image_size,
         height: config.image_size * 3 / 4,
         seed: config.seed,
         ..PascalVocLikeConfig::default()
-    })
-    .iter()
-    .collect();
-    let xview: Vec<_> = XViewLikeDataset::new(XViewLikeConfig {
+    });
+    let voc: Vec<_> = engine.map_indexed(voc_ds.len(), |i| voc_ds.sample(i));
+    let xview_ds = XViewLikeDataset::new(XViewLikeConfig {
         len: config.xview_images,
         width: config.image_size,
         height: config.image_size,
         seed: config.seed.wrapping_add(1),
         ..XViewLikeConfig::default()
-    })
-    .iter()
-    .collect();
+    });
+    let xview: Vec<_> = engine.map_indexed(xview_ds.len(), |i| xview_ds.sample(i));
     vec![
-        evaluate_methods("Pascal VOC 2012 (synthetic)", &methods, &voc, config.policy),
-        evaluate_methods("xVIEW2 (synthetic)", &methods, &xview, config.policy),
+        evaluate_methods_with(
+            &engine,
+            "Pascal VOC 2012 (synthetic)",
+            &methods,
+            &voc,
+            config.policy,
+        ),
+        evaluate_methods_with(
+            &engine,
+            "xVIEW2 (synthetic)",
+            &methods,
+            &xview,
+            config.policy,
+        ),
     ]
 }
 
@@ -146,7 +170,9 @@ mod tests {
         // θ=π/4 row must report one segment; mixed row two segments.
         let quarter_line = text
             .lines()
-            .find(|l| l.contains("π/4") && !l.contains("5π/4") && !l.contains("7π/4") && !l.contains(","))
+            .find(|l| {
+                l.contains("π/4") && !l.contains("5π/4") && !l.contains("7π/4") && !l.contains(",")
+            })
             .unwrap();
         assert!(quarter_line.trim_end().ends_with('1'), "{quarter_line}");
         let mixed_line = text.lines().find(|l| l.contains("θ1=π/4, θ2=π/2")).unwrap();

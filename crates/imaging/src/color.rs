@@ -28,10 +28,21 @@ pub fn rgb_to_gray_f(img: &RgbImage) -> GrayImageF {
     img.map(|p| Luma(luma_of(p)))
 }
 
+/// Converts one 8-bit RGB pixel to the 8-bit luma value
+/// [`rgb_to_gray_u8`] produces for it (eq. 17, scaled to 0–255 and rounded).
+///
+/// Every per-pixel grayscale path in the workspace goes through this helper
+/// so the whole-image conversion and the chunk-parallel classifiers cannot
+/// drift apart.
+#[inline]
+pub fn luma_u8_of(p: Rgb<u8>) -> u8 {
+    (luma_of(p) * 255.0).round().clamp(0.0, 255.0) as u8
+}
+
 /// Converts an RGB image to an 8-bit grayscale image (eq. 17, then scaled to
 /// 0–255 and rounded).
 pub fn rgb_to_gray_u8(img: &RgbImage) -> GrayImage {
-    img.map(|p| Luma((luma_of(p) * 255.0).round().clamp(0.0, 255.0) as u8))
+    img.map(|p| Luma(luma_u8_of(p)))
 }
 
 /// Converts an 8-bit RGB image into the normalised `[0, 1]` floating-point
@@ -105,10 +116,7 @@ mod tests {
         let expected0 = (0.2125 * 100.0 + 0.7154 * 150.0 + 0.0721 * 200.0) / 255.0;
         assert!((gray.get(0, 0).value() - expected0).abs() < 1e-12);
         let gray8 = rgb_to_gray_u8(&img);
-        assert_eq!(
-            gray8.get(0, 0).value(),
-            (expected0 * 255.0).round() as u8
-        );
+        assert_eq!(gray8.get(0, 0).value(), (expected0 * 255.0).round() as u8);
     }
 
     #[test]

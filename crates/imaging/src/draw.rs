@@ -149,7 +149,11 @@ pub fn checkerboard(img: &mut RgbImage, cell: usize, a: Rgb<u8>, b: Rgb<u8>) {
     let cell = cell.max(1);
     for y in 0..img.height() {
         for x in 0..img.width() {
-            let color = if ((x / cell) + (y / cell)) % 2 == 0 { a } else { b };
+            let color = if ((x / cell) + (y / cell)).is_multiple_of(2) {
+                a
+            } else {
+                b
+            };
             img.set(x, y, color);
         }
     }
@@ -264,7 +268,13 @@ mod tests {
         assert_eq!(lerp_rgb(Rgb::BLACK, Rgb::WHITE, 0.0), Rgb::BLACK);
         assert_eq!(lerp_rgb(Rgb::BLACK, Rgb::WHITE, 1.0), Rgb::WHITE);
         assert_eq!(lerp_rgb(Rgb::BLACK, Rgb::WHITE, 2.0), Rgb::WHITE);
-        assert_eq!(scale_brightness(Rgb::new(100, 200, 10), 0.5), Rgb::new(50, 100, 5));
-        assert_eq!(scale_brightness(Rgb::new(200, 200, 200), 2.0), Rgb::new(255, 255, 255));
+        assert_eq!(
+            scale_brightness(Rgb::new(100, 200, 10), 0.5),
+            Rgb::new(50, 100, 5)
+        );
+        assert_eq!(
+            scale_brightness(Rgb::new(200, 200, 200), 2.0),
+            Rgb::new(255, 255, 255)
+        );
     }
 }

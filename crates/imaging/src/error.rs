@@ -54,7 +54,10 @@ impl fmt::Display for ImagingError {
                 y,
                 width,
                 height,
-            } => write!(f, "pixel ({x}, {y}) out of bounds for {width}x{height} image"),
+            } => write!(
+                f,
+                "pixel ({x}, {y}) out of bounds for {width}x{height} image"
+            ),
             ImagingError::ShapeMismatch { left, right } => write!(
                 f,
                 "image shapes differ: {}x{} vs {}x{}",

@@ -71,7 +71,11 @@ pub fn gaussian_blur_rgb(img: &RgbImage, sigma: f64) -> RgbImage {
     }
     let kernel = gaussian_kernel(sigma);
     let (w, h) = img.dimensions();
-    let mut channels = [vec![0.0; img.len()], vec![0.0; img.len()], vec![0.0; img.len()]];
+    let mut channels = [
+        vec![0.0; img.len()],
+        vec![0.0; img.len()],
+        vec![0.0; img.len()],
+    ];
     for (i, p) in img.pixels().enumerate() {
         channels[0][i] = p.r() as f64;
         channels[1][i] = p.g() as f64;
@@ -138,7 +142,11 @@ pub fn add_salt_pepper_rgb<R: Rng>(img: &mut RgbImage, amount: f64, rng: &mut R)
     let amount = amount.clamp(0.0, 1.0);
     for p in img.pixels_mut() {
         if rng.gen::<f64>() < amount {
-            *p = if rng.gen::<bool>() { Rgb::WHITE } else { Rgb::BLACK };
+            *p = if rng.gen::<bool>() {
+                Rgb::WHITE
+            } else {
+                Rgb::BLACK
+            };
         }
     }
 }
@@ -209,8 +217,7 @@ mod tests {
             .filter(|p| **p != Rgb::new(128, 128, 128))
             .count();
         assert!(changed > img.len() / 2);
-        let mean: f64 =
-            img.pixels().map(|p| p.r() as f64).sum::<f64>() / img.len() as f64;
+        let mean: f64 = img.pixels().map(|p| p.r() as f64).sum::<f64>() / img.len() as f64;
         assert!((mean - 128.0).abs() < 3.0, "mean drifted to {mean}");
     }
 

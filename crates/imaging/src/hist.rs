@@ -52,8 +52,7 @@ impl Histogram {
     pub fn of_rgb_luma(img: &RgbImage) -> Self {
         let mut h = Self::new();
         for p in img.pixels() {
-            let y = (crate::color::luma_of(*p) * 255.0).round().clamp(0.0, 255.0) as u8;
-            h.push(y);
+            h.push(crate::color::luma_u8_of(*p));
         }
         h
     }

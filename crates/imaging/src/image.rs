@@ -190,10 +190,7 @@ impl<P: Copy> ImageBuffer<P> {
     }
 
     /// Applies `f(x, y, pixel)` to every pixel, producing a new image.
-    pub fn map_indexed<Q: Copy, F: FnMut(usize, usize, P) -> Q>(
-        &self,
-        mut f: F,
-    ) -> ImageBuffer<Q> {
+    pub fn map_indexed<Q: Copy, F: FnMut(usize, usize, P) -> Q>(&self, mut f: F) -> ImageBuffer<Q> {
         let width = self.width;
         ImageBuffer {
             width: self.width,
@@ -282,10 +279,7 @@ mod tests {
     fn enumerate_pixels_yields_coordinates() {
         let img = ImageBuffer::from_fn(2, 2, |x, y| (x + 2 * y) as u8);
         let collected: Vec<(usize, usize, u8)> = img.enumerate_pixels().collect();
-        assert_eq!(
-            collected,
-            vec![(0, 0, 0), (1, 0, 1), (0, 1, 2), (1, 1, 3)]
-        );
+        assert_eq!(collected, vec![(0, 0, 0), (1, 0, 1), (0, 1, 2), (1, 1, 3)]);
     }
 
     #[test]

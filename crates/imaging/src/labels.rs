@@ -128,7 +128,10 @@ pub fn connected_components(labels: &LabelMap) -> (LabelMap, usize) {
                     (x, y + 1),
                 ];
                 for (nx, ny) in neighbours {
-                    if nx < w && ny < h && comp.get(nx, ny) == u32::MAX && labels.get(nx, ny) == target
+                    if nx < w
+                        && ny < h
+                        && comp.get(nx, ny) == u32::MAX
+                        && labels.get(nx, ny) == target
                     {
                         comp.set(nx, ny, next);
                         stack.push((nx, ny));

@@ -38,7 +38,7 @@ pub mod transform;
 pub use crate::image::ImageBuffer;
 pub use error::{ImagingError, Result};
 pub use pixel::{Luma, Rgb};
-pub use segment::Segmenter;
+pub use segment::{PixelClassifier, Segmenter};
 
 /// 8-bit RGB image.
 pub type RgbImage = ImageBuffer<Rgb<u8>>;

@@ -79,6 +79,7 @@ impl Rgb<f64> {
     }
 
     /// Channel-wise addition (used when accumulating cluster means).
+    #[allow(clippy::should_implement_trait)] // named like the operator on purpose
     pub fn add(self, other: Rgb<f64>) -> Rgb<f64> {
         Rgb([
             self.r() + other.r(),

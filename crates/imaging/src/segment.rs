@@ -1,6 +1,10 @@
 //! The common interface every segmentation algorithm in the workspace
-//! implements (the IQFT-inspired methods and the K-means / Otsu baselines).
+//! implements (the IQFT-inspired methods and the K-means / Otsu baselines),
+//! plus the per-pixel contract ([`PixelClassifier`]) the parallel
+//! `SegmentEngine` (crate `seg-engine`) exploits to execute any such
+//! algorithm with a runtime-selectable backend.
 
+use crate::pixel::{Luma, Rgb};
 use crate::{GrayImage, LabelMap, RgbImage};
 
 /// An unsupervised image segmenter.
@@ -21,6 +25,37 @@ pub trait Segmenter {
     /// native algorithms override this.
     fn segment_gray(&self, img: &GrayImage) -> LabelMap {
         self.segment_rgb(&crate::color::gray_to_rgb(img))
+    }
+}
+
+/// A segmentation rule whose label for a pixel depends only on that pixel.
+///
+/// This is the contract the parallel `SegmentEngine` exploits: because each
+/// label is a pure function of one pixel, the label buffer can be filled in
+/// disjoint chunks on any number of threads and the result is byte-identical
+/// to a serial pass.  All of the paper's methods have this shape (the IQFT
+/// segmenters classify pixels independently; Otsu and K-means do after their
+/// global fitting step).
+///
+/// Closures `Fn(Rgb<u8>) -> u32` implement the trait directly, so fitted
+/// models can hand the engine a lightweight classification rule without
+/// defining a type.
+pub trait PixelClassifier {
+    /// Label for one RGB pixel.
+    fn classify_rgb_pixel(&self, pixel: Rgb<u8>) -> u32;
+
+    /// Label for one grayscale pixel.  The default replicates the intensity
+    /// into all channels, mirroring [`Segmenter::segment_gray`]; grayscale-
+    /// native rules override this.
+    fn classify_gray_pixel(&self, pixel: Luma<u8>) -> u32 {
+        let v = pixel.value();
+        self.classify_rgb_pixel(Rgb::new(v, v, v))
+    }
+}
+
+impl<F: Fn(Rgb<u8>) -> u32> PixelClassifier for F {
+    fn classify_rgb_pixel(&self, pixel: Rgb<u8>) -> u32 {
+        self(pixel)
     }
 }
 

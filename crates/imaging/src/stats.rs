@@ -21,7 +21,10 @@ fn mean_std(values: impl Iterator<Item = f64>) -> MeanStd {
         sum_sq += v * v;
     }
     if n == 0 {
-        return MeanStd { mean: 0.0, std: 0.0 };
+        return MeanStd {
+            mean: 0.0,
+            std: 0.0,
+        };
     }
     let mean = sum / n as f64;
     let var = (sum_sq / n as f64 - mean * mean).max(0.0);

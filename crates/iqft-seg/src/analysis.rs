@@ -147,10 +147,7 @@ mod tests {
     #[test]
     fn mixed_configuration_reaches_exactly_two_segments() {
         // Table II's final row: θ1=π/4, θ2=π/2, θ3=π → 2 segments (constant).
-        assert_eq!(
-            max_segments_for_theta(ThetaParams::mixed(), SAMPLES, 11),
-            2
-        );
+        assert_eq!(max_segments_for_theta(ThetaParams::mixed(), SAMPLES, 11), 2);
     }
 
     #[test]
@@ -181,4 +178,3 @@ mod tests {
         assert!(rows.iter().all(|r| r.max_segments <= NUM_STATES));
     }
 }
-

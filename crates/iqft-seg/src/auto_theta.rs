@@ -15,6 +15,7 @@ use crate::foreground::{reduce_to_foreground, ForegroundPolicy};
 use crate::rgb::IqftRgbSegmenter;
 use crate::theta::ThetaParams;
 use imaging::{color, labels, LabelMap, RgbImage, Segmenter};
+use seg_engine::SegmentEngine;
 use std::f64::consts::PI;
 
 /// Result of a θ search.
@@ -34,6 +35,7 @@ pub struct ThetaSearchResult {
 #[derive(Debug, Clone)]
 pub struct AutoThetaSearch {
     candidates: Vec<f64>,
+    engine: SegmentEngine,
 }
 
 impl Default for AutoThetaSearch {
@@ -46,7 +48,16 @@ impl AutoThetaSearch {
     /// Creates a search over the given uniform-θ candidates.
     pub fn new(candidates: Vec<f64>) -> Self {
         assert!(!candidates.is_empty(), "candidate list must not be empty");
-        Self { candidates }
+        Self {
+            candidates,
+            engine: SegmentEngine::default(),
+        }
+    }
+
+    /// Executes each candidate's segmentation on `engine`.
+    pub fn with_engine(mut self, engine: SegmentEngine) -> Self {
+        self.engine = engine;
+        self
     }
 
     /// The default candidate grid: `π/2, 3π/4, π, 5π/4, 3π/2, 7π/4, 2π`
@@ -77,7 +88,7 @@ impl AutoThetaSearch {
         let mut best: Option<ThetaSearchResult> = None;
         let mut candidate_scores = Vec::with_capacity(self.candidates.len());
         for &theta in &self.candidates {
-            let seg = IqftRgbSegmenter::new(ThetaParams::uniform(theta));
+            let seg = IqftRgbSegmenter::new(ThetaParams::uniform(theta)).with_engine(self.engine);
             let labels = seg.segment_rgb(image);
             let s = score(theta, &labels);
             candidate_scores.push((theta, s));

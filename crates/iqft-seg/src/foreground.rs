@@ -102,8 +102,7 @@ fn best_binary_split(segmentation: &LabelMap, image: &RgbImage) -> LabelMap {
         let w1: usize = high.iter().map(|s| s.2).sum();
         let mu0: f64 = low.iter().map(|s| s.1 * s.2 as f64).sum::<f64>() / w0 as f64;
         let mu1: f64 = high.iter().map(|s| s.1 * s.2 as f64).sum::<f64>() / w1 as f64;
-        let score =
-            (w0 as f64 / total as f64) * (w1 as f64 / total as f64) * (mu0 - mu1).powi(2);
+        let score = (w0 as f64 / total as f64) * (w1 as f64 / total as f64) * (mu0 - mu1).powi(2);
         if score > best_score {
             best_score = score;
             best_split = split;

@@ -16,7 +16,8 @@
 //! (the paper's Fig. 4 "balls" example, eq. 16).
 
 use crate::theta::thresholds_for_theta;
-use imaging::{color, GrayImage, LabelMap, Luma, RgbImage, Segmenter};
+use imaging::{color, GrayImage, LabelMap, Luma, PixelClassifier, Rgb, RgbImage, Segmenter};
+use seg_engine::SegmentEngine;
 use xpar::Backend;
 
 /// The 1-qubit grayscale segmenter (labels 0 = class 1, 1 = class 2).
@@ -52,6 +53,16 @@ impl IqftGraySegmenter {
     pub fn with_backend(mut self, backend: Backend) -> Self {
         self.backend = backend;
         self
+    }
+
+    /// Routes whole-image segmentation through `engine`.
+    pub fn with_engine(self, engine: SegmentEngine) -> Self {
+        self.with_backend(engine.backend())
+    }
+
+    /// The engine this segmenter executes whole-image calls on.
+    pub fn engine(&self) -> SegmentEngine {
+        SegmentEngine::new(self.backend)
     }
 
     /// The configured angle θ.
@@ -93,23 +104,29 @@ impl IqftGraySegmenter {
     }
 }
 
+impl PixelClassifier for IqftGraySegmenter {
+    fn classify_rgb_pixel(&self, pixel: Rgb<u8>) -> u32 {
+        self.classify(color::luma_u8_of(pixel))
+    }
+
+    fn classify_gray_pixel(&self, pixel: Luma<u8>) -> u32 {
+        self.classify(pixel.value())
+    }
+}
+
 impl Segmenter for IqftGraySegmenter {
     fn name(&self) -> &str {
         "IQFT (grayscale)"
     }
 
     fn segment_rgb(&self, img: &RgbImage) -> LabelMap {
-        // The paper prepares grayscale inputs with the eq. 17 weighted sum.
-        self.segment_gray(&color::rgb_to_gray_u8(img))
+        // The paper prepares grayscale inputs with the eq. 17 weighted sum;
+        // the engine applies the same conversion pixel-by-pixel.
+        self.engine().segment_rgb(self, img)
     }
 
     fn segment_gray(&self, img: &GrayImage) -> LabelMap {
-        let (w, h) = img.dimensions();
-        let pixels = img.as_slice();
-        let labels = self
-            .backend
-            .map_indexed(pixels.len(), |i| self.classify(pixels[i].value()));
-        LabelMap::from_vec(w, h, labels).expect("label buffer matches image size")
+        self.engine().segment_gray(self, img)
     }
 }
 
@@ -269,7 +286,10 @@ mod tests {
 
     #[test]
     fn name_is_stable() {
-        assert_eq!(IqftGraySegmenter::paper_default().name(), "IQFT (grayscale)");
+        assert_eq!(
+            IqftGraySegmenter::paper_default().name(),
+            "IQFT (grayscale)"
+        );
         assert_eq!(IqftGraySegmenter::paper_default().theta(), PI);
     }
 }

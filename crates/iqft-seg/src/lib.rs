@@ -23,6 +23,12 @@
 //!   foreground/background mask for mIOU evaluation.
 //! * [`analysis`] — segment-count analysis used for the paper's Table II.
 //! * [`auto_theta`] — per-image θ selection (the paper's Fig. 10 adjustment).
+//! * [`engine`] (re-export of the `seg-engine` crate) — the backend-aware
+//!   [`SegmentEngine`] that executes these segmenters with chunk-parallel
+//!   pixel classification and batched multi-image sweeps.  Every segmenter
+//!   here routes its whole-image calls through an engine; pick the backend
+//!   with `with_backend` / `with_engine` or the harness's
+//!   `--backend serial|threads|rayon --threads N` flags.
 //!
 //! # Quickstart
 //!
@@ -48,12 +54,16 @@ pub mod lut;
 pub mod rgb;
 pub mod theta;
 
+/// The backend-aware parallel execution engine (the `seg-engine` crate).
+pub use seg_engine as engine;
+
 pub use analysis::max_segments_for_theta;
 pub use auto_theta::AutoThetaSearch;
 pub use foreground::{reduce_to_foreground, ForegroundPolicy};
 pub use gray::IqftGraySegmenter;
 pub use lut::LutRgbSegmenter;
 pub use rgb::IqftRgbSegmenter;
+pub use seg_engine::SegmentEngine;
 pub use theta::ThetaParams;
 
 #[cfg(test)]

@@ -9,7 +9,7 @@
 //! benchmark).
 
 use crate::rgb::IqftRgbSegmenter;
-use imaging::{LabelMap, Rgb, RgbImage, Segmenter};
+use imaging::{LabelMap, PixelClassifier, Rgb, RgbImage, Segmenter};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 
@@ -43,6 +43,18 @@ impl LutRgbSegmenter {
         &self.inner
     }
 
+    /// Selects the execution backend for whole-image segmentation.
+    pub fn with_backend(mut self, backend: xpar::Backend) -> Self {
+        self.inner = self.inner.with_backend(backend);
+        self
+    }
+
+    /// Routes whole-image segmentation through `engine`.
+    pub fn with_engine(mut self, engine: seg_engine::SegmentEngine) -> Self {
+        self.inner = self.inner.with_engine(engine);
+        self
+    }
+
     /// Number of distinct colours currently cached.
     pub fn cache_len(&self) -> usize {
         self.cache.read().len()
@@ -65,6 +77,12 @@ impl LutRgbSegmenter {
     }
 }
 
+impl PixelClassifier for LutRgbSegmenter {
+    fn classify_rgb_pixel(&self, pixel: Rgb<u8>) -> u32 {
+        self.classify(pixel)
+    }
+}
+
 impl Segmenter for LutRgbSegmenter {
     fn name(&self) -> &str {
         "IQFT (RGB, LUT)"
@@ -72,8 +90,9 @@ impl Segmenter for LutRgbSegmenter {
 
     fn segment_rgb(&self, img: &RgbImage) -> LabelMap {
         // Classify each distinct colour once, then map pixels through the
-        // resulting table.  Working on the distinct-colour set keeps the lock
-        // traffic negligible even for large images.
+        // resulting table on the engine's parallel backend.  Working on the
+        // distinct-colour set keeps the lock traffic negligible even for
+        // large images; the table lookup itself is lock-free.
         let mut local: HashMap<[u8; 3], u32> = HashMap::new();
         {
             let cache = self.cache.read();
@@ -85,9 +104,9 @@ impl Segmenter for LutRgbSegmenter {
         }
         let mut new_entries: Vec<([u8; 3], u32)> = Vec::new();
         for p in img.pixels() {
-            if !local.contains_key(&p.0) {
+            if let std::collections::hash_map::Entry::Vacant(slot) = local.entry(p.0) {
                 let label = self.inner.classify(*p);
-                local.insert(p.0, label);
+                slot.insert(label);
                 new_entries.push((p.0, label));
             }
         }
@@ -97,7 +116,8 @@ impl Segmenter for LutRgbSegmenter {
                 cache.insert(k, v);
             }
         }
-        img.map(|p| local[&p.0])
+        let table_lookup = |p: Rgb<u8>| local[&p.0];
+        self.inner.engine().segment_rgb(&table_lookup, img)
     }
 }
 
@@ -146,7 +166,11 @@ mod tests {
     #[test]
     fn classify_single_pixels_matches_inner() {
         let lut = LutRgbSegmenter::new(IqftRgbSegmenter::new(ThetaParams::uniform(2.0)));
-        for pixel in [Rgb::new(0, 0, 0), Rgb::new(255, 10, 90), Rgb::new(128, 128, 128)] {
+        for pixel in [
+            Rgb::new(0, 0, 0),
+            Rgb::new(255, 10, 90),
+            Rgb::new(128, 128, 128),
+        ] {
             assert_eq!(lut.classify(pixel), lut.inner().classify(pixel));
             // Second lookup hits the cache and still agrees.
             assert_eq!(lut.classify(pixel), lut.inner().classify(pixel));

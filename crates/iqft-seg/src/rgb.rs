@@ -40,8 +40,9 @@
 //! the state-vector simulator in the `quantum` crate) for validation.
 
 use crate::theta::ThetaParams;
-use imaging::{color, LabelMap, Rgb, RgbImage, Segmenter};
+use imaging::{color, LabelMap, PixelClassifier, Rgb, RgbImage, Segmenter};
 use quantum::{idft_matrix, phase_vector, CMatrix, Complex};
+use seg_engine::SegmentEngine;
 use xpar::Backend;
 
 /// Number of basis states / possible labels of the 3-qubit algorithm.
@@ -100,6 +101,17 @@ impl IqftRgbSegmenter {
     pub fn with_backend(mut self, backend: Backend) -> Self {
         self.backend = backend;
         self
+    }
+
+    /// Routes whole-image segmentation through `engine` (equivalent to
+    /// [`Self::with_backend`] with the engine's backend).
+    pub fn with_engine(self, engine: SegmentEngine) -> Self {
+        self.with_backend(engine.backend())
+    }
+
+    /// The engine this segmenter executes whole-image calls on.
+    pub fn engine(&self) -> SegmentEngine {
+        SegmentEngine::new(self.backend)
     }
 
     /// Selects the qubit-ordering convention.
@@ -178,12 +190,7 @@ impl IqftRgbSegmenter {
     /// 8-component phase vector, multiplies by the 8×8 inverse-DFT matrix and
     /// squares the amplitudes.  Slower than
     /// [`Self::probabilities_from_phases`], used for validation.
-    pub fn probabilities_via_matrix(
-        &self,
-        gamma: f64,
-        beta: f64,
-        alpha: f64,
-    ) -> [f64; NUM_STATES] {
+    pub fn probabilities_via_matrix(&self, gamma: f64, beta: f64, alpha: f64) -> [f64; NUM_STATES] {
         let register = self.register_phases(gamma, beta, alpha);
         let f = phase_vector(&register);
         let w: CMatrix = idft_matrix(NUM_STATES);
@@ -236,18 +243,19 @@ pub(crate) fn argmax(values: &[f64]) -> usize {
     best
 }
 
+impl PixelClassifier for IqftRgbSegmenter {
+    fn classify_rgb_pixel(&self, pixel: Rgb<u8>) -> u32 {
+        self.classify(pixel)
+    }
+}
+
 impl Segmenter for IqftRgbSegmenter {
     fn name(&self) -> &str {
         "IQFT (RGB)"
     }
 
     fn segment_rgb(&self, img: &RgbImage) -> LabelMap {
-        let (w, h) = img.dimensions();
-        let pixels = img.as_slice();
-        let labels = self
-            .backend
-            .map_indexed(pixels.len(), |i| self.classify(pixels[i]));
-        LabelMap::from_vec(w, h, labels).expect("label buffer matches image size")
+        self.engine().segment_rgb(self, img)
     }
 
     fn segment_gray(&self, img: &imaging::GrayImage) -> LabelMap {
@@ -286,8 +294,8 @@ mod tests {
     #[test]
     fn fast_path_matches_matrix_path() {
         for bit_order in [BitOrder::FigureConsistent, BitOrder::Equation11] {
-            let seg = IqftRgbSegmenter::new(ThetaParams::new(1.3, 2.9, 0.4))
-                .with_bit_order(bit_order);
+            let seg =
+                IqftRgbSegmenter::new(ThetaParams::new(1.3, 2.9, 0.4)).with_bit_order(bit_order);
             for (g, b, a) in [(0.0, 0.0, 0.0), (0.7, 1.9, 2.4), (3.1, 0.2, 5.9)] {
                 let fast = seg.probabilities_from_phases(g, b, a);
                 let matrix = seg.probabilities_via_matrix(g, b, a);
@@ -390,7 +398,9 @@ mod tests {
         let without = IqftRgbSegmenter::paper_default().with_normalization(false);
         assert!(with.normalizes());
         assert!(!without.normalizes());
-        let img = RgbImage::from_fn(8, 8, |x, y| Rgb::new((x * 30 + 3) as u8, (y * 30 + 5) as u8, 128));
+        let img = RgbImage::from_fn(8, 8, |x, y| {
+            Rgb::new((x * 30 + 3) as u8, (y * 30 + 5) as u8, 128)
+        });
         assert_ne!(with.segment_rgb(&img), without.segment_rgb(&img));
     }
 

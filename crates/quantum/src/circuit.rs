@@ -117,7 +117,9 @@ impl Circuit {
 /// maximum elementwise deviations.  Used by tests and the quantum cross-check
 /// benchmark.
 pub fn qft_circuit_deviation(n: usize) -> f64 {
-    let qft_dev = Circuit::qft(n).to_matrix().max_abs_diff(&dft_matrix(1 << n));
+    let qft_dev = Circuit::qft(n)
+        .to_matrix()
+        .max_abs_diff(&dft_matrix(1 << n));
     let iqft_dev = Circuit::iqft(n)
         .to_matrix()
         .max_abs_diff(&idft_matrix(1 << n));
@@ -143,7 +145,9 @@ mod tests {
     #[test]
     fn qft_circuit_matches_dft_matrix() {
         for n in 1..=4 {
-            let dev = Circuit::qft(n).to_matrix().max_abs_diff(&dft_matrix(1 << n));
+            let dev = Circuit::qft(n)
+                .to_matrix()
+                .max_abs_diff(&dft_matrix(1 << n));
             assert!(dev < 1e-10, "n={n}, dev={dev}");
         }
     }

@@ -80,6 +80,7 @@ impl Complex {
     }
 
     /// Subtraction helper usable in const-free contexts (mirrors `-`).
+    #[allow(clippy::should_implement_trait)] // deliberate mirror of the operator
     pub fn sub(self, other: Self) -> Self {
         self - other
     }

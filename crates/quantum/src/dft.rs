@@ -58,10 +58,7 @@ mod tests {
     fn idft_is_inverse_of_dft() {
         for n in [2usize, 4, 8] {
             let product = idft_matrix(n).mul_mat(&dft_matrix(n));
-            assert!(
-                product.max_abs_diff(&CMatrix::identity(n)) < 1e-10,
-                "n={n}"
-            );
+            assert!(product.max_abs_diff(&CMatrix::identity(n)) < 1e-10, "n={n}");
         }
     }
 

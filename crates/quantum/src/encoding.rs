@@ -90,10 +90,7 @@ mod tests {
     fn product_state_equals_tensor_of_single_qubit_states() {
         let angles = [1.2, 0.5, 2.8];
         let combined = phase_product_state(&angles);
-        let singles: Vec<StateVector> = angles
-            .iter()
-            .map(|&a| phase_product_state(&[a]))
-            .collect();
+        let singles: Vec<StateVector> = angles.iter().map(|&a| phase_product_state(&[a])).collect();
         let tensored = singles[0].tensor(&singles[1]).tensor(&singles[2]);
         assert!((combined.fidelity(&tensored) - 1.0).abs() < 1e-12);
     }

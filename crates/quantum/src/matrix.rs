@@ -79,16 +79,15 @@ impl CMatrix {
             v.len(),
             self.cols
         );
-        let mut out = vec![Complex::ZERO; self.rows];
-        for r in 0..self.rows {
-            let row = self.row(r);
-            let mut acc = Complex::ZERO;
-            for (a, b) in row.iter().zip(v.iter()) {
-                acc += *a * *b;
-            }
-            out[r] = acc;
-        }
-        out
+        (0..self.rows)
+            .map(|r| {
+                let mut acc = Complex::ZERO;
+                for (a, b) in self.row(r).iter().zip(v.iter()) {
+                    acc += *a * *b;
+                }
+                acc
+            })
+            .collect()
     }
 
     /// Matrix–matrix product.
@@ -144,7 +143,9 @@ mod tests {
     #[test]
     fn identity_times_vector_is_vector() {
         let id = CMatrix::identity(4);
-        let v: Vec<Complex> = (0..4).map(|i| Complex::new(i as f64, -(i as f64))).collect();
+        let v: Vec<Complex> = (0..4)
+            .map(|i| Complex::new(i as f64, -(i as f64)))
+            .collect();
         assert_eq!(id.mul_vec(&v), v);
         assert!(id.is_unitary(1e-12));
     }
@@ -182,7 +183,9 @@ mod tests {
 
     #[test]
     fn dagger_conjugates_and_transposes() {
-        let m = CMatrix::from_fn(2, 2, |r, c| Complex::new((r + c) as f64, r as f64 - c as f64));
+        let m = CMatrix::from_fn(2, 2, |r, c| {
+            Complex::new((r + c) as f64, r as f64 - c as f64)
+        });
         let d = m.dagger();
         assert_eq!(d.get(0, 1), m.get(1, 0).conj());
         assert_eq!(d.get(1, 0), m.get(0, 1).conj());

@@ -15,7 +15,10 @@ pub struct StateVector {
 impl StateVector {
     /// Creates the all-zeros computational basis state `|0…0⟩`.
     pub fn zero_state(qubits: usize) -> Self {
-        assert!(qubits > 0 && qubits <= 24, "qubit count out of range (1..=24)");
+        assert!(
+            qubits > 0 && qubits <= 24,
+            "qubit count out of range (1..=24)"
+        );
         let mut amplitudes = vec![Complex::ZERO; 1 << qubits];
         amplitudes[0] = Complex::ONE;
         Self { qubits, amplitudes }
@@ -34,7 +37,10 @@ impl StateVector {
     /// is normalised automatically.
     pub fn from_amplitudes(amplitudes: Vec<Complex>) -> Self {
         let dim = amplitudes.len();
-        assert!(dim >= 2 && dim.is_power_of_two(), "dimension must be a power of two >= 2");
+        assert!(
+            dim >= 2 && dim.is_power_of_two(),
+            "dimension must be a power of two >= 2"
+        );
         let qubits = dim.trailing_zeros() as usize;
         let mut s = Self { qubits, amplitudes };
         s.normalize();
@@ -150,10 +156,7 @@ mod tests {
 
     #[test]
     fn from_amplitudes_normalizes() {
-        let s = StateVector::from_amplitudes(vec![
-            Complex::real(3.0),
-            Complex::real(4.0),
-        ]);
+        let s = StateVector::from_amplitudes(vec![Complex::real(3.0), Complex::real(4.0)]);
         assert!((s.norm_sqr() - 1.0).abs() < 1e-12);
         assert!((s.probability(0) - 0.36).abs() < 1e-12);
         assert!((s.probability(1) - 0.64).abs() < 1e-12);

@@ -97,8 +97,7 @@ impl Backend {
                     if items.is_empty() {
                         return;
                     }
-                    let chunk =
-                        (items.len() / (rayon::current_num_threads() * 4).max(1)).max(1);
+                    let chunk = (items.len() / (rayon::current_num_threads() * 4).max(1)).max(1);
                     items
                         .par_chunks_mut(chunk)
                         .enumerate()

@@ -51,5 +51,7 @@ fn main() {
             max_diff
         );
     }
-    println!("\nThe classical pipeline is numerically identical to measuring the IQFT output register.");
+    println!(
+        "\nThe classical pipeline is numerically identical to measuring the IQFT output register."
+    );
 }

@@ -60,8 +60,11 @@ fn main() {
         out_dir.join("segments.ppm"),
     )
     .expect("write segmentation");
-    io::save_ppm(&labels::render_binary(&binary), out_dir.join("foreground.ppm"))
-        .expect("write mask");
+    io::save_ppm(
+        &labels::render_binary(&binary),
+        out_dir.join("foreground.ppm"),
+    )
+    .expect("write mask");
     println!(
         "wrote input.ppm / segments.ppm / foreground.ppm to {}",
         out_dir.display()

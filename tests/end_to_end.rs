@@ -2,7 +2,9 @@
 //! through segmentation to evaluation, exercising every workspace crate
 //! together the way the experiment harness does.
 
-use datasets::{balls_scene, PascalVocLikeConfig, PascalVocLikeDataset, XViewLikeConfig, XViewLikeDataset};
+use datasets::{
+    balls_scene, PascalVocLikeConfig, PascalVocLikeDataset, XViewLikeConfig, XViewLikeDataset,
+};
 use imaging::{color, hist::Histogram, Segmenter};
 use iqft_seg::{
     reduce_to_foreground, ForegroundPolicy, IqftGraySegmenter, IqftRgbSegmenter, LutRgbSegmenter,
@@ -164,7 +166,10 @@ fn theta_controls_granularity_on_real_scenes() {
     let coarse_n = imaging::labels::distinct_labels(&coarse);
     let fine_n = imaging::labels::distinct_labels(&fine);
     assert_eq!(coarse_n, 1);
-    assert!(fine_n >= 3, "expected a rich segmentation, got {fine_n} labels");
+    assert!(
+        fine_n >= 3,
+        "expected a rich segmentation, got {fine_n} labels"
+    );
 }
 
 #[test]

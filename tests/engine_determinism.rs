@@ -1,0 +1,190 @@
+//! Determinism of the backend-aware `SegmentEngine` across every execution
+//! backend and thread count — the contract behind the harness's
+//! `--backend serial|threads|rayon --threads N` knob: switching backends must
+//! never change a single label.
+//!
+//! Covers the ISSUE acceptance criterion (`--backend threads --threads N`
+//! produces byte-identical label maps to `--backend serial`, at both the
+//! per-pixel and the per-image batching layer) and the property test that
+//! `LutRgbSegmenter` and `IqftRgbSegmenter` agree exactly on random images
+//! under the engine, for every backend variant and thread count ∈ {1, 2, 8}.
+
+use datasets::{PascalVocLikeConfig, PascalVocLikeDataset};
+use imaging::{LabelMap, Rgb, RgbImage, Segmenter};
+use iqft_seg::{IqftGraySegmenter, IqftRgbSegmenter, LutRgbSegmenter, SegmentEngine, ThetaParams};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use xpar::Backend;
+
+/// Every backend variant crossed with the thread counts under test.
+fn all_engines() -> Vec<(String, SegmentEngine)> {
+    let mut engines = vec![
+        ("serial".to_string(), SegmentEngine::serial()),
+        ("rayon".to_string(), SegmentEngine::new(Backend::Rayon)),
+        (
+            "threads(default)".to_string(),
+            SegmentEngine::with_threads(0),
+        ),
+    ];
+    for threads in [1usize, 2, 8] {
+        engines.push((
+            format!("threads({threads})"),
+            SegmentEngine::with_threads(threads),
+        ));
+    }
+    engines
+}
+
+fn random_image(rng: &mut ChaCha8Rng, width: usize, height: usize) -> RgbImage {
+    let pixels: Vec<Rgb<u8>> = (0..width * height)
+        .map(|_| Rgb::new(rng.gen::<u8>(), rng.gen::<u8>(), rng.gen::<u8>()))
+        .collect();
+    RgbImage::from_vec(width, height, pixels).unwrap()
+}
+
+/// Satellite property: the LUT-accelerated and the direct RGB segmenter
+/// produce identical `LabelMap`s on random images, under the engine, for
+/// every backend variant and thread count ∈ {1, 2, 8}.
+#[test]
+fn lut_and_direct_rgb_agree_on_random_images_under_every_engine() {
+    let mut rng = ChaCha8Rng::seed_from_u64(2023);
+    for case in 0..8 {
+        let width = rng.gen_range(1usize..64);
+        let height = rng.gen_range(1usize..48);
+        let img = random_image(&mut rng, width, height);
+        let theta = ThetaParams::uniform(rng.gen_range(0.3..2.0 * std::f64::consts::PI));
+        let reference = IqftRgbSegmenter::new(theta)
+            .with_engine(SegmentEngine::serial())
+            .segment_rgb(&img);
+        for (name, engine) in all_engines() {
+            let direct = IqftRgbSegmenter::new(theta)
+                .with_engine(engine)
+                .segment_rgb(&img);
+            let lut = LutRgbSegmenter::new(IqftRgbSegmenter::new(theta))
+                .with_engine(engine)
+                .segment_rgb(&img);
+            assert_eq!(direct, reference, "case {case}, engine {name}");
+            assert_eq!(lut, reference, "case {case}, engine {name} (LUT)");
+        }
+    }
+}
+
+/// Acceptance criterion, per-pixel layer: the engine fills label buffers
+/// byte-identically on every backend for all segmenter families.
+#[test]
+fn engine_backends_are_byte_identical_per_pixel() {
+    let mut rng = ChaCha8Rng::seed_from_u64(77);
+    let img = random_image(&mut rng, 53, 37);
+    let gray = imaging::color::rgb_to_gray_u8(&img);
+
+    let rgb_ref = IqftRgbSegmenter::paper_default()
+        .with_engine(SegmentEngine::serial())
+        .segment_rgb(&img);
+    let gray_ref = IqftGraySegmenter::paper_default()
+        .with_engine(SegmentEngine::serial())
+        .segment_gray(&gray);
+    let otsu_ref = baselines::OtsuSegmenter::new()
+        .with_engine(SegmentEngine::serial())
+        .segment_gray(&gray);
+    let kmeans_ref = baselines::KMeansSegmenter::binary(9)
+        .with_engine(SegmentEngine::serial())
+        .segment_rgb(&img);
+
+    for (name, engine) in all_engines() {
+        assert_eq!(
+            IqftRgbSegmenter::paper_default()
+                .with_engine(engine)
+                .segment_rgb(&img),
+            rgb_ref,
+            "IQFT RGB via {name}"
+        );
+        assert_eq!(
+            IqftGraySegmenter::paper_default()
+                .with_engine(engine)
+                .segment_gray(&gray),
+            gray_ref,
+            "IQFT gray via {name}"
+        );
+        assert_eq!(
+            baselines::OtsuSegmenter::new()
+                .with_engine(engine)
+                .segment_gray(&gray),
+            otsu_ref,
+            "Otsu via {name}"
+        );
+        assert_eq!(
+            baselines::KMeansSegmenter::binary(9)
+                .with_engine(engine)
+                .segment_rgb(&img),
+            kmeans_ref,
+            "K-means via {name}"
+        );
+    }
+}
+
+/// Acceptance criterion, harness layer: the full evaluation pipeline (the
+/// code path behind `iqft-experiments table3 --backend ...`) produces
+/// byte-identical label maps and scores when batched on `threads N` vs
+/// `serial`.
+#[test]
+fn harness_evaluation_is_byte_identical_across_backends() {
+    use experiments::{evaluate_method_with, Method};
+    use iqft_seg::ForegroundPolicy;
+
+    let dataset = PascalVocLikeDataset::new(PascalVocLikeConfig {
+        len: 4,
+        width: 48,
+        height: 36,
+        seed: 55,
+        ..PascalVocLikeConfig::default()
+    });
+    let samples: Vec<_> = dataset.iter().collect();
+    let policy = ForegroundPolicy::LargestIsBackground;
+
+    for method in Method::table3_methods(3) {
+        let serial = evaluate_method_with(&SegmentEngine::serial(), &method, &samples, policy);
+        for threads in [1usize, 2, 8] {
+            let parallel = evaluate_method_with(
+                &SegmentEngine::with_threads(threads),
+                &method,
+                &samples,
+                policy,
+            );
+            assert_eq!(parallel.scores.len(), serial.scores.len());
+            for (a, b) in parallel.scores.iter().zip(serial.scores.iter()) {
+                assert_eq!(a.id, b.id, "{} threads={threads}", method.name());
+                // Scores are a pure function of the label maps, so bitwise
+                // equality here certifies byte-identical segmentations.
+                assert_eq!(a.miou, b.miou, "{} threads={threads}", method.name());
+                assert_eq!(
+                    a.iou_foreground,
+                    b.iou_foreground,
+                    "{} threads={threads}",
+                    method.name()
+                );
+            }
+            assert_eq!(parallel.average_miou, serial.average_miou);
+            assert_eq!(parallel.poor_fraction, serial.poor_fraction);
+        }
+    }
+
+    // The binary label maps themselves, compared bit-for-bit across engines.
+    for sample in &samples {
+        let build = |engine: SegmentEngine| -> LabelMap {
+            let segmenter = Method::IqftRgb {
+                theta: std::f64::consts::PI,
+            }
+            .build_with(engine);
+            segmenter.segment_rgb(&sample.image)
+        };
+        let reference = build(SegmentEngine::serial());
+        for threads in [1usize, 2, 8] {
+            assert_eq!(
+                build(SegmentEngine::with_threads(threads)),
+                reference,
+                "{}",
+                sample.id
+            );
+        }
+    }
+}
