@@ -1,0 +1,108 @@
+//! Ablation A4: steady-state throughput of the batched `iqft-pipeline`
+//! service, exact statevector math vs. the lazy colour LUT vs. the eager
+//! `PhaseTable` fast path.
+//!
+//! Each iteration streams a fixed 16-image synthetic batch through a warmed
+//! pipeline with buffer recycling, so the measurement captures the
+//! steady-state regime the pipeline is designed for (no arena warm-up, no
+//! first-touch page faults, LUT cache already populated).  The `workers_*`
+//! axis sweeps the worker-thread count for the winning classifier.
+//!
+//! Snapshot a baseline with
+//! `CRITERION_JSON=BENCH_throughput.json cargo bench --bench ablation_pipeline_throughput`.
+
+use bench::synthetic_rgb;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use imaging::{PixelClassifier, RgbImage};
+use iqft_pipeline::{PipelineConfig, SegmentPipeline};
+use iqft_seg::{IqftRgbSegmenter, LutRgbSegmenter, PhaseTable};
+use seg_engine::SegmentEngine;
+use std::time::Duration;
+
+const IMAGES: usize = 16;
+const SIZE: usize = 96;
+
+fn stream() -> Vec<RgbImage> {
+    (0..IMAGES)
+        .map(|i| synthetic_rgb(SIZE, SIZE * 3 / 4, 100 + i as u64))
+        .collect()
+}
+
+fn run_stream<C: PixelClassifier + Sync>(pipeline: &SegmentPipeline<C>, images: &[RgbImage]) {
+    let report = pipeline.run_stream(images, IMAGES, |_, labels| pipeline.recycle(labels));
+    assert_eq!(report.images(), images.len());
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_pipeline_throughput");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    let images = stream();
+    group.throughput(Throughput::Elements(
+        images.iter().map(|img| img.len() as u64).sum(),
+    ));
+
+    let engine = SegmentEngine::with_threads(1);
+    let single = PipelineConfig {
+        workers: 1,
+        queue_capacity: 4,
+    };
+
+    // Classifier axis at one worker: isolates the per-pixel classification
+    // cost from scheduling effects.
+    let exact = SegmentPipeline::new(engine, IqftRgbSegmenter::paper_default()).with_config(single);
+    group.bench_with_input(
+        BenchmarkId::new("voc16_96px", "exact"),
+        &images,
+        |b, images| {
+            run_stream(&exact, images); // warm the arena outside the timing loop
+            b.iter(|| run_stream(&exact, images))
+        },
+    );
+
+    let lut = SegmentPipeline::new(engine, LutRgbSegmenter::paper_default()).with_config(single);
+    group.bench_with_input(
+        BenchmarkId::new("voc16_96px", "lut"),
+        &images,
+        |b, images| {
+            run_stream(&lut, images); // warm the arena and the colour cache
+            b.iter(|| run_stream(&lut, images))
+        },
+    );
+
+    let table = SegmentPipeline::new(engine, PhaseTable::paper_default()).with_config(single);
+    group.bench_with_input(
+        BenchmarkId::new("voc16_96px", "phase_table"),
+        &images,
+        |b, images| {
+            run_stream(&table, images);
+            b.iter(|| run_stream(&table, images))
+        },
+    );
+
+    // Worker-count axis for the fast path.
+    for workers in [1usize, 2, 4, 8] {
+        let pipeline = SegmentPipeline::new(
+            SegmentEngine::with_threads(workers),
+            PhaseTable::paper_default(),
+        )
+        .with_config(PipelineConfig {
+            workers,
+            queue_capacity: workers * 2,
+        });
+        group.bench_with_input(
+            BenchmarkId::new("voc16_96px_phase_table", format!("workers_{workers}")),
+            &images,
+            |b, images| {
+                run_stream(&pipeline, images);
+                b.iter(|| run_stream(&pipeline, images))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

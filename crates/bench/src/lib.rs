@@ -4,6 +4,16 @@
 //! design ablation from DESIGN.md §A1–A3).  The helpers here build the small,
 //! deterministic workloads the benches run on, so the measured code is always
 //! the library code itself rather than dataset generation.
+//!
+//! # Example
+//!
+//! ```
+//! use bench::synthetic_rgb;
+//!
+//! let img = synthetic_rgb(16, 8, 1);
+//! assert_eq!(img.dimensions(), (16, 8));
+//! assert_eq!(img, synthetic_rgb(16, 8, 1)); // deterministic in the seed
+//! ```
 
 use datasets::{
     LabeledImage, PascalVocLikeConfig, PascalVocLikeDataset, XViewLikeConfig, XViewLikeDataset,

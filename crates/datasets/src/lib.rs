@@ -24,6 +24,26 @@
 //!
 //! Every generator takes an explicit seed and is deterministic, so the
 //! experiment harness and the benchmarks always see the same data.
+//!
+//! # Example
+//!
+//! ```
+//! use datasets::{PascalVocLikeConfig, PascalVocLikeDataset};
+//!
+//! let config = PascalVocLikeConfig {
+//!     len: 2,
+//!     width: 32,
+//!     height: 24,
+//!     seed: 7,
+//!     ..PascalVocLikeConfig::default()
+//! };
+//! let samples: Vec<_> = PascalVocLikeDataset::new(config.clone()).iter().collect();
+//! assert_eq!(samples.len(), 2);
+//! assert_eq!(samples[0].image.dimensions(), (32, 24));
+//! // Deterministic: the same seed regenerates identical imagery.
+//! let again = PascalVocLikeDataset::new(config).iter().next().unwrap();
+//! assert_eq!(again.image, samples[0].image);
+//! ```
 
 pub mod balls;
 pub mod loader;

@@ -1,3 +1,4 @@
+#![warn(missing_docs)]
 //! `seg-engine` — the backend-aware parallel segmentation engine.
 //!
 //! Every segmentation algorithm in this workspace classifies pixels
@@ -20,6 +21,24 @@
 //! implementations through an engine, and the `iqft-experiments` binary
 //! exposes the engine's knob as `--backend serial|threads|rayon --threads N`,
 //! so one flag controls parallelism across every layer of the workspace.
+//! The `_into` variants ([`SegmentEngine::segment_rgb_into`]) fill a
+//! caller-provided buffer, which is what the `iqft-pipeline` crate's arena
+//! recycling builds on.
+//!
+//! # Example
+//!
+//! ```
+//! use imaging::{Rgb, RgbImage};
+//! use seg_engine::SegmentEngine;
+//!
+//! let img = RgbImage::from_fn(16, 16, |x, y| Rgb::new((x * 16) as u8, (y * 16) as u8, 0));
+//! // Closures implement `PixelClassifier`, so a fitted model can hand the
+//! // engine a lightweight rule.
+//! let rule = |p: Rgb<u8>| u32::from(p.r() as u16 + p.g() as u16 > 255);
+//! let serial = SegmentEngine::serial().segment_rgb(&rule, &img);
+//! let parallel = SegmentEngine::with_threads(4).segment_rgb(&rule, &img);
+//! assert_eq!(serial, parallel); // byte-identical on every backend
+//! ```
 
 use imaging::{GrayImage, LabelMap, PixelClassifier, RgbImage};
 use xpar::Backend;
@@ -89,15 +108,31 @@ impl SegmentEngine {
         C: PixelClassifier + Sync + ?Sized,
     {
         let (w, h) = img.dimensions();
-        let pixels = img.as_slice();
-        let mut labels = vec![0u32; pixels.len()];
-        self.backend
-            .for_each_chunk_mut(&mut labels, |start, chunk| {
-                for (offset, label) in chunk.iter_mut().enumerate() {
-                    *label = classifier.classify_rgb_pixel(pixels[start + offset]);
-                }
-            });
+        let mut labels = Vec::new();
+        self.segment_rgb_into(classifier, img, &mut labels);
         LabelMap::from_vec(w, h, labels).expect("label buffer matches image size")
+    }
+
+    /// Allocation-reusing variant of [`SegmentEngine::segment_rgb`]: fills
+    /// `labels` in place (clearing any previous contents and resizing to the
+    /// pixel count).
+    ///
+    /// When `labels` already has sufficient capacity — e.g. a buffer recycled
+    /// by the `iqft-pipeline` arena — the hot path performs **zero**
+    /// allocations.  The written labels are byte-identical to
+    /// [`SegmentEngine::segment_rgb`] on any backend.
+    pub fn segment_rgb_into<C>(&self, classifier: &C, img: &RgbImage, labels: &mut Vec<u32>)
+    where
+        C: PixelClassifier + Sync + ?Sized,
+    {
+        let pixels = img.as_slice();
+        labels.clear();
+        labels.resize(pixels.len(), 0);
+        self.backend.for_each_chunk_mut(labels, |start, chunk| {
+            for (offset, label) in chunk.iter_mut().enumerate() {
+                *label = classifier.classify_rgb_pixel(pixels[start + offset]);
+            }
+        });
     }
 
     /// Grayscale counterpart of [`SegmentEngine::segment_rgb`].
@@ -106,15 +141,24 @@ impl SegmentEngine {
         C: PixelClassifier + Sync + ?Sized,
     {
         let (w, h) = img.dimensions();
-        let pixels = img.as_slice();
-        let mut labels = vec![0u32; pixels.len()];
-        self.backend
-            .for_each_chunk_mut(&mut labels, |start, chunk| {
-                for (offset, label) in chunk.iter_mut().enumerate() {
-                    *label = classifier.classify_gray_pixel(pixels[start + offset]);
-                }
-            });
+        let mut labels = Vec::new();
+        self.segment_gray_into(classifier, img, &mut labels);
         LabelMap::from_vec(w, h, labels).expect("label buffer matches image size")
+    }
+
+    /// Grayscale counterpart of [`SegmentEngine::segment_rgb_into`].
+    pub fn segment_gray_into<C>(&self, classifier: &C, img: &GrayImage, labels: &mut Vec<u32>)
+    where
+        C: PixelClassifier + Sync + ?Sized,
+    {
+        let pixels = img.as_slice();
+        labels.clear();
+        labels.resize(pixels.len(), 0);
+        self.backend.for_each_chunk_mut(labels, |start, chunk| {
+            for (offset, label) in chunk.iter_mut().enumerate() {
+                *label = classifier.classify_gray_pixel(pixels[start + offset]);
+            }
+        });
     }
 
     /// Maps `f` over a dataset slice in parallel, collecting results in
@@ -215,6 +259,35 @@ mod tests {
         assert!(SegmentEngine::from_flags("gpu", 1).is_err());
         assert_eq!(SegmentEngine::with_threads(3).threads(), 3);
         assert!(SegmentEngine::serial().threads() == 1);
+    }
+
+    #[test]
+    fn into_variants_reuse_the_buffer_and_match_allocating_path() {
+        let img = test_image();
+        let gray = GrayImage::from_fn(37, 23, |x, y| Luma((x * y % 256) as u8));
+        let rgb_rule = |p: Rgb<u8>| u32::from(p.r()) + u32::from(p.g());
+        struct GrayRule;
+        impl PixelClassifier for GrayRule {
+            fn classify_rgb_pixel(&self, p: Rgb<u8>) -> u32 {
+                u32::from(p.r())
+            }
+            fn classify_gray_pixel(&self, p: Luma<u8>) -> u32 {
+                u32::from(p.value()) / 3
+            }
+        }
+        for engine in all_engines() {
+            let mut buf = Vec::new();
+            engine.segment_rgb_into(&rgb_rule, &img, &mut buf);
+            assert_eq!(buf, engine.segment_rgb(&rgb_rule, &img).into_vec());
+            let capacity = buf.capacity();
+            let ptr = buf.as_ptr();
+            // A second fill of a same-sized image reuses the buffer in place.
+            engine.segment_rgb_into(&rgb_rule, &img, &mut buf);
+            assert_eq!(buf.capacity(), capacity);
+            assert_eq!(buf.as_ptr(), ptr);
+            engine.segment_gray_into(&GrayRule, &gray, &mut buf);
+            assert_eq!(buf, engine.segment_gray(&GrayRule, &gray).into_vec());
+        }
     }
 
     #[test]

@@ -10,6 +10,9 @@
 //! * [`figures`] — Figs. 1–3 (worked example), 4 (multi-thresholding),
 //!   5 (normalisation ablation), 6 (θ sweep on scenes), 7 (Otsu equivalence),
 //!   8–9 (qualitative wins) and 10 (per-image θ adjustment).
+//! * [`throughput`] — the batched `iqft-pipeline` service workload
+//!   (`iqft-experiments throughput`), with the `PhaseTable` steady-state
+//!   fast path and a byte-identity cross-check against serial segmentation.
 //!
 //! The `iqft-experiments` binary exposes one subcommand per experiment; every
 //! experiment is also callable as a library function so the benchmark crate
@@ -20,10 +23,21 @@
 //! and evaluated in parallel image batches, and the per-pixel segmenters use
 //! the same engine machinery, so the single knob controls parallelism across
 //! the whole harness.  Outputs are byte-identical across backends.
+//!
+//! # Example
+//!
+//! ```
+//! // Every experiment is callable as a library function; Table I is a pure
+//! // function of the θ ↔ threshold correspondence.
+//! let table = experiments::tables::table1_text();
+//! assert!(table.contains("Table I"));
+//! assert!(table.contains("3π/4"));
+//! ```
 
 pub mod evaluate;
 pub mod figures;
 pub mod tables;
+pub mod throughput;
 
 pub use evaluate::{
     evaluate_method, evaluate_method_with, evaluate_methods, evaluate_methods_with, DatasetSummary,

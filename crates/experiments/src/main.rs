@@ -17,6 +17,9 @@
 //!   fig8    [--out DIR]        qualitative wins (VOC-like)
 //!   fig9    [--out DIR]        qualitative wins (xVIEW2-like)
 //!   fig10                      per-image θ adjustment
+//!   throughput [--images N] [--batch B] [--size S] [--seed S]
+//!              [--classifier exact|lut|table] [--no-verify]
+//!                              batched pipeline service workload
 //!   all     [--out DIR]        everything above with reduced sizes
 //!
 //! Global options:
@@ -31,6 +34,7 @@
 
 use experiments::figures;
 use experiments::tables::{self, Table3Config};
+use experiments::throughput::{self, ThroughputConfig};
 use experiments::SegmentEngine;
 use std::path::PathBuf;
 
@@ -44,6 +48,10 @@ struct Args {
     seed: u64,
     backend: String,
     threads: usize,
+    images: usize,
+    batch: usize,
+    classifier: String,
+    verify: bool,
 }
 
 fn parse_args() -> Args {
@@ -57,6 +65,10 @@ fn parse_args() -> Args {
         seed: 42,
         backend: "threads".to_string(),
         threads: 0,
+        images: 64,
+        batch: 16,
+        classifier: "table".to_string(),
+        verify: true,
     };
     let mut iter = std::env::args().skip(1);
     if let Some(cmd) = iter.next() {
@@ -73,6 +85,10 @@ fn parse_args() -> Args {
             "--seed" => args.seed = value().parse().unwrap_or(args.seed),
             "--backend" => args.backend = value(),
             "--threads" => args.threads = value().parse().unwrap_or(args.threads),
+            "--images" => args.images = value().parse().unwrap_or(args.images),
+            "--batch" => args.batch = value().parse().unwrap_or(args.batch),
+            "--classifier" => args.classifier = value(),
+            "--no-verify" => args.verify = false,
             other => eprintln!("ignoring unknown flag {other}"),
         }
     }
@@ -114,6 +130,17 @@ fn main() {
         "fig8" => figures::fig8_9_report(&engine, false, out, 30),
         "fig9" => figures::fig8_9_report(&engine, true, out, 30),
         "fig10" => figures::fig10_report(&engine, 30),
+        "throughput" => throughput::throughput_report(
+            &engine,
+            &ThroughputConfig {
+                images: args.images,
+                batch: args.batch,
+                image_size: args.size,
+                seed: args.seed,
+                classifier: args.classifier.clone(),
+                verify: args.verify,
+            },
+        ),
         "all" => {
             let mut all = String::new();
             all.push_str(&tables::table1_text());
@@ -130,6 +157,10 @@ fn main() {
                 size: args.size.min(96),
                 seed: args.seed,
                 threads: args.threads,
+                images: args.images,
+                batch: args.batch,
+                classifier: args.classifier.clone(),
+                verify: args.verify,
             };
             all.push_str(&run_table3(&quick, &engine));
             all.push('\n');
@@ -148,11 +179,23 @@ fn main() {
             all.push_str(&figures::fig8_9_report(&engine, true, out, 12));
             all.push('\n');
             all.push_str(&figures::fig10_report(&engine, 12));
+            all.push('\n');
+            all.push_str(&throughput::throughput_report(
+                &engine,
+                &ThroughputConfig {
+                    images: args.images.min(16),
+                    batch: args.batch.min(8),
+                    image_size: args.size.min(96),
+                    seed: args.seed,
+                    classifier: args.classifier.clone(),
+                    verify: args.verify,
+                },
+            ));
             all
         }
         "" | "help" | "--help" | "-h" => {
             eprintln!(
-                "usage: iqft-experiments <table1|table2|table3|fig1-3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|all> [--out DIR] [--samples N] [--voc N] [--xview N] [--size S] [--seed S] [--backend serial|threads|rayon] [--threads N]"
+                "usage: iqft-experiments <table1|table2|table3|fig1-3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|throughput|all> [--out DIR] [--samples N] [--voc N] [--xview N] [--size S] [--seed S] [--backend serial|threads|rayon] [--threads N] [--images N] [--batch B] [--classifier exact|lut|table] [--no-verify]"
             );
             return;
         }

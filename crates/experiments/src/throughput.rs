@@ -1,0 +1,268 @@
+//! The `throughput` subcommand: batched segmentation of an image stream
+//! through the `iqft-pipeline` service.
+//!
+//! This is the workload the ROADMAP's "heavy traffic" north star describes:
+//! `--images N` synthetic frames are pushed through a [`SegmentPipeline`] in
+//! batches of `--batch B`, label buffers are recycled between batches, and
+//! per-batch throughput/latency plus arena allocation counters are reported.
+//! Three classifier modes are exposed:
+//!
+//! * `exact` — the direct [`IqftRgbSegmenter`] (statevector-equivalent math
+//!   per pixel);
+//! * `lut` — the lazy per-colour memoising [`LutRgbSegmenter`];
+//! * `table` — the eager [`PhaseTable`] fast path (three table lookups per
+//!   pixel; the steady-state winner).
+//!
+//! Every run cross-checks the batched output against per-image serial
+//! segmentation with the exact segmenter and reports the verification result
+//! — byte-identity is an acceptance criterion, not an option.
+
+use datasets::{PascalVocLikeConfig, PascalVocLikeDataset};
+use imaging::{LabelMap, PixelClassifier, RgbImage, Segmenter};
+use iqft_pipeline::{PipelineReport, SegmentPipeline};
+use iqft_seg::{IqftRgbSegmenter, LutRgbSegmenter, PhaseTable};
+use seg_engine::SegmentEngine;
+use std::fmt::Write as _;
+
+/// Configuration of a throughput run (mirrors the CLI flags).
+#[derive(Debug, Clone)]
+pub struct ThroughputConfig {
+    /// Number of images in the stream (`--images`).
+    pub images: usize,
+    /// Batch size (`--batch`).
+    pub batch: usize,
+    /// Square-ish image edge length in pixels (`--size`).
+    pub image_size: usize,
+    /// Dataset seed (`--seed`).
+    pub seed: u64,
+    /// Classifier mode: `exact`, `lut` or `table` (`--classifier`).
+    pub classifier: String,
+    /// Skip the byte-identity cross-check (`--no-verify`); the default runs it.
+    pub verify: bool,
+}
+
+impl Default for ThroughputConfig {
+    fn default() -> Self {
+        Self {
+            images: 64,
+            batch: 16,
+            image_size: 128,
+            seed: 42,
+            classifier: "table".to_string(),
+            verify: true,
+        }
+    }
+}
+
+/// Generates the synthetic image stream for a throughput run (the VOC-like
+/// generator's images, deterministic in `seed`).
+pub fn throughput_images(config: &ThroughputConfig) -> Vec<RgbImage> {
+    PascalVocLikeDataset::new(PascalVocLikeConfig {
+        len: config.images,
+        width: config.image_size,
+        height: config.image_size * 3 / 4,
+        seed: config.seed,
+        ..PascalVocLikeConfig::default()
+    })
+    .iter()
+    .map(|sample| sample.image)
+    .collect()
+}
+
+fn run_pipeline<C: PixelClassifier + Sync>(
+    engine: &SegmentEngine,
+    classifier: C,
+    images: &[RgbImage],
+    batch: usize,
+) -> (Vec<LabelMap>, PipelineReport) {
+    let pipeline = SegmentPipeline::new(*engine, classifier);
+    let mut outputs: Vec<Option<LabelMap>> = Vec::new();
+    outputs.resize_with(images.len(), || None);
+    let report = pipeline.run_stream(images, batch, |idx, labels| {
+        // Keep a copy for verification, recycle the storage for the next
+        // batch.  (A real service would ship `labels` downstream instead.)
+        outputs[idx] = Some(labels.clone());
+        pipeline.recycle(labels);
+    });
+    let outputs = outputs
+        .into_iter()
+        .map(|slot| slot.expect("pipeline visited every image"))
+        .collect();
+    (outputs, report)
+}
+
+/// Runs the configured stream and returns `(labels, report)`; the classifier
+/// mode is resolved here.  Errors on an unknown mode.
+pub fn throughput_run(
+    engine: &SegmentEngine,
+    config: &ThroughputConfig,
+    images: &[RgbImage],
+) -> Result<(Vec<LabelMap>, PipelineReport), String> {
+    match config.classifier.as_str() {
+        "exact" => Ok(run_pipeline(
+            engine,
+            IqftRgbSegmenter::paper_default(),
+            images,
+            config.batch,
+        )),
+        "lut" => Ok(run_pipeline(
+            engine,
+            LutRgbSegmenter::paper_default(),
+            images,
+            config.batch,
+        )),
+        "table" => Ok(run_pipeline(
+            engine,
+            PhaseTable::paper_default(),
+            images,
+            config.batch,
+        )),
+        other => Err(format!(
+            "unknown classifier '{other}' (expected exact, lut or table)"
+        )),
+    }
+}
+
+/// Runs the whole subcommand and renders the human-readable report.
+pub fn throughput_report(engine: &SegmentEngine, config: &ThroughputConfig) -> String {
+    let images = throughput_images(config);
+    let (labels, report) = match throughput_run(engine, config, &images) {
+        Ok(result) => result,
+        Err(message) => return message,
+    };
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Throughput: {} images ({}x{}), batch {}, classifier '{}', {} workers",
+        config.images,
+        config.image_size,
+        config.image_size * 3 / 4,
+        config.batch,
+        config.classifier,
+        report.workers,
+    );
+    for b in &report.batches {
+        let _ = writeln!(
+            out,
+            "  batch {:>3}: {:>4} img  {:>8.3} Mpx  {:>9.2} ms  {:>8.1} img/s  {:>7.2} Mpx/s  {:>7.3} ms/img",
+            b.batch,
+            b.images,
+            b.pixels as f64 / 1e6,
+            b.elapsed_secs * 1e3,
+            b.images_per_sec(),
+            b.mpixels_per_sec(),
+            b.mean_latency_ms(),
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  total: {} images, {:.3} Mpx in {:.2} ms -> {:.1} img/s, {:.2} Mpx/s (steady-state {:.1} img/s)",
+        report.images(),
+        report.pixels() as f64 / 1e6,
+        report.elapsed_secs() * 1e3,
+        report.images_per_sec(),
+        report.mpixels_per_sec(),
+        report.steady_state_images_per_sec(),
+    );
+    let _ = writeln!(
+        out,
+        "  arena: {} allocations, {} reuses ({} buffers pooled at exit)",
+        report.arena_allocations, report.arena_reuses, report.arena_pooled,
+    );
+
+    if config.verify {
+        let serial = SegmentEngine::serial();
+        let reference = IqftRgbSegmenter::paper_default().with_engine(serial);
+        let mismatches = images
+            .iter()
+            .zip(labels.iter())
+            .filter(|(img, out)| &reference.segment_rgb(img) != *out)
+            .count();
+        if mismatches == 0 {
+            let _ = writeln!(
+                out,
+                "  verify: batched output byte-identical to per-image serial segmentation \
+                 ({} images checked)",
+                images.len()
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "  verify: FAILED — {mismatches} of {} images differ from serial reference",
+                images.len()
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config(classifier: &str) -> ThroughputConfig {
+        ThroughputConfig {
+            images: 6,
+            batch: 2,
+            image_size: 40,
+            seed: 7,
+            classifier: classifier.to_string(),
+            verify: true,
+        }
+    }
+
+    #[test]
+    fn all_classifier_modes_agree_with_serial_reference() {
+        let engine = SegmentEngine::with_threads(2);
+        let config = small_config("exact");
+        let images = throughput_images(&config);
+        let reference: Vec<LabelMap> = images
+            .iter()
+            .map(|img| {
+                IqftRgbSegmenter::paper_default()
+                    .with_engine(SegmentEngine::serial())
+                    .segment_rgb(img)
+            })
+            .collect();
+        for mode in ["exact", "lut", "table"] {
+            let config = small_config(mode);
+            let (labels, report) = throughput_run(&engine, &config, &images).unwrap();
+            assert_eq!(labels, reference, "mode {mode}");
+            assert_eq!(report.images(), 6);
+            assert_eq!(report.batches.len(), 3);
+        }
+    }
+
+    #[test]
+    fn unknown_classifier_is_rejected() {
+        let engine = SegmentEngine::serial();
+        let config = small_config("gpu");
+        let images = throughput_images(&config);
+        assert!(throughput_run(&engine, &config, &images).is_err());
+        assert!(throughput_report(&engine, &config).contains("unknown classifier"));
+    }
+
+    #[test]
+    fn report_contains_verification_and_batch_lines() {
+        let engine = SegmentEngine::with_threads(2);
+        let report = throughput_report(&engine, &small_config("table"));
+        assert!(report.contains("batch   0"), "{report}");
+        assert!(report.contains("byte-identical"), "{report}");
+        assert!(report.contains("arena"), "{report}");
+        // --no-verify drops the verification pass.
+        let mut config = small_config("table");
+        config.verify = false;
+        let silent = throughput_report(&engine, &config);
+        assert!(!silent.contains("verify:"), "{silent}");
+    }
+
+    #[test]
+    fn image_stream_is_deterministic_in_the_seed() {
+        let config = small_config("table");
+        assert_eq!(throughput_images(&config), throughput_images(&config));
+        let mut other = config.clone();
+        other.seed = 8;
+        assert_ne!(throughput_images(&config), throughput_images(&other));
+    }
+}

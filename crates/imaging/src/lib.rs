@@ -1,3 +1,4 @@
+#![warn(missing_docs)]
 //! `imaging` — the imaging substrate for the IQFT-segmentation reproduction.
 //!
 //! The reproduced paper leans on scikit-image for all of its image handling:
@@ -21,6 +22,19 @@
 //! * [`labels`] — label-map utilities: census, relabelling, binarisation,
 //!   connected components and palette rendering.
 //! * [`stats`] — per-channel image statistics.
+//!
+//! # Example
+//!
+//! ```
+//! use imaging::{Rgb, RgbImage};
+//!
+//! // Build an image procedurally and convert it with the paper's eq. 17
+//! // luma weights.
+//! let img = RgbImage::from_fn(4, 2, |x, _| Rgb::new((x * 80) as u8, 0, 0));
+//! assert_eq!(img.dimensions(), (4, 2));
+//! let gray = imaging::color::rgb_to_gray_u8(&img);
+//! assert!(gray.get(3, 0).value() > gray.get(0, 0).value());
+//! ```
 
 pub mod color;
 pub mod draw;

@@ -1,3 +1,4 @@
+#![warn(missing_docs)]
 //! `iqft-seg` — the IQFT-inspired unsupervised image segmentation algorithm.
 //!
 //! This crate is the core contribution of the reproduced paper
@@ -19,6 +20,9 @@
 //!   including the multi-threshold behaviour of eq. 16.
 //! * [`lut`] — a lookup-table accelerated RGB segmenter (identical output,
 //!   amortises repeated colours).
+//! * [`phase_table`] — an *eager* 3 × 256-entry phase table precomputed per
+//!   [`ThetaParams`]: steady-state classification is three table lookups,
+//!   byte-identical to the exact path (the throughput pipeline's fast path).
 //! * [`foreground`] — reduction of a multi-label segmentation to a
 //!   foreground/background mask for mIOU evaluation.
 //! * [`analysis`] — segment-count analysis used for the paper's Table II.
@@ -51,6 +55,7 @@ pub mod auto_theta;
 pub mod foreground;
 pub mod gray;
 pub mod lut;
+pub mod phase_table;
 pub mod rgb;
 pub mod theta;
 
@@ -62,6 +67,7 @@ pub use auto_theta::AutoThetaSearch;
 pub use foreground::{reduce_to_foreground, ForegroundPolicy};
 pub use gray::IqftGraySegmenter;
 pub use lut::LutRgbSegmenter;
+pub use phase_table::PhaseTable;
 pub use rgb::IqftRgbSegmenter;
 pub use seg_engine::SegmentEngine;
 pub use theta::ThetaParams;

@@ -65,6 +65,16 @@ impl LutRgbSegmenter {
         self.cache.write().clear();
     }
 
+    /// Upgrades the lazy per-colour cache into an *eager*
+    /// [`PhaseTable`](crate::phase_table::PhaseTable) covering every channel
+    /// value up front — the steady-state fast path the throughput pipeline
+    /// uses.  The table classifies byte-identically to this segmenter (both
+    /// reduce to the wrapped [`IqftRgbSegmenter`]'s exact rule) but has no
+    /// warm-up cost and no lock traffic.
+    pub fn precompute(&self) -> crate::phase_table::PhaseTable {
+        crate::phase_table::PhaseTable::from_segmenter(&self.inner)
+    }
+
     /// Classifies a pixel, consulting the cache first.
     pub fn classify(&self, pixel: Rgb<u8>) -> u32 {
         let key = pixel.0;
@@ -176,6 +186,17 @@ mod tests {
             assert_eq!(lut.classify(pixel), lut.inner().classify(pixel));
         }
         assert_eq!(lut.cache_len(), 3);
+    }
+
+    #[test]
+    fn precomputed_table_agrees_with_lazy_cache() {
+        let lut = LutRgbSegmenter::paper_default();
+        let table = lut.precompute();
+        let img = test_image();
+        assert_eq!(table.segment_rgb(&img), lut.segment_rgb(&img));
+        for pixel in [Rgb::new(0, 0, 0), Rgb::new(200, 180, 40)] {
+            assert_eq!(table.classify(pixel), lut.classify(pixel));
+        }
     }
 
     #[test]

@@ -6,6 +6,19 @@
 //! reimplements that metric (plus the usual companions: pixel accuracy,
 //! precision/recall/F1, Dice) natively so the evaluation pipeline is fully
 //! self-contained.
+//!
+//! # Example
+//!
+//! ```
+//! use imaging::LabelMap;
+//! use metrics::{mean_iou, miou_fg_bg};
+//!
+//! let prediction = LabelMap::from_vec(4, 1, vec![1, 1, 0, 0]).unwrap();
+//! let truth = LabelMap::from_vec(4, 1, vec![1, 0, 0, 0]).unwrap();
+//! let breakdown = miou_fg_bg(&prediction, &truth);
+//! assert!((breakdown.foreground - 0.5).abs() < 1e-12); // TP=1, FP=1, FN=0
+//! assert_eq!(mean_iou(&prediction, &truth), breakdown.miou);
+//! ```
 
 pub mod confusion;
 pub mod iou;

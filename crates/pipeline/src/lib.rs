@@ -1,0 +1,451 @@
+#![warn(missing_docs)]
+//! `iqft-pipeline` — a batched, high-throughput segmentation service.
+//!
+//! PR 1's `SegmentEngine` made a *single* segmentation fast; this crate makes
+//! *many* segmentations fast.  A [`SegmentPipeline`] owns an engine plus a
+//! pixel classifier and drives whole image streams through three pieces:
+//!
+//! * [`queue::JobQueue`] — a bounded MPMC work queue with backpressure and
+//!   drain-then-stop shutdown; worker threads pull image jobs from it.
+//! * [`arena::LabelArena`] — a recycling pool of label buffers, so the
+//!   steady-state hot path performs **zero per-image allocations** (the
+//!   report's allocation/reuse counters prove it).
+//! * [`stats`] — per-batch throughput/latency accounting built on
+//!   [`xpar::Progress`], rolled up into a [`PipelineReport`].
+//!
+//! The pipeline parallelises **across images**: each worker segments its
+//! image with a serial per-pixel pass, so the output of [`run_batch`] is
+//! byte-identical to per-image serial segmentation no matter how many workers
+//! run (`tests/engine_determinism.rs` at the workspace root enforces this
+//! across backends).  For the steady-state fast path, hand the pipeline an
+//! [`iqft_seg::PhaseTable`]: classification collapses to three table lookups
+//! per pixel.
+//!
+//! [`run_batch`]: SegmentPipeline::run_batch
+//!
+//! # Example
+//!
+//! ```
+//! use imaging::{Rgb, RgbImage};
+//! use iqft_pipeline::SegmentPipeline;
+//! use iqft_seg::PhaseTable;
+//! use seg_engine::SegmentEngine;
+//!
+//! let images: Vec<RgbImage> = (0..6)
+//!     .map(|i| RgbImage::from_fn(32, 24, move |x, y| {
+//!         Rgb::new((x * 8) as u8, (y * 10) as u8, (i * 40) as u8)
+//!     }))
+//!     .collect();
+//!
+//! let pipeline = SegmentPipeline::new(
+//!     SegmentEngine::with_threads(2),
+//!     PhaseTable::paper_default(),
+//! );
+//! // Stream the images in batches of 3, recycling buffers between batches.
+//! let report = pipeline.run_stream(&images, 3, |_idx, labels| {
+//!     assert_eq!(labels.dimensions(), (32, 24));
+//!     pipeline.recycle(labels);
+//! });
+//! assert_eq!(report.images(), 6);
+//! assert_eq!(report.batches.len(), 2);
+//! // Steady state reuses the warm buffers instead of allocating.
+//! assert!(report.arena_reuses > 0);
+//! ```
+
+pub mod arena;
+pub mod queue;
+pub mod stats;
+
+pub use arena::LabelArena;
+pub use queue::JobQueue;
+pub use stats::{BatchStats, PipelineReport};
+
+use imaging::{LabelMap, PixelClassifier, RgbImage};
+use seg_engine::SegmentEngine;
+use xpar::Progress;
+
+/// Tuning knobs for a [`SegmentPipeline`].
+///
+/// The default (all zeros) derives the worker count from the engine and the
+/// queue capacity from the worker count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PipelineConfig {
+    /// Worker threads pulling jobs from the queue (0 = the engine's
+    /// effective thread count).
+    pub workers: usize,
+    /// Bounded job-queue capacity (0 = twice the worker count).
+    pub queue_capacity: usize,
+}
+
+/// A batched segmentation service: owns a [`SegmentEngine`], a pixel
+/// classifier, and a label-buffer arena, and drives image streams through a
+/// bounded work queue on a fixed set of worker threads.
+///
+/// Outputs are byte-identical to per-image serial segmentation for any
+/// worker count, because each image is classified independently by a serial
+/// per-pixel pass.
+#[derive(Debug)]
+pub struct SegmentPipeline<C> {
+    engine: SegmentEngine,
+    classifier: C,
+    arena: LabelArena,
+    config: PipelineConfig,
+}
+
+impl<C: PixelClassifier + Sync> SegmentPipeline<C> {
+    /// Creates a pipeline executing on `engine` with the given per-pixel
+    /// `classifier` and default tuning.
+    pub fn new(engine: SegmentEngine, classifier: C) -> Self {
+        Self {
+            engine,
+            classifier,
+            arena: LabelArena::new(),
+            config: PipelineConfig::default(),
+        }
+    }
+
+    /// Replaces the tuning knobs.
+    pub fn with_config(mut self, config: PipelineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// The engine this pipeline was built with.
+    pub fn engine(&self) -> SegmentEngine {
+        self.engine
+    }
+
+    /// The classifier driving per-pixel classification.
+    pub fn classifier(&self) -> &C {
+        &self.classifier
+    }
+
+    /// Effective number of worker threads.
+    pub fn workers(&self) -> usize {
+        if self.config.workers == 0 {
+            self.engine.threads()
+        } else {
+            self.config.workers
+        }
+    }
+
+    /// Effective job-queue capacity.
+    pub fn queue_capacity(&self) -> usize {
+        if self.config.queue_capacity == 0 {
+            self.workers() * 2
+        } else {
+            self.config.queue_capacity
+        }
+    }
+
+    /// The label-buffer arena (for inspection; see [`LabelArena`]).
+    pub fn arena(&self) -> &LabelArena {
+        &self.arena
+    }
+
+    /// Returns a finished label map's buffer to the arena so a later image
+    /// can reuse it without allocating.
+    pub fn recycle(&self, labels: LabelMap) {
+        self.arena.recycle(labels);
+    }
+
+    /// Segments a single image on the pipeline's engine (per-pixel parallel,
+    /// arena-backed).  Recycle the result to keep the hot path allocation-free.
+    pub fn segment_one(&self, img: &RgbImage) -> LabelMap {
+        let mut buf = self.arena.take();
+        self.engine
+            .segment_rgb_into(&self.classifier, img, &mut buf);
+        let (w, h) = img.dimensions();
+        LabelMap::from_vec(w, h, buf).expect("label buffer matches image size")
+    }
+
+    /// Segments one batch of images through the bounded queue on the
+    /// pipeline's worker threads.
+    ///
+    /// Returns the label maps in input order plus the batch's throughput
+    /// stats.  The output is byte-identical to calling
+    /// `SegmentEngine::serial().segment_rgb(..)` per image.
+    pub fn run_batch(&self, images: &[RgbImage]) -> (Vec<LabelMap>, BatchStats) {
+        self.run_batch_indexed(0, images)
+    }
+
+    fn run_batch_indexed(&self, batch: usize, images: &[RgbImage]) -> (Vec<LabelMap>, BatchStats) {
+        let progress = Progress::new(images.len());
+        let workers = self.workers();
+        let queue: JobQueue<usize> = JobQueue::bounded(self.queue_capacity());
+        let serial = SegmentEngine::serial();
+        let mut results: Vec<Option<LabelMap>> = Vec::new();
+        results.resize_with(images.len(), || None);
+
+        std::thread::scope(|scope| {
+            /// Closes the queue if the holding worker unwinds, so the
+            /// producer cannot block forever on a full queue whose consumers
+            /// are all dead.
+            struct CloseOnPanic<'q>(&'q JobQueue<usize>);
+            impl Drop for CloseOnPanic<'_> {
+                fn drop(&mut self) {
+                    if std::thread::panicking() {
+                        self.0.close();
+                    }
+                }
+            }
+            let mut handles = Vec::with_capacity(workers);
+            for _ in 0..workers {
+                let queue = queue.clone();
+                let progress = &progress;
+                let arena = &self.arena;
+                let classifier = &self.classifier;
+                handles.push(scope.spawn(move || {
+                    let _guard = CloseOnPanic(&queue);
+                    let mut done: Vec<(usize, LabelMap)> = Vec::new();
+                    while let Some(idx) = queue.pop() {
+                        let img = &images[idx];
+                        let mut buf = arena.take();
+                        serial.segment_rgb_into(classifier, img, &mut buf);
+                        let (w, h) = img.dimensions();
+                        let map =
+                            LabelMap::from_vec(w, h, buf).expect("label buffer matches image");
+                        done.push((idx, map));
+                        progress.inc(1);
+                    }
+                    done
+                }));
+            }
+            // Feed jobs with backpressure: push blocks while the queue is at
+            // capacity, so at most queue_capacity images are in flight ahead
+            // of the workers.  A push can only fail if a dying worker closed
+            // the queue; stop producing and let the joins below re-raise the
+            // worker's panic.
+            for idx in 0..images.len() {
+                if queue.push(idx).is_err() {
+                    break;
+                }
+            }
+            queue.close();
+            for handle in handles {
+                match handle.join() {
+                    Ok(done) => {
+                        for (idx, map) in done {
+                            results[idx] = Some(map);
+                        }
+                    }
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+        });
+
+        let stats = BatchStats {
+            batch,
+            images: images.len(),
+            pixels: images.iter().map(|img| img.len()).sum(),
+            elapsed_secs: progress.elapsed_secs(),
+        };
+        debug_assert!(progress.is_complete());
+        let labels = results
+            .into_iter()
+            .map(|slot| slot.expect("every job produced a label map"))
+            .collect();
+        (labels, stats)
+    }
+
+    /// Streams `images` through the pipeline in batches of `batch_size`,
+    /// handing each finished label map (with its global image index, in
+    /// order) to `sink`, and returns the aggregated [`PipelineReport`].
+    ///
+    /// The sink typically consumes the labels and calls
+    /// [`SegmentPipeline::recycle`] so subsequent batches reuse the buffers —
+    /// that is what makes the steady state allocation-free.
+    ///
+    /// Each batch runs on a fresh set of scoped worker threads with a join
+    /// barrier at the batch boundary; that barrier is what gives the
+    /// per-batch latency figures their meaning (and thread spawns are cheap
+    /// next to a batch of pixel work).  The arena counters in the returned
+    /// report are deltas for *this* run, so repeated `run_stream` calls on
+    /// one pipeline each report their own allocation behaviour.
+    pub fn run_stream<F>(
+        &self,
+        images: &[RgbImage],
+        batch_size: usize,
+        mut sink: F,
+    ) -> PipelineReport
+    where
+        F: FnMut(usize, LabelMap),
+    {
+        let batch_size = batch_size.max(1);
+        let allocations_before = self.arena.allocations();
+        let reuses_before = self.arena.reuses();
+        let mut report = PipelineReport {
+            workers: self.workers(),
+            ..PipelineReport::default()
+        };
+        for (batch_idx, chunk) in images.chunks(batch_size).enumerate() {
+            let offset = batch_idx * batch_size;
+            let (labels, stats) = self.run_batch_indexed(batch_idx, chunk);
+            report.batches.push(stats);
+            for (i, map) in labels.into_iter().enumerate() {
+                sink(offset + i, map);
+            }
+        }
+        report.arena_allocations = self.arena.allocations() - allocations_before;
+        report.arena_reuses = self.arena.reuses() - reuses_before;
+        report.arena_pooled = self.arena.pooled();
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imaging::Rgb;
+    use iqft_seg::{IqftRgbSegmenter, PhaseTable};
+
+    fn test_images(count: usize) -> Vec<RgbImage> {
+        (0..count)
+            .map(|i| {
+                RgbImage::from_fn(23 + i % 5, 17 + i % 3, move |x, y| {
+                    Rgb::new((x * 11 + i * 29) as u8, (y * 13) as u8, ((x + y) * 7) as u8)
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_output_is_byte_identical_to_serial_per_image() {
+        let images = test_images(9);
+        let exact = IqftRgbSegmenter::paper_default();
+        let expected: Vec<LabelMap> = images
+            .iter()
+            .map(|img| SegmentEngine::serial().segment_rgb(&exact, img))
+            .collect();
+        for workers in [1usize, 2, 4] {
+            let pipeline = SegmentPipeline::new(
+                SegmentEngine::with_threads(workers),
+                IqftRgbSegmenter::paper_default(),
+            )
+            .with_config(PipelineConfig {
+                workers,
+                queue_capacity: 2,
+            });
+            let (labels, stats) = pipeline.run_batch(&images);
+            assert_eq!(labels, expected, "workers={workers}");
+            assert_eq!(stats.images, 9);
+            assert_eq!(stats.pixels, images.iter().map(|i| i.len()).sum::<usize>());
+        }
+    }
+
+    #[test]
+    fn phase_table_fast_path_matches_exact_through_the_pipeline() {
+        let images = test_images(6);
+        let exact_pipe = SegmentPipeline::new(
+            SegmentEngine::with_threads(2),
+            IqftRgbSegmenter::paper_default(),
+        );
+        let table_pipe =
+            SegmentPipeline::new(SegmentEngine::with_threads(2), PhaseTable::paper_default());
+        let (exact_labels, _) = exact_pipe.run_batch(&images);
+        let (table_labels, _) = table_pipe.run_batch(&images);
+        assert_eq!(exact_labels, table_labels);
+    }
+
+    #[test]
+    fn stream_recycling_makes_steady_state_allocation_free() {
+        let images: Vec<RgbImage> = (0..12)
+            .map(|i| {
+                RgbImage::from_fn(32, 32, move |x, y| {
+                    Rgb::new((x * 8) as u8, (y * 8) as u8, (i * 20) as u8)
+                })
+            })
+            .collect();
+        let pipeline =
+            SegmentPipeline::new(SegmentEngine::with_threads(2), PhaseTable::paper_default())
+                .with_config(PipelineConfig {
+                    workers: 2,
+                    queue_capacity: 2,
+                });
+        let mut seen = Vec::new();
+        let report = pipeline.run_stream(&images, 4, |idx, labels| {
+            seen.push(idx);
+            pipeline.recycle(labels);
+        });
+        assert_eq!(seen, (0..12).collect::<Vec<_>>());
+        assert_eq!(report.images(), 12);
+        assert_eq!(report.batches.len(), 3);
+        assert_eq!(report.workers, 2);
+        // Every take after the warm-up buffers exist is served from the pool:
+        // allocations are bounded by the in-flight image count, not by the
+        // stream length.
+        assert!(report.arena_allocations <= 8, "{report:?}");
+        assert_eq!(
+            report.arena_allocations + report.arena_reuses,
+            12,
+            "every image took exactly one buffer"
+        );
+        assert!(report.arena_reuses >= 4, "{report:?}");
+    }
+
+    #[test]
+    fn segment_one_matches_engine_and_recycles() {
+        let img = &test_images(1)[0];
+        let pipeline = SegmentPipeline::new(SegmentEngine::serial(), PhaseTable::paper_default());
+        let labels = pipeline.segment_one(img);
+        assert_eq!(
+            labels,
+            SegmentEngine::serial().segment_rgb(pipeline.classifier(), img)
+        );
+        pipeline.recycle(labels);
+        assert_eq!(pipeline.arena().pooled(), 1);
+        let again = pipeline.segment_one(img);
+        assert_eq!(pipeline.arena().reuses(), 1);
+        drop(again);
+    }
+
+    #[test]
+    #[should_panic(expected = "classifier exploded")]
+    fn worker_panic_propagates_instead_of_deadlocking_the_producer() {
+        // A classifier that dies on the very first pixel, with a single
+        // worker and a queue smaller than the image count: without the
+        // close-on-panic guard the producer would block forever on a full
+        // queue with no consumer left.
+        let bomb = |_p: Rgb<u8>| -> u32 { panic!("classifier exploded") };
+        let pipeline =
+            SegmentPipeline::new(SegmentEngine::serial(), bomb).with_config(PipelineConfig {
+                workers: 1,
+                queue_capacity: 1,
+            });
+        let images = test_images(8);
+        let _ = pipeline.run_batch(&images);
+    }
+
+    #[test]
+    fn repeated_streams_report_per_run_arena_deltas() {
+        let images = test_images(6);
+        let pipeline =
+            SegmentPipeline::new(SegmentEngine::with_threads(2), PhaseTable::paper_default())
+                .with_config(PipelineConfig {
+                    workers: 2,
+                    queue_capacity: 2,
+                });
+        let first = pipeline.run_stream(&images, 3, |_, labels| pipeline.recycle(labels));
+        let second = pipeline.run_stream(&images, 3, |_, labels| pipeline.recycle(labels));
+        assert_eq!(first.arena_allocations + first.arena_reuses, 6);
+        // The second run starts with a warm pool: every take is a reuse and
+        // the counters do not accumulate across runs.
+        assert_eq!(second.arena_allocations, 0, "{second:?}");
+        assert_eq!(second.arena_reuses, 6, "{second:?}");
+        assert_eq!(second.arena_pooled, pipeline.arena().pooled());
+    }
+
+    #[test]
+    fn empty_batch_and_defaults_are_handled() {
+        let pipeline =
+            SegmentPipeline::new(SegmentEngine::with_threads(3), PhaseTable::paper_default());
+        assert_eq!(pipeline.workers(), 3);
+        assert_eq!(pipeline.queue_capacity(), 6);
+        assert_eq!(pipeline.engine(), SegmentEngine::with_threads(3));
+        let (labels, stats) = pipeline.run_batch(&[]);
+        assert!(labels.is_empty());
+        assert_eq!(stats.images, 0);
+        let report = pipeline.run_stream(&[], 4, |_, _| panic!("no images"));
+        assert_eq!(report.images(), 0);
+    }
+}

@@ -1,0 +1,285 @@
+//! A bounded multi-producer multi-consumer job queue with explicit shutdown.
+//!
+//! The pipeline feeds segmentation jobs to its workers through a
+//! [`JobQueue`]: producers block in [`JobQueue::push`] once `capacity` items
+//! are in flight (backpressure — a fast producer cannot buffer an unbounded
+//! number of decoded images), and consumers block in [`JobQueue::pop`] until
+//! work arrives.  [`JobQueue::close`] initiates shutdown: pushes start
+//! failing immediately, while pops continue to *drain* every item already
+//! queued and only then return `None`.  That drain-then-stop contract is what
+//! lets a batch finish cleanly: close the queue after the last job and every
+//! worker exits exactly when the queue is empty.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    /// Signalled when an item is queued or the queue is closed.
+    not_empty: Condvar,
+    /// Signalled when an item is taken or the queue is closed.
+    not_full: Condvar,
+    capacity: usize,
+}
+
+/// A bounded MPMC queue; clones share the same underlying channel.
+pub struct JobQueue<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Clone for JobQueue<T> {
+    fn clone(&self) -> Self {
+        Self {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for JobQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobQueue")
+            .field("capacity", &self.capacity())
+            .field("len", &self.len())
+            .field("closed", &self.is_closed())
+            .finish()
+    }
+}
+
+impl<T> JobQueue<T> {
+    /// Creates a queue holding at most `capacity` items (clamped to ≥ 1).
+    pub fn bounded(capacity: usize) -> Self {
+        Self {
+            shared: Arc::new(Shared {
+                state: Mutex::new(State {
+                    items: VecDeque::new(),
+                    closed: false,
+                }),
+                not_empty: Condvar::new(),
+                not_full: Condvar::new(),
+                capacity: capacity.max(1),
+            }),
+        }
+    }
+
+    /// Maximum number of queued items.
+    pub fn capacity(&self) -> usize {
+        self.shared.capacity
+    }
+
+    /// Number of items currently queued.
+    pub fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// True when no items are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True once [`JobQueue::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.lock().closed
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+        self.shared.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Enqueues `job`, blocking while the queue is full.
+    ///
+    /// Returns `Err(job)` if the queue is (or becomes, while waiting) closed
+    /// — the job is handed back so the producer can report or retry it.
+    pub fn push(&self, job: T) -> Result<(), T> {
+        let mut state = self.lock();
+        loop {
+            if state.closed {
+                return Err(job);
+            }
+            if state.items.len() < self.shared.capacity {
+                state.items.push_back(job);
+                drop(state);
+                self.shared.not_empty.notify_one();
+                return Ok(());
+            }
+            state = self
+                .shared
+                .not_full
+                .wait(state)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Attempts to enqueue without blocking; `Err(job)` when full or closed.
+    pub fn try_push(&self, job: T) -> Result<(), T> {
+        let mut state = self.lock();
+        if state.closed || state.items.len() >= self.shared.capacity {
+            return Err(job);
+        }
+        state.items.push_back(job);
+        drop(state);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues a job, blocking while the queue is empty and open.
+    ///
+    /// Returns `None` only when the queue is closed **and** fully drained, so
+    /// consumers process every accepted job before shutting down.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.lock();
+        loop {
+            if let Some(job) = state.items.pop_front() {
+                drop(state);
+                self.shared.not_full.notify_one();
+                return Some(job);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self
+                .shared
+                .not_empty
+                .wait(state)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Attempts to dequeue without blocking; `None` when currently empty.
+    pub fn try_pop(&self) -> Option<T> {
+        let job = self.lock().items.pop_front();
+        if job.is_some() {
+            self.shared.not_full.notify_one();
+        }
+        job
+    }
+
+    /// Closes the queue: subsequent pushes fail, queued items keep draining,
+    /// and blocked producers/consumers are woken.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.shared.not_empty.notify_all();
+        self.shared.not_full.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_through_a_single_consumer() {
+        let q = JobQueue::bounded(8);
+        for i in 0..5 {
+            q.push(i).unwrap();
+        }
+        assert_eq!(q.len(), 5);
+        for i in 0..5 {
+            assert_eq!(q.pop(), Some(i));
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn capacity_is_enforced_without_blocking_via_try_push() {
+        let q = JobQueue::bounded(2);
+        assert_eq!(q.capacity(), 2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(3));
+        assert_eq!(q.try_pop(), Some(1));
+        q.try_push(3).unwrap();
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let q = JobQueue::bounded(0);
+        assert_eq!(q.capacity(), 1);
+        q.push(7u8).unwrap();
+        assert_eq!(q.try_push(8), Err(8));
+    }
+
+    #[test]
+    fn close_drains_queued_items_then_stops() {
+        let q = JobQueue::bounded(8);
+        q.push('a').unwrap();
+        q.push('b').unwrap();
+        q.close();
+        assert!(q.is_closed());
+        // Pushes fail immediately after close…
+        assert_eq!(q.push('c'), Err('c'));
+        assert_eq!(q.try_push('c'), Err('c'));
+        // …but already-accepted work still drains, in order.
+        assert_eq!(q.pop(), Some('a'));
+        assert_eq!(q.pop(), Some('b'));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn close_wakes_consumers_blocked_on_an_empty_queue() {
+        let q: JobQueue<u32> = JobQueue::bounded(4);
+        let consumer = {
+            let q = q.clone();
+            std::thread::spawn(move || q.pop())
+        };
+        // Give the consumer time to block, then close.
+        std::thread::sleep(Duration::from_millis(30));
+        q.close();
+        assert_eq!(consumer.join().unwrap(), None);
+    }
+
+    #[test]
+    fn blocked_producer_resumes_when_space_frees() {
+        let q = JobQueue::bounded(1);
+        q.push(0u32).unwrap();
+        let producer = {
+            let q = q.clone();
+            std::thread::spawn(move || q.push(1))
+        };
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(q.pop(), Some(0)); // frees a slot; producer unblocks
+        producer.join().unwrap().unwrap();
+        assert_eq!(q.pop(), Some(1));
+    }
+
+    #[test]
+    fn many_producers_many_consumers_deliver_every_job_once() {
+        let q = JobQueue::bounded(4);
+        let seen = Arc::new(AtomicUsize::new(0));
+        let mut consumers = Vec::new();
+        for _ in 0..3 {
+            let q = q.clone();
+            let seen = Arc::clone(&seen);
+            consumers.push(std::thread::spawn(move || {
+                while q.pop().is_some() {
+                    seen.fetch_add(1, Ordering::Relaxed);
+                }
+            }));
+        }
+        let mut producers = Vec::new();
+        for p in 0..4 {
+            let q = q.clone();
+            producers.push(std::thread::spawn(move || {
+                for i in 0..50 {
+                    q.push(p * 100 + i).unwrap();
+                }
+            }));
+        }
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        for c in consumers {
+            c.join().unwrap();
+        }
+        assert_eq!(seen.load(Ordering::Relaxed), 200);
+    }
+}

@@ -1,3 +1,4 @@
+#![warn(missing_docs)]
 //! `quantum` — a small quantum-computing substrate.
 //!
 //! The reproduced paper derives its segmentation rule from the inverse quantum
@@ -23,6 +24,24 @@
 //!   network).
 //! * [`encoding`] — the paper's phase encoding: building the product state
 //!   `⊗_k (|0⟩ + e^{iθ_k}|1⟩)/√2` from a vector of angles.
+//!
+//! # Example
+//!
+//! Phase-encode three angles, apply the textbook 3-qubit IQFT circuit, and
+//! confirm it matches multiplication by the inverse-DFT matrix (the paper's
+//! `W` of eq. 11):
+//!
+//! ```
+//! use quantum::{idft_matrix, phase_product_state, Circuit};
+//!
+//! let state = phase_product_state(&[2.464, 0.025, 0.246]);
+//! let mut via_circuit = state.clone();
+//! Circuit::iqft(3).apply(&mut via_circuit);
+//! let via_matrix = idft_matrix(8).mul_vec(state.amplitudes());
+//! for (a, b) in via_circuit.amplitudes().iter().zip(&via_matrix) {
+//!     assert!(a.sub(*b).abs() < 1e-9);
+//! }
+//! ```
 
 pub mod circuit;
 pub mod complex;

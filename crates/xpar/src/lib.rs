@@ -21,6 +21,16 @@
 //!
 //! All of the public API is safe; there is no `unsafe` in this crate except the
 //! `Sync` plumbing inside [`spin`], which is documented at the definition site.
+//!
+//! # Example
+//!
+//! ```
+//! use xpar::Backend;
+//!
+//! let serial = Backend::Serial.map_indexed(8, |i| i * i);
+//! let threaded = Backend::Threads(2).map_indexed(8, |i| i * i);
+//! assert_eq!(serial, threaded); // scheduling never changes results
+//! ```
 
 pub mod backend;
 pub mod par;

@@ -13,9 +13,24 @@
 //! * [`datasets`] — synthetic VOC-like / xVIEW2-like / balls datasets;
 //! * [`xpar`] — the parallel execution substrate.
 //!
-//! See the `examples/` directory for runnable entry points and the
+//! See the `examples/` directory for runnable entry points, the
 //! `iqft-experiments` binary (in `crates/experiments`) for the full
-//! table/figure reproduction harness.
+//! table/figure reproduction harness, and `docs/ARCHITECTURE.md` for the
+//! crate dependency graph and data flow.
+//!
+//! # Example
+//!
+//! ```
+//! use iqft_repro::imaging::{Rgb, RgbImage, Segmenter};
+//! use iqft_repro::iqft_seg::IqftRgbSegmenter;
+//!
+//! let img = RgbImage::from_fn(8, 8, |x, _| {
+//!     if x < 4 { Rgb::new(10, 10, 10) } else { Rgb::new(240, 240, 240) }
+//! });
+//! let segmenter = IqftRgbSegmenter::new(iqft_repro::paper_default_theta());
+//! let labels = segmenter.segment_rgb(&img);
+//! assert_ne!(labels.get(0, 0), labels.get(7, 0));
+//! ```
 
 pub use baselines;
 pub use datasets;

@@ -11,7 +11,10 @@
 
 use datasets::{PascalVocLikeConfig, PascalVocLikeDataset};
 use imaging::{LabelMap, Rgb, RgbImage, Segmenter};
-use iqft_seg::{IqftGraySegmenter, IqftRgbSegmenter, LutRgbSegmenter, SegmentEngine, ThetaParams};
+use iqft_pipeline::{PipelineConfig, SegmentPipeline};
+use iqft_seg::{
+    IqftGraySegmenter, IqftRgbSegmenter, LutRgbSegmenter, PhaseTable, SegmentEngine, ThetaParams,
+};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use xpar::Backend;
@@ -119,6 +122,65 @@ fn engine_backends_are_byte_identical_per_pixel() {
             kmeans_ref,
             "K-means via {name}"
         );
+    }
+}
+
+/// Acceptance criterion, pipeline layer: the batched `iqft-pipeline` service
+/// produces byte-identical label maps to per-image serial segmentation for
+/// every engine backend, worker count and classifier fast path (exact, lazy
+/// LUT, eager phase table), including with buffer recycling between batches.
+#[test]
+fn pipeline_batches_are_byte_identical_to_serial_per_image() {
+    let mut rng = ChaCha8Rng::seed_from_u64(4242);
+    let images: Vec<RgbImage> = (0..10)
+        .map(|_| {
+            let width = rng.gen_range(8usize..56);
+            let height = rng.gen_range(8usize..40);
+            random_image(&mut rng, width, height)
+        })
+        .collect();
+    let reference: Vec<LabelMap> = images
+        .iter()
+        .map(|img| {
+            IqftRgbSegmenter::paper_default()
+                .with_engine(SegmentEngine::serial())
+                .segment_rgb(img)
+        })
+        .collect();
+
+    for (name, engine) in all_engines() {
+        for workers in [1usize, 2, 8] {
+            let config = PipelineConfig {
+                workers,
+                queue_capacity: 3,
+            };
+            let exact =
+                SegmentPipeline::new(engine, IqftRgbSegmenter::paper_default()).with_config(config);
+            let lut =
+                SegmentPipeline::new(engine, LutRgbSegmenter::paper_default()).with_config(config);
+            let table =
+                SegmentPipeline::new(engine, PhaseTable::paper_default()).with_config(config);
+            assert_eq!(
+                exact.run_batch(&images).0,
+                reference,
+                "exact via {name}, workers={workers}"
+            );
+            assert_eq!(
+                lut.run_batch(&images).0,
+                reference,
+                "lut via {name}, workers={workers}"
+            );
+            // Streamed in small batches with buffer recycling — the
+            // steady-state production shape.
+            let mut streamed: Vec<Option<LabelMap>> = (0..images.len()).map(|_| None).collect();
+            let report = table.run_stream(&images, 3, |idx, labels| {
+                streamed[idx] = Some(labels.clone());
+                table.recycle(labels);
+            });
+            assert_eq!(report.images(), images.len());
+            let streamed: Vec<LabelMap> = streamed.into_iter().map(Option::unwrap).collect();
+            assert_eq!(streamed, reference, "table via {name}, workers={workers}");
+        }
     }
 }
 
