@@ -15,8 +15,8 @@ use bench::synthetic_rgb;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use imaging::{PixelClassifier, RgbImage};
 use iqft_pipeline::{PipelineConfig, SegmentPipeline};
-use iqft_seg::{IqftRgbSegmenter, LutRgbSegmenter, PhaseTable};
-use seg_engine::SegmentEngine;
+use iqft_seg::{IqftClassifier, PhaseTable};
+use seg_engine::{ClassifierKind, SegmentEngine};
 use std::time::Duration;
 
 const IMAGES: usize = 16;
@@ -48,39 +48,32 @@ fn bench(c: &mut Criterion) {
     let single = PipelineConfig {
         workers: 1,
         queue_capacity: 4,
+        ..PipelineConfig::default()
     };
 
     // Classifier axis at one worker: isolates the per-pixel classification
-    // cost from scheduling effects.
-    let exact = SegmentPipeline::new(engine, IqftRgbSegmenter::paper_default()).with_config(single);
-    group.bench_with_input(
-        BenchmarkId::new("voc16_96px", "exact"),
-        &images,
-        |b, images| {
-            run_stream(&exact, images); // warm the arena outside the timing loop
-            b.iter(|| run_stream(&exact, images))
-        },
-    );
-
-    let lut = SegmentPipeline::new(engine, LutRgbSegmenter::paper_default()).with_config(single);
-    group.bench_with_input(
-        BenchmarkId::new("voc16_96px", "lut"),
-        &images,
-        |b, images| {
-            run_stream(&lut, images); // warm the arena and the colour cache
-            b.iter(|| run_stream(&lut, images))
-        },
-    );
-
-    let table = SegmentPipeline::new(engine, PhaseTable::paper_default()).with_config(single);
-    group.bench_with_input(
-        BenchmarkId::new("voc16_96px", "phase_table"),
-        &images,
-        |b, images| {
-            run_stream(&table, images);
-            b.iter(|| run_stream(&table, images))
-        },
-    );
+    // cost from scheduling effects.  The classifier set and its construction
+    // come from `ClassifierKind::ALL` / `IqftClassifier` — the same single
+    // source of truth the CLI parses `--classifier` with — so the bench
+    // cannot drift from the harness vocabulary.
+    for kind in ClassifierKind::ALL {
+        // The phase-table kind was recorded as "phase_table" in
+        // BENCH_throughput.json; keep that id for baseline continuity.
+        let label = match kind {
+            ClassifierKind::Table => "phase_table",
+            other => other.flag(),
+        };
+        let pipeline =
+            SegmentPipeline::new(engine, IqftClassifier::paper_default(kind)).with_config(single);
+        group.bench_with_input(
+            BenchmarkId::new("voc16_96px", label),
+            &images,
+            |b, images| {
+                run_stream(&pipeline, images); // warm the arena (and any colour cache)
+                b.iter(|| run_stream(&pipeline, images))
+            },
+        );
+    }
 
     // Worker-count axis for the fast path.
     for workers in [1usize, 2, 4, 8] {
@@ -91,6 +84,7 @@ fn bench(c: &mut Criterion) {
         .with_config(PipelineConfig {
             workers,
             queue_capacity: workers * 2,
+            ..PipelineConfig::default()
         });
         group.bench_with_input(
             BenchmarkId::new("voc16_96px_phase_table", format!("workers_{workers}")),

@@ -1,0 +1,68 @@
+//! Ablation A5: tile-size sweep for the zero-copy tiled segmentation path.
+//!
+//! A fixed 512×384 synthetic frame is segmented with the `PhaseTable` fast
+//! path through a `SegmentPlan`, sweeping the tile edge length from 16 px to
+//! 256 px plus the whole-image baseline.  Small tiles maximise scheduling
+//! freedom (no single worker owns a big frame) but pay more per-tile
+//! overhead; the sweep locates the knee.  Before any timing, every tiled
+//! configuration is asserted byte-identical to the whole-image pass — the
+//! tiling acceptance criterion, enforced in the bench itself.
+//!
+//! Snapshot a baseline with
+//! `CRITERION_JSON=BENCH_tiling.json cargo bench --bench ablation_tiling`.
+
+use bench::synthetic_rgb;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use iqft_seg::PhaseTable;
+use seg_engine::{SegmentPlan, Tiling};
+use std::time::Duration;
+
+const WIDTH: usize = 512;
+const HEIGHT: usize = 384;
+const TILE_EDGES: [usize; 5] = [16, 32, 64, 128, 256];
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_tiling");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    let img = synthetic_rgb(WIDTH, HEIGHT, 7);
+    group.throughput(Throughput::Elements(img.len() as u64));
+
+    let table = PhaseTable::paper_default();
+    let plan = SegmentPlan::default().with_backend(xpar::Backend::Threads(2));
+    let whole = plan.segment_rgb(&table, &img);
+
+    let mut buf = Vec::new();
+    group.bench_with_input(
+        BenchmarkId::new("phase_table_512x384", "whole"),
+        &img,
+        |b, img| {
+            plan.segment_rgb_into(&table, img, &mut buf); // warm the buffer
+            b.iter(|| plan.segment_rgb_into(&table, img, &mut buf))
+        },
+    );
+
+    for edge in TILE_EDGES {
+        let tiled = plan.with_tiling(Tiling::Tiles {
+            width: edge,
+            height: edge,
+        });
+        // Tiled output must be byte-identical to the whole-image pass —
+        // asserted here so the bench doubles as an acceptance check.
+        assert_eq!(tiled.segment_rgb(&table, &img), whole, "tile {edge}x{edge}");
+        group.bench_with_input(
+            BenchmarkId::new("phase_table_512x384", format!("tile_{edge}x{edge}")),
+            &img,
+            |b, img| {
+                tiled.segment_rgb_into(&table, img, &mut buf);
+                b.iter(|| tiled.segment_rgb_into(&table, img, &mut buf))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

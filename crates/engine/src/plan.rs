@@ -1,0 +1,367 @@
+//! [`SegmentPlan`] — the single dispatch point for segmentation strategy.
+//!
+//! Before this module existed the workspace chose its execution strategy in
+//! three stringly-typed places: the experiments CLI parsed
+//! `--classifier exact|lut|table` ad hoc, the bench targets hard-coded the
+//! same three names, and tiling did not exist.  A [`SegmentPlan`] makes the
+//! whole choice — *which classifier* ([`ClassifierKind`]) × *which work
+//! decomposition* ([`Tiling`]) × *which backend* ([`xpar::Backend`]) — a
+//! first-class value that every caller builds once and passes down, so
+//! strategy parsing and dispatch live in exactly one place.
+//!
+//! The plan is deliberately algorithm-agnostic: it names classifier
+//! *families*, and algorithm crates (e.g. `iqft-seg`'s `IqftClassifier`)
+//! materialise the concrete [`imaging::PixelClassifier`] for a kind.  The
+//! plan then executes any classifier through [`SegmentPlan::segment_rgb`],
+//! which routes to the whole-image or tiled engine path; both are
+//! byte-identical by construction.
+
+use crate::SegmentEngine;
+use imaging::{LabelMap, PixelClassifier, RgbImage};
+use xpar::Backend;
+
+/// The classifier families the workspace implements for the paper's RGB
+/// algorithm, as selected by the `--classifier` flag.
+///
+/// This enum is the single source of truth for the `exact|lut|table` flag
+/// vocabulary previously duplicated across the experiments CLI and the
+/// bench targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ClassifierKind {
+    /// Direct statevector-equivalent math per pixel (`IqftRgbSegmenter`).
+    Exact,
+    /// Lazy per-colour memoisation (`LutRgbSegmenter`).
+    Lut,
+    /// Eager precomputed phase table, three lookups per pixel (`PhaseTable`,
+    /// the steady-state fast path and the default).
+    #[default]
+    Table,
+}
+
+impl ClassifierKind {
+    /// Every classifier kind, in flag order — handy for sweeps.
+    pub const ALL: [ClassifierKind; 3] = [
+        ClassifierKind::Exact,
+        ClassifierKind::Lut,
+        ClassifierKind::Table,
+    ];
+
+    /// Parses the `--classifier exact|lut|table` flag.
+    pub fn from_flag(flag: &str) -> Result<Self, String> {
+        match flag {
+            "exact" => Ok(ClassifierKind::Exact),
+            "lut" => Ok(ClassifierKind::Lut),
+            "table" => Ok(ClassifierKind::Table),
+            other => Err(format!(
+                "unknown classifier '{other}' (expected exact, lut or table)"
+            )),
+        }
+    }
+
+    /// The flag spelling of this kind (the inverse of
+    /// [`ClassifierKind::from_flag`]).
+    pub fn flag(self) -> &'static str {
+        match self {
+            ClassifierKind::Exact => "exact",
+            ClassifierKind::Lut => "lut",
+            ClassifierKind::Table => "table",
+        }
+    }
+}
+
+impl std::fmt::Display for ClassifierKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.flag())
+    }
+}
+
+/// How an image's pixels are decomposed into units of parallel work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Tiling {
+    /// One chunk-parallel pass over the whole label buffer (the default).
+    #[default]
+    Whole,
+    /// Split the image into `width × height` tiles (edge tiles clamped) and
+    /// fan the tiles out as independent jobs.
+    Tiles {
+        /// Tile width in pixels (clamped to at least 1).
+        width: usize,
+        /// Tile height in pixels (clamped to at least 1).
+        height: usize,
+    },
+}
+
+impl Tiling {
+    /// Parses the `--tile` flag: `off` (or the empty string) selects
+    /// [`Tiling::Whole`], `WxH` (e.g. `64x64`) selects [`Tiling::Tiles`].
+    pub fn from_flag(flag: &str) -> Result<Self, String> {
+        if flag.is_empty() || flag == "off" || flag == "whole" {
+            return Ok(Tiling::Whole);
+        }
+        let parse = |part: &str| part.parse::<usize>().ok().filter(|&v| v > 0);
+        if let Some((w, h)) = flag.split_once('x') {
+            if let (Some(width), Some(height)) = (parse(w), parse(h)) {
+                return Ok(Tiling::Tiles { width, height });
+            }
+        }
+        Err(format!(
+            "invalid tile shape '{flag}' (expected WxH with positive integers, e.g. 64x64, or off)"
+        ))
+    }
+
+    /// The flag spelling of this tiling (the inverse of
+    /// [`Tiling::from_flag`]).
+    pub fn flag(self) -> String {
+        match self {
+            Tiling::Whole => "off".to_string(),
+            Tiling::Tiles { width, height } => format!("{width}x{height}"),
+        }
+    }
+
+    /// The tile shape, or `None` for a whole-image pass.
+    pub fn shape(self) -> Option<(usize, usize)> {
+        match self {
+            Tiling::Whole => None,
+            Tiling::Tiles { width, height } => Some((width, height)),
+        }
+    }
+}
+
+impl std::fmt::Display for Tiling {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.flag())
+    }
+}
+
+/// A complete segmentation strategy: classifier family × work decomposition
+/// × execution backend.
+///
+/// Every consumer — the experiments CLI, the throughput pipeline, the bench
+/// targets — builds one of these (usually via [`SegmentPlan::from_flags`])
+/// and executes through it, so strategy choice has a single owner.  Whatever
+/// the plan, the resulting labels are byte-identical: classifier kinds agree
+/// exactly by construction, and tiling/backends only reschedule independent
+/// per-pixel work.
+///
+/// # Example
+///
+/// ```
+/// use imaging::{Rgb, RgbImage};
+/// use seg_engine::{SegmentPlan, Tiling};
+///
+/// let plan = SegmentPlan::from_flags("table", "32x32", "threads", 2).unwrap();
+/// assert_eq!(plan.tiling(), Tiling::Tiles { width: 32, height: 32 });
+///
+/// // The plan executes any per-pixel rule; tiled and whole-image plans
+/// // produce byte-identical labels.
+/// let img = RgbImage::from_fn(70, 50, |x, y| Rgb::new(x as u8, y as u8, 0));
+/// let rule = |p: Rgb<u8>| u32::from(p.r() > p.g());
+/// let whole = SegmentPlan::default().segment_rgb(&rule, &img);
+/// assert_eq!(plan.segment_rgb(&rule, &img), whole);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SegmentPlan {
+    classifier: ClassifierKind,
+    tiling: Tiling,
+    backend: Backend,
+}
+
+impl SegmentPlan {
+    /// Creates a plan from its three strategy axes.
+    pub fn new(classifier: ClassifierKind, tiling: Tiling, backend: Backend) -> Self {
+        Self {
+            classifier,
+            tiling,
+            backend,
+        }
+    }
+
+    /// Parses the harness flags `--classifier exact|lut|table`,
+    /// `--tile off|WxH`, and `--backend serial|threads|rayon --threads N`
+    /// into a plan.
+    pub fn from_flags(
+        classifier: &str,
+        tile: &str,
+        backend: &str,
+        threads: usize,
+    ) -> Result<Self, String> {
+        Ok(Self::new(
+            ClassifierKind::from_flag(classifier)?,
+            Tiling::from_flag(tile)?,
+            SegmentEngine::from_flags(backend, threads)?.backend(),
+        ))
+    }
+
+    /// Replaces the classifier kind.
+    pub fn with_classifier(mut self, classifier: ClassifierKind) -> Self {
+        self.classifier = classifier;
+        self
+    }
+
+    /// Replaces the work decomposition.
+    pub fn with_tiling(mut self, tiling: Tiling) -> Self {
+        self.tiling = tiling;
+        self
+    }
+
+    /// Replaces the execution backend.
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The classifier family this plan selects.
+    pub fn classifier(&self) -> ClassifierKind {
+        self.classifier
+    }
+
+    /// The work decomposition this plan selects.
+    pub fn tiling(&self) -> Tiling {
+        self.tiling
+    }
+
+    /// The execution backend this plan selects.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// An engine executing on the plan's backend.
+    pub fn engine(&self) -> SegmentEngine {
+        SegmentEngine::new(self.backend)
+    }
+
+    /// A one-line human-readable summary (`classifier=… tile=… backend=…`),
+    /// used by reports.
+    pub fn describe(&self) -> String {
+        format!(
+            "classifier={} tile={} backend={:?}",
+            self.classifier, self.tiling, self.backend
+        )
+    }
+
+    /// Segments `img` with `classifier` according to the plan's tiling on
+    /// the plan's backend.  Byte-identical across every plan configuration.
+    pub fn segment_rgb<C>(&self, classifier: &C, img: &RgbImage) -> LabelMap
+    where
+        C: PixelClassifier + Sync + ?Sized,
+    {
+        match self.tiling {
+            Tiling::Whole => self.engine().segment_rgb(classifier, img),
+            Tiling::Tiles { width, height } => {
+                self.engine().segment_tiled(classifier, img, width, height)
+            }
+        }
+    }
+
+    /// Allocation-reusing variant of [`SegmentPlan::segment_rgb`]: fills
+    /// `labels` in place.
+    pub fn segment_rgb_into<C>(&self, classifier: &C, img: &RgbImage, labels: &mut Vec<u32>)
+    where
+        C: PixelClassifier + Sync + ?Sized,
+    {
+        match self.tiling {
+            Tiling::Whole => self.engine().segment_rgb_into(classifier, img, labels),
+            Tiling::Tiles { width, height } => self
+                .engine()
+                .segment_tiled_into(classifier, img, width, height, labels),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imaging::Rgb;
+
+    #[test]
+    fn classifier_flags_round_trip() {
+        for kind in ClassifierKind::ALL {
+            assert_eq!(ClassifierKind::from_flag(kind.flag()).unwrap(), kind);
+            assert_eq!(format!("{kind}"), kind.flag());
+        }
+        assert!(ClassifierKind::from_flag("gpu").is_err());
+        assert_eq!(ClassifierKind::default(), ClassifierKind::Table);
+    }
+
+    #[test]
+    fn tiling_flags_round_trip() {
+        for flag in ["off", "", "whole"] {
+            assert_eq!(Tiling::from_flag(flag).unwrap(), Tiling::Whole);
+        }
+        assert_eq!(
+            Tiling::from_flag("64x48").unwrap(),
+            Tiling::Tiles {
+                width: 64,
+                height: 48
+            }
+        );
+        let tiled = Tiling::Tiles {
+            width: 7,
+            height: 3,
+        };
+        assert_eq!(Tiling::from_flag(&tiled.flag()).unwrap(), tiled);
+        assert_eq!(tiled.shape(), Some((7, 3)));
+        assert_eq!(Tiling::Whole.shape(), None);
+        assert_eq!(Tiling::Whole.flag(), "off");
+        for bad in ["64", "0x4", "4x0", "axb", "4x4x4"] {
+            assert!(Tiling::from_flag(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn plan_flags_compose_the_three_axes() {
+        let plan = SegmentPlan::from_flags("lut", "16x8", "threads", 3).unwrap();
+        assert_eq!(plan.classifier(), ClassifierKind::Lut);
+        assert_eq!(
+            plan.tiling(),
+            Tiling::Tiles {
+                width: 16,
+                height: 8
+            }
+        );
+        assert_eq!(plan.backend(), Backend::Threads(3));
+        assert_eq!(plan.engine(), SegmentEngine::with_threads(3));
+        assert!(plan.describe().contains("classifier=lut"));
+        assert!(plan.describe().contains("tile=16x8"));
+        assert!(SegmentPlan::from_flags("gpu", "off", "serial", 0).is_err());
+        assert!(SegmentPlan::from_flags("table", "?", "serial", 0).is_err());
+        assert!(SegmentPlan::from_flags("table", "off", "gpu", 0).is_err());
+    }
+
+    #[test]
+    fn builder_methods_replace_single_axes() {
+        let plan = SegmentPlan::default()
+            .with_classifier(ClassifierKind::Exact)
+            .with_tiling(Tiling::Tiles {
+                width: 4,
+                height: 4,
+            })
+            .with_backend(Backend::Serial);
+        assert_eq!(plan.classifier(), ClassifierKind::Exact);
+        assert_eq!(plan.backend(), Backend::Serial);
+        assert_eq!(
+            SegmentPlan::default().tiling(),
+            Tiling::Whole,
+            "default plan is a whole-image pass"
+        );
+    }
+
+    #[test]
+    fn tiled_and_whole_plans_agree_for_closures() {
+        let img = RgbImage::from_fn(37, 23, |x, y| {
+            Rgb::new((x * 7) as u8, (y * 11) as u8, ((x * y) % 251) as u8)
+        });
+        let rule = |p: Rgb<u8>| u32::from(p.r() as u16 + p.g() as u16 + p.b() as u16) % 5;
+        let whole = SegmentPlan::default().segment_rgb(&rule, &img);
+        for (tw, th) in [(1, 1), (7, 3), (64, 64), (37, 23)] {
+            let plan = SegmentPlan::default().with_tiling(Tiling::Tiles {
+                width: tw,
+                height: th,
+            });
+            assert_eq!(plan.segment_rgb(&rule, &img), whole, "{tw}x{th}");
+            let mut buf = Vec::new();
+            plan.segment_rgb_into(&rule, &img, &mut buf);
+            assert_eq!(buf, whole.as_slice(), "{tw}x{th} (_into)");
+        }
+    }
+}

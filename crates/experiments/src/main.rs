@@ -18,8 +18,10 @@
 //!   fig9    [--out DIR]        qualitative wins (xVIEW2-like)
 //!   fig10                      per-image θ adjustment
 //!   throughput [--images N] [--batch B] [--size S] [--seed S]
-//!              [--classifier exact|lut|table] [--no-verify]
+//!              [--classifier exact|lut|table] [--tile WxH] [--no-verify]
 //!                              batched pipeline service workload
+//!                              (--tile splits images into tile jobs;
+//!                              default off = whole-image jobs)
 //!   all     [--out DIR]        everything above with reduced sizes
 //!
 //! Global options:
@@ -51,6 +53,7 @@ struct Args {
     images: usize,
     batch: usize,
     classifier: String,
+    tile: String,
     verify: bool,
 }
 
@@ -68,6 +71,7 @@ fn parse_args() -> Args {
         images: 64,
         batch: 16,
         classifier: "table".to_string(),
+        tile: "off".to_string(),
         verify: true,
     };
     let mut iter = std::env::args().skip(1);
@@ -88,6 +92,7 @@ fn parse_args() -> Args {
             "--images" => args.images = value().parse().unwrap_or(args.images),
             "--batch" => args.batch = value().parse().unwrap_or(args.batch),
             "--classifier" => args.classifier = value(),
+            "--tile" => args.tile = value(),
             "--no-verify" => args.verify = false,
             other => eprintln!("ignoring unknown flag {other}"),
         }
@@ -138,6 +143,7 @@ fn main() {
                 image_size: args.size,
                 seed: args.seed,
                 classifier: args.classifier.clone(),
+                tile: args.tile.clone(),
                 verify: args.verify,
             },
         ),
@@ -160,6 +166,7 @@ fn main() {
                 images: args.images,
                 batch: args.batch,
                 classifier: args.classifier.clone(),
+                tile: args.tile.clone(),
                 verify: args.verify,
             };
             all.push_str(&run_table3(&quick, &engine));
@@ -188,14 +195,37 @@ fn main() {
                     image_size: args.size.min(96),
                     seed: args.seed,
                     classifier: args.classifier.clone(),
+                    tile: args.tile.clone(),
                     verify: args.verify,
                 },
             ));
+            let untiled = matches!(
+                seg_engine::Tiling::from_flag(&args.tile),
+                Ok(seg_engine::Tiling::Whole)
+            );
+            if untiled {
+                // `all` always exercises the tiled pipeline path too (with
+                // its default-on byte-identity verification), even when the
+                // user did not pass --tile.
+                all.push('\n');
+                all.push_str(&throughput::throughput_report(
+                    &engine,
+                    &ThroughputConfig {
+                        images: args.images.min(16),
+                        batch: args.batch.min(8),
+                        image_size: args.size.min(96),
+                        seed: args.seed,
+                        classifier: args.classifier.clone(),
+                        tile: "48x48".to_string(),
+                        verify: args.verify,
+                    },
+                ));
+            }
             all
         }
         "" | "help" | "--help" | "-h" => {
             eprintln!(
-                "usage: iqft-experiments <table1|table2|table3|fig1-3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|throughput|all> [--out DIR] [--samples N] [--voc N] [--xview N] [--size S] [--seed S] [--backend serial|threads|rayon] [--threads N] [--images N] [--batch B] [--classifier exact|lut|table] [--no-verify]"
+                "usage: iqft-experiments <table1|table2|table3|fig1-3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|throughput|all> [--out DIR] [--samples N] [--voc N] [--xview N] [--size S] [--seed S] [--backend serial|threads|rayon] [--threads N] [--images N] [--batch B] [--classifier exact|lut|table] [--tile WxH] [--no-verify]"
             );
             return;
         }

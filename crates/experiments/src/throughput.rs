@@ -9,19 +9,28 @@
 //!
 //! * `exact` — the direct [`IqftRgbSegmenter`] (statevector-equivalent math
 //!   per pixel);
-//! * `lut` — the lazy per-colour memoising [`LutRgbSegmenter`];
-//! * `table` — the eager [`PhaseTable`] fast path (three table lookups per
+//! * `lut` — the lazy per-colour memoising `LutRgbSegmenter`;
+//! * `table` — the eager `PhaseTable` fast path (three table lookups per
 //!   pixel; the steady-state winner).
+//!
+//! Strategy selection goes through one dispatch point: the flags are parsed
+//! into a [`SegmentPlan`] (`seg_engine::ClassifierKind` ×
+//! `seg_engine::Tiling` × backend — the same single source of truth the
+//! bench targets use) and the plan's classifier kind is materialised with
+//! [`IqftClassifier`].  The `--tile WxH` knob switches the pipeline from
+//! whole-image jobs to tile jobs, so oversized frames fan out across
+//! workers instead of serialising onto one.
 //!
 //! Every run cross-checks the batched output against per-image serial
 //! segmentation with the exact segmenter and reports the verification result
-//! — byte-identity is an acceptance criterion, not an option.
+//! — byte-identity is an acceptance criterion, not an option (and it holds
+//! for every classifier × tiling × backend combination by construction).
 
 use datasets::{PascalVocLikeConfig, PascalVocLikeDataset};
 use imaging::{LabelMap, PixelClassifier, RgbImage, Segmenter};
-use iqft_pipeline::{PipelineReport, SegmentPipeline};
-use iqft_seg::{IqftRgbSegmenter, LutRgbSegmenter, PhaseTable};
-use seg_engine::SegmentEngine;
+use iqft_pipeline::{PipelineConfig, PipelineReport, SegmentPipeline};
+use iqft_seg::{IqftClassifier, IqftRgbSegmenter};
+use seg_engine::{ClassifierKind, SegmentEngine, SegmentPlan, Tiling};
 use std::fmt::Write as _;
 
 /// Configuration of a throughput run (mirrors the CLI flags).
@@ -35,8 +44,12 @@ pub struct ThroughputConfig {
     pub image_size: usize,
     /// Dataset seed (`--seed`).
     pub seed: u64,
-    /// Classifier mode: `exact`, `lut` or `table` (`--classifier`).
+    /// Classifier mode: `exact`, `lut` or `table` (`--classifier`), parsed
+    /// by [`ClassifierKind::from_flag`].
     pub classifier: String,
+    /// Work decomposition: `off` for whole-image jobs or `WxH` for tile
+    /// jobs (`--tile`), parsed by [`Tiling::from_flag`].
+    pub tile: String,
     /// Skip the byte-identity cross-check (`--no-verify`); the default runs it.
     pub verify: bool,
 }
@@ -48,9 +61,23 @@ impl Default for ThroughputConfig {
             batch: 16,
             image_size: 128,
             seed: 42,
-            classifier: "table".to_string(),
+            classifier: ClassifierKind::default().flag().to_string(),
+            tile: Tiling::default().flag(),
             verify: true,
         }
+    }
+}
+
+impl ThroughputConfig {
+    /// Parses the config's strategy flags into a [`SegmentPlan`] executing
+    /// on `engine`'s backend.  Errors on an unknown classifier or a
+    /// malformed tile shape.
+    pub fn plan(&self, engine: &SegmentEngine) -> Result<SegmentPlan, String> {
+        Ok(SegmentPlan::new(
+            ClassifierKind::from_flag(&self.classifier)?,
+            Tiling::from_flag(&self.tile)?,
+            engine.backend(),
+        ))
     }
 }
 
@@ -74,8 +101,12 @@ fn run_pipeline<C: PixelClassifier + Sync>(
     classifier: C,
     images: &[RgbImage],
     batch: usize,
+    tiling: Tiling,
 ) -> (Vec<LabelMap>, PipelineReport) {
-    let pipeline = SegmentPipeline::new(*engine, classifier);
+    let pipeline = SegmentPipeline::new(*engine, classifier).with_config(PipelineConfig {
+        tiling,
+        ..PipelineConfig::default()
+    });
     let mut outputs: Vec<Option<LabelMap>> = Vec::new();
     outputs.resize_with(images.len(), || None);
     let report = pipeline.run_stream(images, batch, |idx, labels| {
@@ -91,36 +122,22 @@ fn run_pipeline<C: PixelClassifier + Sync>(
     (outputs, report)
 }
 
-/// Runs the configured stream and returns `(labels, report)`; the classifier
-/// mode is resolved here.  Errors on an unknown mode.
+/// Runs the configured stream and returns `(labels, report)`.  The whole
+/// strategy — classifier kind, tiling, backend — is resolved here through a
+/// single [`SegmentPlan`]; errors on an unknown classifier or tile flag.
 pub fn throughput_run(
     engine: &SegmentEngine,
     config: &ThroughputConfig,
     images: &[RgbImage],
 ) -> Result<(Vec<LabelMap>, PipelineReport), String> {
-    match config.classifier.as_str() {
-        "exact" => Ok(run_pipeline(
-            engine,
-            IqftRgbSegmenter::paper_default(),
-            images,
-            config.batch,
-        )),
-        "lut" => Ok(run_pipeline(
-            engine,
-            LutRgbSegmenter::paper_default(),
-            images,
-            config.batch,
-        )),
-        "table" => Ok(run_pipeline(
-            engine,
-            PhaseTable::paper_default(),
-            images,
-            config.batch,
-        )),
-        other => Err(format!(
-            "unknown classifier '{other}' (expected exact, lut or table)"
-        )),
-    }
+    let plan = config.plan(engine)?;
+    Ok(run_pipeline(
+        engine,
+        IqftClassifier::for_plan(&plan),
+        images,
+        config.batch,
+        plan.tiling(),
+    ))
 }
 
 /// Runs the whole subcommand and renders the human-readable report.
@@ -134,12 +151,13 @@ pub fn throughput_report(engine: &SegmentEngine, config: &ThroughputConfig) -> S
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "Throughput: {} images ({}x{}), batch {}, classifier '{}', {} workers",
+        "Throughput: {} images ({}x{}), batch {}, classifier '{}', tile '{}', {} workers",
         config.images,
         config.image_size,
         config.image_size * 3 / 4,
         config.batch,
         config.classifier,
+        config.tile,
         report.workers,
     );
     for b in &report.batches {
@@ -208,12 +226,13 @@ mod tests {
             image_size: 40,
             seed: 7,
             classifier: classifier.to_string(),
+            tile: "off".to_string(),
             verify: true,
         }
     }
 
     #[test]
-    fn all_classifier_modes_agree_with_serial_reference() {
+    fn all_classifier_modes_and_tilings_agree_with_serial_reference() {
         let engine = SegmentEngine::with_threads(2);
         let config = small_config("exact");
         let images = throughput_images(&config);
@@ -226,21 +245,50 @@ mod tests {
             })
             .collect();
         for mode in ["exact", "lut", "table"] {
-            let config = small_config(mode);
-            let (labels, report) = throughput_run(&engine, &config, &images).unwrap();
-            assert_eq!(labels, reference, "mode {mode}");
-            assert_eq!(report.images(), 6);
-            assert_eq!(report.batches.len(), 3);
+            for tile in ["off", "16x16", "13x7"] {
+                let mut config = small_config(mode);
+                config.tile = tile.to_string();
+                let (labels, report) = throughput_run(&engine, &config, &images).unwrap();
+                assert_eq!(labels, reference, "mode {mode} tile {tile}");
+                assert_eq!(report.images(), 6);
+                assert_eq!(report.batches.len(), 3);
+            }
         }
     }
 
     #[test]
-    fn unknown_classifier_is_rejected() {
+    fn unknown_classifier_and_tile_flags_are_rejected() {
         let engine = SegmentEngine::serial();
         let config = small_config("gpu");
         let images = throughput_images(&config);
         assert!(throughput_run(&engine, &config, &images).is_err());
         assert!(throughput_report(&engine, &config).contains("unknown classifier"));
+        let mut config = small_config("table");
+        config.tile = "64".to_string();
+        assert!(throughput_run(&engine, &config, &images).is_err());
+        assert!(throughput_report(&engine, &config).contains("invalid tile shape"));
+    }
+
+    #[test]
+    fn config_plan_resolves_the_three_axes() {
+        let engine = SegmentEngine::with_threads(3);
+        let mut config = small_config("lut");
+        config.tile = "32x16".to_string();
+        let plan = config.plan(&engine).unwrap();
+        assert_eq!(plan.classifier(), ClassifierKind::Lut);
+        assert_eq!(
+            plan.tiling(),
+            Tiling::Tiles {
+                width: 32,
+                height: 16
+            }
+        );
+        assert_eq!(plan.backend(), engine.backend());
+        assert_eq!(
+            ThroughputConfig::default().plan(&engine).unwrap().tiling(),
+            Tiling::Whole,
+            "tiling defaults to off"
+        );
     }
 
     #[test]

@@ -32,6 +32,20 @@ pub enum ImagingError {
         /// Dimensions of the second image.
         right: (usize, usize),
     },
+    /// `width * height` does not fit in a `usize` (pathological dimensions).
+    TooLarge {
+        /// Requested width.
+        width: usize,
+        /// Requested height.
+        height: usize,
+    },
+    /// A requested sub-image rectangle does not lie inside its parent.
+    InvalidView {
+        /// Requested rectangle as `(x, y, width, height)`.
+        rect: (usize, usize, usize, usize),
+        /// Parent dimensions as `(width, height)`.
+        parent: (usize, usize),
+    },
     /// A file could not be parsed as the expected format.
     Decode(String),
     /// Underlying I/O failure.
@@ -62,6 +76,15 @@ impl fmt::Display for ImagingError {
                 f,
                 "image shapes differ: {}x{} vs {}x{}",
                 left.0, left.1, right.0, right.1
+            ),
+            ImagingError::TooLarge { width, height } => write!(
+                f,
+                "image dimensions {width}x{height} overflow the pixel count"
+            ),
+            ImagingError::InvalidView { rect, parent } => write!(
+                f,
+                "view {}x{}+{}+{} does not fit inside {}x{} parent",
+                rect.2, rect.3, rect.0, rect.1, parent.0, parent.1
             ),
             ImagingError::Decode(msg) => write!(f, "decode error: {msg}"),
             ImagingError::Io(e) => write!(f, "i/o error: {e}"),
@@ -110,6 +133,16 @@ mod tests {
         let e = ImagingError::Decode("bad magic".into());
         assert!(e.to_string().contains("bad magic"));
         assert!(ImagingError::EmptyImage.to_string().contains("non-empty"));
+        let e = ImagingError::TooLarge {
+            width: usize::MAX,
+            height: 2,
+        };
+        assert!(e.to_string().contains("overflow"));
+        let e = ImagingError::InvalidView {
+            rect: (1, 2, 3, 4),
+            parent: (2, 2),
+        };
+        assert!(e.to_string().contains("3x4+1+2"));
     }
 
     #[test]

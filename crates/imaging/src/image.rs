@@ -16,38 +16,76 @@ pub struct ImageBuffer<P> {
 }
 
 impl<P: Copy> ImageBuffer<P> {
+    /// `width * height` with overflow detection: pathological dimensions
+    /// yield [`ImagingError::TooLarge`] instead of wrapping around.
+    pub fn checked_area(width: usize, height: usize) -> Result<usize> {
+        width
+            .checked_mul(height)
+            .ok_or(ImagingError::TooLarge { width, height })
+    }
+
     /// Creates an image filled with `fill`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width * height` overflows `usize`; use
+    /// [`ImageBuffer::try_new`] to handle untrusted dimensions gracefully.
     pub fn new(width: usize, height: usize, fill: P) -> Self {
-        Self {
+        Self::try_new(width, height, fill).expect("image dimensions overflow the pixel count")
+    }
+
+    /// Fallible variant of [`ImageBuffer::new`]: fails with
+    /// [`ImagingError::TooLarge`] when `width * height` overflows `usize`.
+    pub fn try_new(width: usize, height: usize, fill: P) -> Result<Self> {
+        let area = Self::checked_area(width, height)?;
+        Ok(Self {
             width,
             height,
-            data: vec![fill; width * height],
-        }
+            data: vec![fill; area],
+        })
     }
 
     /// Creates an image by evaluating `f(x, y)` for every pixel.
-    pub fn from_fn<F: FnMut(usize, usize) -> P>(width: usize, height: usize, mut f: F) -> Self {
-        let mut data = Vec::with_capacity(width * height);
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width * height` overflows `usize`; use
+    /// [`ImageBuffer::try_from_fn`] to handle untrusted dimensions gracefully.
+    pub fn from_fn<F: FnMut(usize, usize) -> P>(width: usize, height: usize, f: F) -> Self {
+        Self::try_from_fn(width, height, f).expect("image dimensions overflow the pixel count")
+    }
+
+    /// Fallible variant of [`ImageBuffer::from_fn`]: fails with
+    /// [`ImagingError::TooLarge`] when `width * height` overflows `usize`.
+    pub fn try_from_fn<F: FnMut(usize, usize) -> P>(
+        width: usize,
+        height: usize,
+        mut f: F,
+    ) -> Result<Self> {
+        let area = Self::checked_area(width, height)?;
+        let mut data = Vec::with_capacity(area);
         for y in 0..height {
             for x in 0..width {
                 data.push(f(x, y));
             }
         }
-        Self {
+        Ok(Self {
             width,
             height,
             data,
-        }
+        })
     }
 
     /// Wraps an existing row-major buffer.
     ///
-    /// Fails with [`ImagingError::DimensionMismatch`] if `data.len() !=
-    /// width * height`.
+    /// Fails with [`ImagingError::TooLarge`] if `width * height` overflows
+    /// `usize`, or [`ImagingError::DimensionMismatch`] if `data.len()` does
+    /// not equal `width * height`.
     pub fn from_vec(width: usize, height: usize, data: Vec<P>) -> Result<Self> {
-        if data.len() != width * height {
+        let area = Self::checked_area(width, height)?;
+        if data.len() != area {
             return Err(ImagingError::DimensionMismatch {
-                expected: width * height,
+                expected: area,
                 actual: data.len(),
             });
         }
@@ -324,6 +362,34 @@ mod tests {
     fn into_vec_returns_data() {
         let img = ImageBuffer::from_fn(2, 2, |x, y| (x + y) as u8);
         assert_eq!(img.into_vec(), vec![0, 1, 1, 2]);
+    }
+
+    #[test]
+    fn pathological_dimensions_error_instead_of_wrapping() {
+        // usize::MAX * 2 wraps to usize::MAX - 1 with unchecked arithmetic;
+        // every constructor must reject it up front.
+        assert!(matches!(
+            ImageBuffer::try_new(usize::MAX, 2, 0u8).unwrap_err(),
+            ImagingError::TooLarge { .. }
+        ));
+        assert!(matches!(
+            ImageBuffer::try_from_fn(2, usize::MAX, |_, _| 0u8).unwrap_err(),
+            ImagingError::TooLarge { .. }
+        ));
+        assert!(matches!(
+            ImageBuffer::from_vec(usize::MAX, usize::MAX, vec![0u8]).unwrap_err(),
+            ImagingError::TooLarge { .. }
+        ));
+        assert!(ImageBuffer::<u8>::checked_area(usize::MAX, 1).is_ok());
+        assert!(ImageBuffer::<u8>::checked_area(usize::MAX, 0).is_ok());
+    }
+
+    #[test]
+    fn fallible_constructors_match_their_panicking_twins() {
+        let a = ImageBuffer::try_new(3, 2, 9u8).unwrap();
+        assert_eq!(a, ImageBuffer::new(3, 2, 9u8));
+        let b = ImageBuffer::try_from_fn(3, 2, |x, y| (x + y) as u8).unwrap();
+        assert_eq!(b, ImageBuffer::from_fn(3, 2, |x, y| (x + y) as u8));
     }
 
     #[test]

@@ -22,6 +22,9 @@
 //! * [`labels`] — label-map utilities: census, relabelling, binarisation,
 //!   connected components and palette rendering.
 //! * [`stats`] — per-channel image statistics.
+//! * [`view`] — zero-copy sub-image views ([`ImageView`], [`LabelViewMut`])
+//!   and the deterministic tile decomposition ([`TileRect`]) that lets large
+//!   images be segmented as independent tile jobs without copying pixels.
 //!
 //! # Example
 //!
@@ -48,11 +51,13 @@ pub mod pixel;
 pub mod segment;
 pub mod stats;
 pub mod transform;
+pub mod view;
 
 pub use crate::image::ImageBuffer;
 pub use error::{ImagingError, Result};
 pub use pixel::{Luma, Rgb};
 pub use segment::{PixelClassifier, Segmenter};
+pub use view::{ImageView, LabelViewMut, TileRect, TileRects};
 
 /// 8-bit RGB image.
 pub type RgbImage = ImageBuffer<Rgb<u8>>;

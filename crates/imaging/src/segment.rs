@@ -5,6 +5,7 @@
 //! algorithm with a runtime-selectable backend.
 
 use crate::pixel::{Luma, Rgb};
+use crate::view::{ImageView, LabelViewMut};
 use crate::{GrayImage, LabelMap, RgbImage};
 
 /// An unsupervised image segmenter.
@@ -51,6 +52,51 @@ pub trait PixelClassifier {
         let v = pixel.value();
         self.classify_rgb_pixel(Rgb::new(v, v, v))
     }
+
+    /// Classifies every pixel of an RGB view into a matching label view,
+    /// row by row — the zero-copy tile work unit behind `segment_tiled`.
+    ///
+    /// Because each label is a pure function of its own pixel, classifying a
+    /// tile this way writes exactly the labels a whole-image pass would, so
+    /// any tile decomposition reassembles byte-identically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `view` and `out` differ in dimensions.
+    fn classify_rgb_view_into(&self, view: &ImageView<'_, Rgb<u8>>, out: &mut LabelViewMut<'_>) {
+        assert_eq!(
+            view.dimensions(),
+            out.dimensions(),
+            "label view does not match the pixel view"
+        );
+        for y in 0..view.height() {
+            let src = view.row(y);
+            let dst = out.row_mut(y);
+            for (label, &pixel) in dst.iter_mut().zip(src) {
+                *label = self.classify_rgb_pixel(pixel);
+            }
+        }
+    }
+
+    /// Grayscale counterpart of [`PixelClassifier::classify_rgb_view_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `view` and `out` differ in dimensions.
+    fn classify_gray_view_into(&self, view: &ImageView<'_, Luma<u8>>, out: &mut LabelViewMut<'_>) {
+        assert_eq!(
+            view.dimensions(),
+            out.dimensions(),
+            "label view does not match the pixel view"
+        );
+        for y in 0..view.height() {
+            let src = view.row(y);
+            let dst = out.row_mut(y);
+            for (label, &pixel) in dst.iter_mut().zip(src) {
+                *label = self.classify_gray_pixel(pixel);
+            }
+        }
+    }
 }
 
 impl<F: Fn(Rgb<u8>) -> u32> PixelClassifier for F {
@@ -90,5 +136,63 @@ mod tests {
         assert_eq!(seg.segment_rgb(&rgb), labels);
         let bright = RgbImage::new(1, 1, Rgb::WHITE);
         assert_eq!(seg.segment_rgb(&bright).get(0, 0), 1);
+    }
+
+    #[test]
+    fn view_classification_matches_per_pixel_classification() {
+        use crate::view::TileRect;
+
+        let img = RgbImage::from_fn(9, 6, |x, y| Rgb::new((x * 28) as u8, (y * 40) as u8, 90));
+        let rule = |p: Rgb<u8>| u32::from(p.r() as u16 + p.g() as u16 > 255);
+        let rect = TileRect::new(2, 1, 5, 4);
+        let view = img.view(rect).unwrap();
+        let mut labels = LabelMap::new(9, 6, u32::MAX);
+        rule.classify_rgb_view_into(&view, &mut labels.view_mut(rect).unwrap());
+        for y in 0..img.height() {
+            for x in 0..img.width() {
+                let inside = x >= rect.x
+                    && x < rect.x + rect.width
+                    && y >= rect.y
+                    && y < rect.y + rect.height;
+                let expected = if inside {
+                    rule.classify_rgb_pixel(img.get(x, y))
+                } else {
+                    u32::MAX
+                };
+                assert_eq!(labels.get(x, y), expected, "({x}, {y})");
+            }
+        }
+    }
+
+    #[test]
+    fn gray_view_classification_uses_the_gray_rule() {
+        use crate::view::LabelViewMut;
+
+        struct Parity;
+        impl PixelClassifier for Parity {
+            fn classify_rgb_pixel(&self, p: Rgb<u8>) -> u32 {
+                u32::from(p.r()) % 2
+            }
+            fn classify_gray_pixel(&self, p: Luma<u8>) -> u32 {
+                u32::from(p.value()) % 2
+            }
+        }
+        let img = GrayImage::from_fn(5, 3, |x, y| Luma((x * 3 + y) as u8));
+        let mut buf = vec![0u32; img.len()];
+        let mut out = LabelViewMut::contiguous(&mut buf, 5, 3).unwrap();
+        Parity.classify_gray_view_into(&img.as_view(), &mut out);
+        for (x, y, p) in img.enumerate_pixels() {
+            assert_eq!(buf[y * 5 + x], u32::from(p.value()) % 2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn view_classification_rejects_mismatched_shapes() {
+        let img = RgbImage::new(4, 4, Rgb::BLACK);
+        let rule = |_: Rgb<u8>| 0u32;
+        let mut buf = vec![0u32; 6];
+        let mut out = crate::view::LabelViewMut::contiguous(&mut buf, 3, 2).unwrap();
+        rule.classify_rgb_view_into(&img.as_view(), &mut out);
     }
 }

@@ -93,6 +93,18 @@ impl IqftGraySegmenter {
         u32::from(p2 > p1)
     }
 
+    /// Classifies every pixel of a zero-copy grayscale view into a matching
+    /// label view — the tile work unit consumed by
+    /// [`SegmentEngine::segment_tiled_gray`].  Labels are identical to
+    /// per-pixel [`IqftGraySegmenter::classify`] calls.
+    pub fn classify_view_into(
+        &self,
+        view: &imaging::ImageView<'_, Luma<u8>>,
+        out: &mut imaging::LabelViewMut<'_>,
+    ) {
+        PixelClassifier::classify_gray_view_into(self, view, out);
+    }
+
     /// Classifies an 8-bit intensity.
     pub fn classify(&self, value: u8) -> u32 {
         let intensity = if self.normalize {
@@ -273,6 +285,19 @@ mod tests {
         let serial = seg.clone().with_backend(Backend::Serial).segment_gray(&img);
         let parallel = seg.with_backend(Backend::Threads(4)).segment_gray(&img);
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn view_classification_matches_whole_image_segmentation() {
+        let seg = IqftGraySegmenter::new(1.5 * PI);
+        let img = GrayImage::from_fn(19, 11, |x, y| Luma(((x * 17 + y * 3) % 256) as u8));
+        let whole = seg.segment_gray(&img);
+        let mut stitched = LabelMap::new(19, 11, u32::MAX);
+        for rect in img.tile_rects(4, 6) {
+            let tile = img.view(rect).unwrap();
+            seg.classify_view_into(&tile, &mut stitched.view_mut(rect).unwrap());
+        }
+        assert_eq!(stitched, whole);
     }
 
     #[test]

@@ -23,6 +23,9 @@
 //! * [`phase_table`] — an *eager* 3 × 256-entry phase table precomputed per
 //!   [`ThetaParams`]: steady-state classification is three table lookups,
 //!   byte-identical to the exact path (the throughput pipeline's fast path).
+//! * [`classifier`] — [`IqftClassifier`], the concrete classifier behind a
+//!   `seg_engine::ClassifierKind`: one enum that plan-driven callers build
+//!   from the `--classifier` flag (all variants label identically).
 //! * [`foreground`] — reduction of a multi-label segmentation to a
 //!   foreground/background mask for mIOU evaluation.
 //! * [`analysis`] — segment-count analysis used for the paper's Table II.
@@ -52,6 +55,7 @@
 
 pub mod analysis;
 pub mod auto_theta;
+pub mod classifier;
 pub mod foreground;
 pub mod gray;
 pub mod lut;
@@ -64,6 +68,7 @@ pub use seg_engine as engine;
 
 pub use analysis::max_segments_for_theta;
 pub use auto_theta::AutoThetaSearch;
+pub use classifier::IqftClassifier;
 pub use foreground::{reduce_to_foreground, ForegroundPolicy};
 pub use gray::IqftGraySegmenter;
 pub use lut::LutRgbSegmenter;

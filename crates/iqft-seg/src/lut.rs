@@ -75,6 +75,18 @@ impl LutRgbSegmenter {
         crate::phase_table::PhaseTable::from_segmenter(&self.inner)
     }
 
+    /// Classifies every pixel of a zero-copy sub-image view into a matching
+    /// label view, consulting (and warming) the colour cache — the tile work
+    /// unit consumed by `SegmentEngine::segment_tiled`.  Labels are
+    /// identical to per-pixel [`LutRgbSegmenter::classify`] calls.
+    pub fn classify_view_into(
+        &self,
+        view: &imaging::ImageView<'_, Rgb<u8>>,
+        out: &mut imaging::LabelViewMut<'_>,
+    ) {
+        PixelClassifier::classify_rgb_view_into(self, view, out);
+    }
+
     /// Classifies a pixel, consulting the cache first.
     pub fn classify(&self, pixel: Rgb<u8>) -> u32 {
         let key = pixel.0;
@@ -197,6 +209,24 @@ mod tests {
         for pixel in [Rgb::new(0, 0, 0), Rgb::new(200, 180, 40)] {
             assert_eq!(table.classify(pixel), lut.classify(pixel));
         }
+    }
+
+    #[test]
+    fn view_classification_matches_whole_image_and_warms_the_cache() {
+        let lut = LutRgbSegmenter::paper_default();
+        let img = test_image();
+        let whole = lut.segment_rgb(&img);
+        let fresh = LutRgbSegmenter::paper_default();
+        let mut stitched = imaging::LabelMap::new(40, 30, u32::MAX);
+        for rect in img.tile_rects(16, 11) {
+            let tile = img.view(rect).unwrap();
+            fresh.classify_view_into(&tile, &mut stitched.view_mut(rect).unwrap());
+        }
+        assert_eq!(stitched, whole);
+        assert!(
+            fresh.cache_len() > 0,
+            "view path populates the colour cache"
+        );
     }
 
     #[test]

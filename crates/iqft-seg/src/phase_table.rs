@@ -187,6 +187,19 @@ impl PhaseTable {
     pub fn classify(&self, pixel: Rgb<u8>) -> u32 {
         argmax(&self.probabilities(pixel)) as u32
     }
+
+    /// Classifies every pixel of a zero-copy sub-image view into a matching
+    /// label view — the tile work unit consumed by
+    /// [`SegmentEngine::segment_tiled`].  Labels are identical to per-pixel
+    /// [`PhaseTable::classify`] calls (and therefore byte-identical to the
+    /// exact path), so any tile decomposition reassembles exactly.
+    pub fn classify_view_into(
+        &self,
+        view: &imaging::ImageView<'_, Rgb<u8>>,
+        out: &mut imaging::LabelViewMut<'_>,
+    ) {
+        PixelClassifier::classify_rgb_view_into(self, view, out);
+    }
 }
 
 impl PixelClassifier for PhaseTable {
@@ -311,6 +324,21 @@ mod tests {
                 exact.segment_rgb(&img)
             );
         }
+    }
+
+    #[test]
+    fn view_classification_matches_whole_image_segmentation() {
+        let table = PhaseTable::paper_default();
+        let img = RgbImage::from_fn(33, 14, |x, y| {
+            Rgb::new((x * 8) as u8, (y * 18) as u8, ((x * y) % 256) as u8)
+        });
+        let whole = table.segment_rgb(&img);
+        let mut stitched = imaging::LabelMap::new(33, 14, u32::MAX);
+        for rect in img.tile_rects(10, 4) {
+            let tile = img.view(rect).unwrap();
+            table.classify_view_into(&tile, &mut stitched.view_mut(rect).unwrap());
+        }
+        assert_eq!(stitched, whole);
     }
 
     #[test]

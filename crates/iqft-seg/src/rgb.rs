@@ -219,6 +219,19 @@ impl IqftRgbSegmenter {
         argmax(&self.probabilities(pixel)) as u32
     }
 
+    /// Classifies every pixel of a zero-copy sub-image view into a matching
+    /// label view — the tile work unit consumed by
+    /// [`SegmentEngine::segment_tiled`].  Labels are identical to
+    /// per-pixel [`IqftRgbSegmenter::classify`] calls, so any tile
+    /// decomposition reassembles byte-identically to a whole-image pass.
+    pub fn classify_view_into(
+        &self,
+        view: &imaging::ImageView<'_, Rgb<u8>>,
+        out: &mut imaging::LabelViewMut<'_>,
+    ) {
+        PixelClassifier::classify_rgb_view_into(self, view, out);
+    }
+
     /// Classifies a pixel given already-normalised channel values in `[0, 1]`
     /// (used by the Table II random-input sweep, which never materialises an
     /// image).
@@ -437,6 +450,21 @@ mod tests {
         let direct = seg.segment_gray(&gray);
         let via_rgb = seg.segment_rgb(&color::gray_to_rgb(&gray));
         assert_eq!(direct, via_rgb);
+    }
+
+    #[test]
+    fn view_classification_matches_whole_image_segmentation() {
+        let seg = IqftRgbSegmenter::paper_default();
+        let img = RgbImage::from_fn(21, 13, |x, y| {
+            Rgb::new((x * 12) as u8, (y * 19) as u8, ((x + y) * 9) as u8)
+        });
+        let whole = seg.segment_rgb(&img);
+        let mut stitched = imaging::LabelMap::new(21, 13, u32::MAX);
+        for rect in img.tile_rects(6, 5) {
+            let tile = img.view(rect).unwrap();
+            seg.classify_view_into(&tile, &mut stitched.view_mut(rect).unwrap());
+        }
+        assert_eq!(stitched, whole);
     }
 
     #[test]

@@ -13,11 +13,17 @@
 //! * [`stats`] — per-batch throughput/latency accounting built on
 //!   [`xpar::Progress`], rolled up into a [`PipelineReport`].
 //!
-//! The pipeline parallelises **across images**: each worker segments its
-//! image with a serial per-pixel pass, so the output of [`run_batch`] is
-//! byte-identical to per-image serial segmentation no matter how many workers
-//! run (`tests/engine_determinism.rs` at the workspace root enforces this
-//! across backends).  For the steady-state fast path, hand the pipeline an
+//! The pipeline parallelises **across images** by default: each worker
+//! segments its image with a serial per-pixel pass, so the output of
+//! [`run_batch`] is byte-identical to per-image serial segmentation no
+//! matter how many workers run (`tests/engine_determinism.rs` at the
+//! workspace root enforces this across backends).  When a stream contains
+//! images too large for that to balance — one satellite frame would
+//! serialise onto a single worker — configure a
+//! [`seg_engine::Tiling::Tiles`] decomposition ([`PipelineConfig::tiling`]):
+//! every image then splits into zero-copy tile jobs whose scratch buffers
+//! recycle through the same [`LabelArena`], and the stitched output remains
+//! byte-identical.  For the steady-state fast path, hand the pipeline an
 //! [`iqft_seg::PhaseTable`]: classification collapses to three table lookups
 //! per pixel.
 //!
@@ -60,14 +66,15 @@ pub use arena::LabelArena;
 pub use queue::JobQueue;
 pub use stats::{BatchStats, PipelineReport};
 
+use imaging::view::{LabelViewMut, TileRect};
 use imaging::{LabelMap, PixelClassifier, RgbImage};
-use seg_engine::SegmentEngine;
+use seg_engine::{SegmentEngine, Tiling};
 use xpar::Progress;
 
 /// Tuning knobs for a [`SegmentPipeline`].
 ///
-/// The default (all zeros) derives the worker count from the engine and the
-/// queue capacity from the worker count.
+/// The default (all zeros, whole-image work units) derives the worker count
+/// from the engine and the queue capacity from the worker count.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct PipelineConfig {
     /// Worker threads pulling jobs from the queue (0 = the engine's
@@ -75,6 +82,25 @@ pub struct PipelineConfig {
     pub workers: usize,
     /// Bounded job-queue capacity (0 = twice the worker count).
     pub queue_capacity: usize,
+    /// Work decomposition: [`Tiling::Whole`] enqueues one job per image;
+    /// [`Tiling::Tiles`] splits every image into tile jobs, so one oversized
+    /// frame no longer serialises onto a single worker.  Tile label buffers
+    /// recycle through the same [`LabelArena`] as image buffers, keeping the
+    /// steady state allocation-free, and the output stays byte-identical to
+    /// whole-image segmentation.
+    pub tiling: Tiling,
+}
+
+/// Closes the queue if the holding worker unwinds, so the producer cannot
+/// block forever on a full queue whose consumers are all dead.
+struct CloseOnPanic<'q, T>(&'q JobQueue<T>);
+
+impl<T> Drop for CloseOnPanic<'_, T> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.close();
+        }
+    }
 }
 
 /// A batched segmentation service: owns a [`SegmentEngine`], a pixel
@@ -138,6 +164,11 @@ impl<C: PixelClassifier + Sync> SegmentPipeline<C> {
         }
     }
 
+    /// The work decomposition jobs are enqueued with.
+    pub fn tiling(&self) -> Tiling {
+        self.config.tiling
+    }
+
     /// The label-buffer arena (for inspection; see [`LabelArena`]).
     pub fn arena(&self) -> &LabelArena {
         &self.arena
@@ -170,6 +201,9 @@ impl<C: PixelClassifier + Sync> SegmentPipeline<C> {
     }
 
     fn run_batch_indexed(&self, batch: usize, images: &[RgbImage]) -> (Vec<LabelMap>, BatchStats) {
+        if let Tiling::Tiles { width, height } = self.config.tiling {
+            return self.run_batch_tiled(batch, images, width, height);
+        }
         let progress = Progress::new(images.len());
         let workers = self.workers();
         let queue: JobQueue<usize> = JobQueue::bounded(self.queue_capacity());
@@ -178,17 +212,6 @@ impl<C: PixelClassifier + Sync> SegmentPipeline<C> {
         results.resize_with(images.len(), || None);
 
         std::thread::scope(|scope| {
-            /// Closes the queue if the holding worker unwinds, so the
-            /// producer cannot block forever on a full queue whose consumers
-            /// are all dead.
-            struct CloseOnPanic<'q>(&'q JobQueue<usize>);
-            impl Drop for CloseOnPanic<'_> {
-                fn drop(&mut self) {
-                    if std::thread::panicking() {
-                        self.0.close();
-                    }
-                }
-            }
             let mut handles = Vec::with_capacity(workers);
             for _ in 0..workers {
                 let queue = queue.clone();
@@ -245,6 +268,120 @@ impl<C: PixelClassifier + Sync> SegmentPipeline<C> {
             .into_iter()
             .map(|slot| slot.expect("every job produced a label map"))
             .collect();
+        (labels, stats)
+    }
+
+    /// Tiled variant of [`SegmentPipeline::run_batch_indexed`]: every image
+    /// is split into `tile_w × tile_h` tile jobs (edge tiles clamped), so a
+    /// single oversized frame fans out across all workers instead of
+    /// serialising onto one.
+    ///
+    /// Each tile job takes a scratch buffer from the [`LabelArena`],
+    /// classifies its zero-copy [`imaging::ImageView`], and the buffer goes
+    /// straight back to the arena after the stitch — tile buffers and
+    /// whole-image buffers recycle through the same pool, so the steady
+    /// state stays allocation-free.  Stitching happens in deterministic tile
+    /// order and each label depends only on its own pixel, so the output is
+    /// byte-identical to the whole-image path for any worker count.
+    fn run_batch_tiled(
+        &self,
+        batch: usize,
+        images: &[RgbImage],
+        tile_w: usize,
+        tile_h: usize,
+    ) -> (Vec<LabelMap>, BatchStats) {
+        // Jobs are materialised in (image, tile) order, so the grouped
+        // assembly below can walk them with a single cursor.
+        let jobs: Vec<(usize, TileRect)> = images
+            .iter()
+            .enumerate()
+            .flat_map(|(idx, img)| img.tile_rects(tile_w, tile_h).map(move |rect| (idx, rect)))
+            .collect();
+        let progress = Progress::new(jobs.len());
+        let workers = self.workers();
+        let queue: JobQueue<usize> = JobQueue::bounded(self.queue_capacity());
+        let mut tiles: Vec<Option<Vec<u32>>> = Vec::new();
+        tiles.resize_with(jobs.len(), || None);
+
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for _ in 0..workers {
+                let queue = queue.clone();
+                let progress = &progress;
+                let arena = &self.arena;
+                let classifier = &self.classifier;
+                let jobs = &jobs;
+                handles.push(scope.spawn(move || {
+                    let _guard = CloseOnPanic(&queue);
+                    let mut done: Vec<(usize, Vec<u32>)> = Vec::new();
+                    while let Some(job) = queue.pop() {
+                        let (img_idx, rect) = jobs[job];
+                        let tile = images[img_idx]
+                            .view(rect)
+                            .expect("tile rects lie inside their image");
+                        let mut buf = arena.take();
+                        buf.clear();
+                        buf.resize(rect.area(), 0);
+                        let mut out = LabelViewMut::contiguous(&mut buf, rect.width, rect.height)
+                            .expect("tile buffer matches tile area");
+                        classifier.classify_rgb_view_into(&tile, &mut out);
+                        done.push((job, buf));
+                        progress.inc(1);
+                    }
+                    done
+                }));
+            }
+            for job in 0..jobs.len() {
+                if queue.push(job).is_err() {
+                    break;
+                }
+            }
+            queue.close();
+            for handle in handles {
+                match handle.join() {
+                    Ok(done) => {
+                        for (job, buf) in done {
+                            tiles[job] = Some(buf);
+                        }
+                    }
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+        });
+
+        debug_assert!(progress.is_complete());
+
+        // Stitch tiles into per-image label maps, returning every tile
+        // buffer to the arena so the next batch reuses it.
+        let mut labels = Vec::with_capacity(images.len());
+        let mut cursor = 0usize;
+        for (idx, img) in images.iter().enumerate() {
+            let mut buf = self.arena.take();
+            buf.clear();
+            buf.resize(img.len(), 0);
+            while cursor < jobs.len() && jobs[cursor].0 == idx {
+                let rect = jobs[cursor].1;
+                let tile = tiles[cursor]
+                    .take()
+                    .expect("every tile job produced labels");
+                LabelViewMut::new(&mut buf, img.width(), rect)
+                    .expect("tile rects lie inside the label buffer")
+                    .copy_from_tile(&tile);
+                self.arena.put(tile);
+                cursor += 1;
+            }
+            let (w, h) = img.dimensions();
+            labels.push(LabelMap::from_vec(w, h, buf).expect("label buffer matches image size"));
+        }
+        // The clock stops only after the stitch: the tile-copy pass is real
+        // per-batch work the whole-image path does not pay, and it must not
+        // be excluded from tiled throughput/latency figures.
+        let stats = BatchStats {
+            batch,
+            images: images.len(),
+            pixels: images.iter().map(|img| img.len()).sum(),
+            elapsed_secs: progress.elapsed_secs(),
+        };
         (labels, stats)
     }
 
@@ -325,6 +462,7 @@ mod tests {
             .with_config(PipelineConfig {
                 workers,
                 queue_capacity: 2,
+                ..PipelineConfig::default()
             });
             let (labels, stats) = pipeline.run_batch(&images);
             assert_eq!(labels, expected, "workers={workers}");
@@ -361,6 +499,7 @@ mod tests {
                 .with_config(PipelineConfig {
                     workers: 2,
                     queue_capacity: 2,
+                    ..PipelineConfig::default()
                 });
         let mut seen = Vec::new();
         let report = pipeline.run_stream(&images, 4, |idx, labels| {
@@ -411,6 +550,7 @@ mod tests {
             SegmentPipeline::new(SegmentEngine::serial(), bomb).with_config(PipelineConfig {
                 workers: 1,
                 queue_capacity: 1,
+                ..PipelineConfig::default()
             });
         let images = test_images(8);
         let _ = pipeline.run_batch(&images);
@@ -424,6 +564,7 @@ mod tests {
                 .with_config(PipelineConfig {
                     workers: 2,
                     queue_capacity: 2,
+                    ..PipelineConfig::default()
                 });
         let first = pipeline.run_stream(&images, 3, |_, labels| pipeline.recycle(labels));
         let second = pipeline.run_stream(&images, 3, |_, labels| pipeline.recycle(labels));
@@ -433,6 +574,70 @@ mod tests {
         assert_eq!(second.arena_allocations, 0, "{second:?}");
         assert_eq!(second.arena_reuses, 6, "{second:?}");
         assert_eq!(second.arena_pooled, pipeline.arena().pooled());
+    }
+
+    #[test]
+    fn tiled_batches_are_byte_identical_to_whole_image_batches() {
+        let images = test_images(7);
+        let reference: Vec<LabelMap> = images
+            .iter()
+            .map(|img| SegmentEngine::serial().segment_rgb(&IqftRgbSegmenter::paper_default(), img))
+            .collect();
+        for workers in [1usize, 2, 4] {
+            for (tw, th) in [(1usize, 1usize), (7, 3), (64, 64)] {
+                let pipeline = SegmentPipeline::new(
+                    SegmentEngine::with_threads(workers),
+                    PhaseTable::paper_default(),
+                )
+                .with_config(PipelineConfig {
+                    workers,
+                    queue_capacity: 2,
+                    tiling: seg_engine::Tiling::Tiles {
+                        width: tw,
+                        height: th,
+                    },
+                });
+                assert_eq!(
+                    pipeline.tiling(),
+                    seg_engine::Tiling::Tiles {
+                        width: tw,
+                        height: th
+                    }
+                );
+                let (labels, stats) = pipeline.run_batch(&images);
+                assert_eq!(labels, reference, "workers={workers} tile={tw}x{th}");
+                assert_eq!(stats.images, 7);
+                assert_eq!(stats.pixels, images.iter().map(|i| i.len()).sum::<usize>());
+            }
+        }
+    }
+
+    #[test]
+    fn tiled_streams_recycle_tile_buffers_through_the_arena() {
+        let images: Vec<RgbImage> = (0..8)
+            .map(|i| {
+                RgbImage::from_fn(48, 32, move |x, y| {
+                    Rgb::new((x * 5) as u8, (y * 7) as u8, (i * 31) as u8)
+                })
+            })
+            .collect();
+        let pipeline =
+            SegmentPipeline::new(SegmentEngine::with_threads(2), PhaseTable::paper_default())
+                .with_config(PipelineConfig {
+                    workers: 2,
+                    queue_capacity: 2,
+                    tiling: seg_engine::Tiling::Tiles {
+                        width: 16,
+                        height: 16,
+                    },
+                });
+        let first = pipeline.run_stream(&images, 4, |_, labels| pipeline.recycle(labels));
+        assert_eq!(first.images(), 8);
+        // Warm pool: the second stream takes every tile and image buffer from
+        // the arena without a single fresh allocation.
+        let second = pipeline.run_stream(&images, 4, |_, labels| pipeline.recycle(labels));
+        assert_eq!(second.arena_allocations, 0, "{second:?}");
+        assert!(second.arena_reuses > 0, "{second:?}");
     }
 
     #[test]

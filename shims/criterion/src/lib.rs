@@ -1,7 +1,7 @@
 //! Offline shim for the subset of the `criterion` benchmarking API this
 //! workspace uses.
 //!
-//! The build container has no crates.io access, so the 11 bench targets link
+//! The build container has no crates.io access, so the 13 bench targets link
 //! against this minimal harness instead of real criterion.  It measures wall
 //! clock only — no outlier rejection, no plots — but keeps the same source
 //! API (`criterion_group!`, `criterion_main!`, groups, `bench_with_input`,

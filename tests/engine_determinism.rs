@@ -13,10 +13,12 @@ use datasets::{PascalVocLikeConfig, PascalVocLikeDataset};
 use imaging::{LabelMap, Rgb, RgbImage, Segmenter};
 use iqft_pipeline::{PipelineConfig, SegmentPipeline};
 use iqft_seg::{
-    IqftGraySegmenter, IqftRgbSegmenter, LutRgbSegmenter, PhaseTable, SegmentEngine, ThetaParams,
+    IqftClassifier, IqftGraySegmenter, IqftRgbSegmenter, LutRgbSegmenter, PhaseTable,
+    SegmentEngine, ThetaParams,
 };
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use seg_engine::{ClassifierKind, SegmentPlan, Tiling};
 use xpar::Backend;
 
 /// Every backend variant crossed with the thread counts under test.
@@ -153,6 +155,7 @@ fn pipeline_batches_are_byte_identical_to_serial_per_image() {
             let config = PipelineConfig {
                 workers,
                 queue_capacity: 3,
+                ..PipelineConfig::default()
             };
             let exact =
                 SegmentPipeline::new(engine, IqftRgbSegmenter::paper_default()).with_config(config);
@@ -180,6 +183,95 @@ fn pipeline_batches_are_byte_identical_to_serial_per_image() {
             assert_eq!(report.images(), images.len());
             let streamed: Vec<LabelMap> = streamed.into_iter().map(Option::unwrap).collect();
             assert_eq!(streamed, reference, "table via {name}, workers={workers}");
+        }
+    }
+}
+
+/// Acceptance criterion, tiling layer: tiled segmentation is byte-identical
+/// to whole-image segmentation for every tile size (including non-divisible
+/// edge tiles) × every backend × all three classifier kinds, both through
+/// the engine's `segment_tiled` and through a tiled `SegmentPipeline`.
+#[test]
+fn tiled_segmentation_is_byte_identical_to_whole_image() {
+    let mut rng = ChaCha8Rng::seed_from_u64(1177);
+    // 53×37 is deliberately indivisible by 7×3 and smaller than 64×64, so
+    // the sweep exercises clamped edge tiles, a single oversized tile, and
+    // the exact full-image tile.
+    let img = random_image(&mut rng, 53, 37);
+    let (w, h) = img.dimensions();
+    let tile_sizes = [(1usize, 1usize), (7, 3), (64, 64), (w, h)];
+
+    for kind in ClassifierKind::ALL {
+        let classifier = IqftClassifier::paper_default(kind);
+        let whole = SegmentEngine::serial().segment_rgb(&classifier, &img);
+        for (name, engine) in all_engines() {
+            for (tw, th) in tile_sizes {
+                // Engine layer: direct tiled fan-out.
+                assert_eq!(
+                    engine.segment_tiled(&classifier, &img, tw, th),
+                    whole,
+                    "{kind} via {name}, tile {tw}x{th}"
+                );
+                // Plan layer: the single dispatch point callers go through.
+                let plan = SegmentPlan::new(
+                    kind,
+                    Tiling::Tiles {
+                        width: tw,
+                        height: th,
+                    },
+                    engine.backend(),
+                );
+                assert_eq!(
+                    plan.segment_rgb(&classifier, &img),
+                    whole,
+                    "{kind} plan via {name}, tile {tw}x{th}"
+                );
+            }
+        }
+    }
+}
+
+/// Acceptance criterion, pipeline tiling layer: a pipeline configured with
+/// tile jobs produces byte-identical label maps to whole-image batches for
+/// every backend, worker count and classifier kind.
+#[test]
+fn tiled_pipeline_batches_are_byte_identical_to_whole_image() {
+    let mut rng = ChaCha8Rng::seed_from_u64(9090);
+    let images: Vec<RgbImage> = (0..6)
+        .map(|_| {
+            let width = rng.gen_range(9usize..70);
+            let height = rng.gen_range(9usize..50);
+            random_image(&mut rng, width, height)
+        })
+        .collect();
+    let reference: Vec<LabelMap> = images
+        .iter()
+        .map(|img| {
+            IqftRgbSegmenter::paper_default()
+                .with_engine(SegmentEngine::serial())
+                .segment_rgb(img)
+        })
+        .collect();
+
+    for (name, engine) in all_engines() {
+        for workers in [1usize, 2, 8] {
+            for kind in ClassifierKind::ALL {
+                let config = PipelineConfig {
+                    workers,
+                    queue_capacity: 3,
+                    tiling: Tiling::Tiles {
+                        width: 16,
+                        height: 13,
+                    },
+                };
+                let pipeline = SegmentPipeline::new(engine, IqftClassifier::paper_default(kind))
+                    .with_config(config);
+                assert_eq!(
+                    pipeline.run_batch(&images).0,
+                    reference,
+                    "{kind} via {name}, workers={workers}"
+                );
+            }
         }
     }
 }
