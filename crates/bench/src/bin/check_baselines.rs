@@ -1,0 +1,356 @@
+//! `check_baselines` — schema guard for the `BENCH_*.json` baseline files.
+//!
+//! The repository keeps recorded benchmark baselines as JSON-lines files at
+//! the workspace root (one flat object per line, written by the criterion
+//! shim).  Nothing used to read them back, so a hand edit or a format drift
+//! in the shim could silently break every future comparison.  This tool —
+//! run by the CI `bench-compile` job — parses every record with a small
+//! hand-rolled JSON reader (the workspace is offline: no serde) and checks
+//! that each carries the expected fields with sane values.
+//!
+//! ```text
+//! cargo run --release -p bench --bin check_baselines [FILES...]
+//! ```
+//!
+//! With no arguments it scans the current directory for `BENCH_*.json`.
+//! Exits non-zero (after printing every problem) if any record is invalid,
+//! any file is empty, or the no-argument scan finds no baseline files.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// A flat JSON value: every baseline record is one object of these.
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    String(String),
+    Number(f64),
+    Bool(bool),
+    Null,
+}
+
+/// Minimal parser for one flat JSON object (`{"key": value, ...}` with
+/// string/number/bool/null values — exactly what the criterion shim emits).
+/// Nested containers are rejected; this is a schema guard, not a JSON
+/// library.
+fn parse_flat_object(line: &str) -> Result<BTreeMap<String, Value>, String> {
+    let mut chars = line.char_indices().peekable();
+    let mut object = BTreeMap::new();
+
+    fn skip_ws(chars: &mut std::iter::Peekable<std::str::CharIndices<'_>>) {
+        while matches!(chars.peek(), Some((_, c)) if c.is_ascii_whitespace()) {
+            chars.next();
+        }
+    }
+
+    fn parse_string(
+        chars: &mut std::iter::Peekable<std::str::CharIndices<'_>>,
+    ) -> Result<String, String> {
+        match chars.next() {
+            Some((_, '"')) => {}
+            other => return Err(format!("expected '\"', found {other:?}")),
+        }
+        let mut out = String::new();
+        loop {
+            match chars.next() {
+                Some((_, '"')) => return Ok(out),
+                Some((_, '\\')) => match chars.next() {
+                    Some((_, '"')) => out.push('"'),
+                    Some((_, '\\')) => out.push('\\'),
+                    Some((_, '/')) => out.push('/'),
+                    Some((_, 'n')) => out.push('\n'),
+                    Some((_, 't')) => out.push('\t'),
+                    Some((_, other)) => return Err(format!("unsupported escape '\\{other}'")),
+                    None => return Err("unterminated escape".to_string()),
+                },
+                Some((_, c)) => out.push(c),
+                None => return Err("unterminated string".to_string()),
+            }
+        }
+    }
+
+    skip_ws(&mut chars);
+    match chars.next() {
+        Some((_, '{')) => {}
+        other => return Err(format!("expected '{{', found {other:?}")),
+    }
+    skip_ws(&mut chars);
+    if matches!(chars.peek(), Some((_, '}'))) {
+        chars.next();
+    } else {
+        loop {
+            skip_ws(&mut chars);
+            let key = parse_string(&mut chars)?;
+            skip_ws(&mut chars);
+            match chars.next() {
+                Some((_, ':')) => {}
+                other => return Err(format!("expected ':' after key '{key}', found {other:?}")),
+            }
+            skip_ws(&mut chars);
+            let value = match chars.peek() {
+                Some((_, '"')) => Value::String(parse_string(&mut chars)?),
+                Some((_, '{')) | Some((_, '[')) => {
+                    return Err(format!("key '{key}': nested containers are not expected"));
+                }
+                Some((start, _)) => {
+                    let start = *start;
+                    let mut end = start;
+                    while let Some((i, c)) = chars.peek() {
+                        if matches!(c, ',' | '}') || c.is_ascii_whitespace() {
+                            break;
+                        }
+                        end = i + c.len_utf8();
+                        chars.next();
+                    }
+                    let token = &line[start..end];
+                    match token {
+                        "true" => Value::Bool(true),
+                        "false" => Value::Bool(false),
+                        "null" => Value::Null,
+                        number => Value::Number(
+                            number
+                                .parse::<f64>()
+                                .map_err(|_| format!("key '{key}': bad literal '{number}'"))?,
+                        ),
+                    }
+                }
+                None => return Err(format!("key '{key}': missing value")),
+            };
+            if object.insert(key.clone(), value).is_some() {
+                return Err(format!("duplicate key '{key}'"));
+            }
+            skip_ws(&mut chars);
+            match chars.next() {
+                Some((_, ',')) => continue,
+                Some((_, '}')) => break,
+                other => return Err(format!("expected ',' or '}}', found {other:?}")),
+            }
+        }
+    }
+    skip_ws(&mut chars);
+    if let Some((_, trailing)) = chars.next() {
+        return Err(format!("trailing content starting at '{trailing}'"));
+    }
+    Ok(object)
+}
+
+/// The fields every baseline record must carry, with their value checks.
+fn check_record(record: &BTreeMap<String, Value>) -> Result<(), String> {
+    let string = |key: &str| match record.get(key) {
+        Some(Value::String(s)) if !s.is_empty() => Ok(s.clone()),
+        Some(other) => Err(format!(
+            "field '{key}' must be a non-empty string, got {other:?}"
+        )),
+        None => Err(format!("missing field '{key}'")),
+    };
+    let number = |key: &str| match record.get(key) {
+        Some(Value::Number(n)) if n.is_finite() => Ok(*n),
+        Some(other) => Err(format!(
+            "field '{key}' must be a finite number, got {other:?}"
+        )),
+        None => Err(format!("missing field '{key}'")),
+    };
+    string("group")?;
+    string("bench")?;
+    let mean = number("mean_ns")?;
+    let min = number("min_ns")?;
+    let iters = number("iters")?;
+    if mean <= 0.0 || min <= 0.0 {
+        return Err(format!(
+            "timings must be positive (mean_ns={mean}, min_ns={min})"
+        ));
+    }
+    if min > mean {
+        return Err(format!("min_ns {min} exceeds mean_ns {mean}"));
+    }
+    if iters < 1.0 || iters.fract() != 0.0 {
+        return Err(format!("iters must be a positive integer, got {iters}"));
+    }
+    // The criterion shim emits the throughput pair only for benches that
+    // declare a `.throughput()`, so the pair is optional — but when present
+    // it must be complete, positive, and consistent with the timings.
+    match (
+        record.contains_key("throughput_elems"),
+        record.contains_key("elems_per_sec"),
+    ) {
+        (false, false) => {}
+        (true, true) => {
+            let elems = number("throughput_elems")?;
+            let rate = number("elems_per_sec")?;
+            if elems <= 0.0 || rate <= 0.0 {
+                return Err(format!(
+                    "throughput must be positive (throughput_elems={elems}, elems_per_sec={rate})"
+                ));
+            }
+            // The rate column is derived as elems / mean seconds; allow 1%
+            // slack for rounding.
+            let derived = elems / (mean / 1e9);
+            if (derived - rate).abs() / derived > 0.01 {
+                return Err(format!(
+                    "elems_per_sec {rate} disagrees with throughput_elems/mean_ns \
+                     (expected ~{derived:.1})"
+                ));
+            }
+        }
+        _ => {
+            return Err(
+                "throughput_elems and elems_per_sec must appear together or not at all".to_string(),
+            );
+        }
+    }
+    Ok(())
+}
+
+fn check_file(path: &Path) -> Result<usize, Vec<String>> {
+    let content = match std::fs::read_to_string(path) {
+        Ok(content) => content,
+        Err(e) => return Err(vec![format!("{}: unreadable: {e}", path.display())]),
+    };
+    let mut problems = Vec::new();
+    let mut records = 0usize;
+    for (lineno, line) in content.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let located = |err: String| format!("{}:{}: {err}", path.display(), lineno + 1);
+        match parse_flat_object(line) {
+            Ok(record) => match check_record(&record) {
+                Ok(()) => records += 1,
+                Err(err) => problems.push(located(err)),
+            },
+            Err(err) => problems.push(located(err)),
+        }
+    }
+    if records == 0 && problems.is_empty() {
+        problems.push(format!("{}: no baseline records", path.display()));
+    }
+    if problems.is_empty() {
+        Ok(records)
+    } else {
+        Err(problems)
+    }
+}
+
+fn default_files() -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(".")
+        .into_iter()
+        .flatten()
+        .flatten()
+        .map(|entry| entry.path())
+        .filter(|path| {
+            path.file_name()
+                .and_then(|name| name.to_str())
+                .is_some_and(|name| name.starts_with("BENCH_") && name.ends_with(".json"))
+        })
+        .collect();
+    files.sort();
+    files
+}
+
+fn main() {
+    let args: Vec<PathBuf> = std::env::args().skip(1).map(PathBuf::from).collect();
+    let files = if args.is_empty() {
+        default_files()
+    } else {
+        args
+    };
+    if files.is_empty() {
+        eprintln!("check_baselines: no BENCH_*.json files found in the current directory");
+        std::process::exit(1);
+    }
+    let mut total = 0usize;
+    let mut failed = false;
+    for path in &files {
+        match check_file(path) {
+            Ok(records) => {
+                println!("{}: {records} records ok", path.display());
+                total += records;
+            }
+            Err(problems) => {
+                failed = true;
+                for problem in problems {
+                    eprintln!("check_baselines: {problem}");
+                }
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!(
+        "check_baselines: {total} records across {} files parse and carry the expected fields",
+        files.len()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // 5000 elems in 1000 ns -> 5e9 elems/sec.
+    const GOOD: &str = r#"{"group":"g","bench":"b/one","mean_ns":1000.0,"min_ns":900.0,"iters":10,"throughput_elems":5000,"elems_per_sec":5000000000.0}"#;
+
+    #[test]
+    fn a_real_baseline_record_passes() {
+        let record = parse_flat_object(GOOD).unwrap();
+        assert!(check_record(&record).is_ok());
+    }
+
+    #[test]
+    fn missing_and_malformed_fields_are_reported() {
+        let record = parse_flat_object(r#"{"group":"g"}"#).unwrap();
+        assert!(check_record(&record).unwrap_err().contains("bench"));
+        let record = parse_flat_object(GOOD.replace("900.0", "2000.0").as_str()).unwrap();
+        assert!(check_record(&record).unwrap_err().contains("min_ns"));
+        let record = parse_flat_object(GOOD.replace("5000000000.0", "1.0").as_str()).unwrap();
+        assert!(check_record(&record).unwrap_err().contains("disagrees"));
+        let record = parse_flat_object(GOOD.replace(":10,", ":10.5,").as_str()).unwrap();
+        assert!(check_record(&record).unwrap_err().contains("iters"));
+    }
+
+    #[test]
+    fn throughput_pair_is_optional_but_must_be_complete() {
+        // The shim omits the pair for benches without a .throughput() call.
+        let record = parse_flat_object(
+            r#"{"group":"g","bench":"b/one","mean_ns":1000.0,"min_ns":900.0,"iters":10}"#,
+        )
+        .unwrap();
+        assert!(check_record(&record).is_ok());
+        // Half a pair is a schema violation.
+        let record = parse_flat_object(
+            r#"{"group":"g","bench":"b","mean_ns":1000.0,"min_ns":900.0,"iters":10,"throughput_elems":5000}"#,
+        )
+        .unwrap();
+        assert!(check_record(&record).unwrap_err().contains("together"));
+    }
+
+    #[test]
+    fn parser_rejects_broken_json_without_panicking() {
+        for bad in [
+            "",
+            "{",
+            r#"{"a"}"#,
+            r#"{"a":}"#,
+            r#"{"a":1,"#,
+            r#"{"a":1} extra"#,
+            r#"{"a":{"nested":1}}"#,
+            r#"{"a":[1]}"#,
+            r#"{"a":1,"a":2}"#,
+            r#"{"a":frue}"#,
+            r#"{"a":"unterminated}"#,
+        ] {
+            assert!(parse_flat_object(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn parser_handles_strings_escapes_bools_and_null() {
+        let object =
+            parse_flat_object(r#"{ "s" : "a\"b\\c" , "t" : true , "f" : false , "n" : null }"#)
+                .unwrap();
+        assert_eq!(object["s"], Value::String("a\"b\\c".to_string()));
+        assert_eq!(object["t"], Value::Bool(true));
+        assert_eq!(object["f"], Value::Bool(false));
+        assert_eq!(object["n"], Value::Null);
+        assert_eq!(parse_flat_object("{}").unwrap().len(), 0);
+    }
+}

@@ -239,6 +239,69 @@ impl SegmentPlan {
         )
     }
 
+    /// The flag spelling of a backend: `serial`, `threads:N` (N = 0 means
+    /// one per core) or `rayon`.  The inverse of
+    /// [`SegmentPlan::backend_from_spec`].
+    pub fn backend_spec(backend: Backend) -> String {
+        match backend {
+            Backend::Serial => "serial".to_string(),
+            Backend::Threads(n) => format!("threads:{n}"),
+            Backend::Rayon => "rayon".to_string(),
+        }
+    }
+
+    /// Parses a backend spec produced by [`SegmentPlan::backend_spec`]
+    /// (`threads` without a count is accepted and means `threads:0`).
+    pub fn backend_from_spec(spec: &str) -> Result<Backend, String> {
+        match spec {
+            "serial" => Ok(Backend::Serial),
+            "rayon" => Ok(Backend::Rayon),
+            "threads" => Ok(Backend::Threads(0)),
+            other => match other.strip_prefix("threads:") {
+                Some(count) => count
+                    .parse::<usize>()
+                    .map(Backend::Threads)
+                    .map_err(|_| format!("invalid thread count in backend spec '{other}'")),
+                None => Err(format!(
+                    "unknown backend spec '{other}' (expected serial, threads[:N] or rayon)"
+                )),
+            },
+        }
+    }
+
+    /// Serializes the whole plan into a compact machine-readable spec,
+    /// e.g. `classifier=table;tile=48x48;backend=threads:4`.
+    ///
+    /// This is the form the `iqft-serve` Stats reply carries, so a remote
+    /// client can reconstruct the exact strategy a server runs with
+    /// [`SegmentPlan::from_spec`].  Round-trips losslessly.
+    pub fn to_spec(&self) -> String {
+        format!(
+            "classifier={};tile={};backend={}",
+            self.classifier.flag(),
+            self.tiling.flag(),
+            Self::backend_spec(self.backend)
+        )
+    }
+
+    /// Parses a spec produced by [`SegmentPlan::to_spec`].  Keys may appear
+    /// in any order; missing keys keep their defaults; unknown keys error.
+    pub fn from_spec(spec: &str) -> Result<Self, String> {
+        let mut plan = SegmentPlan::default();
+        for part in spec.split(';').filter(|p| !p.is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("plan spec part '{part}' has no '='"))?;
+            match key {
+                "classifier" => plan.classifier = ClassifierKind::from_flag(value)?,
+                "tile" => plan.tiling = Tiling::from_flag(value)?,
+                "backend" => plan.backend = Self::backend_from_spec(value)?,
+                other => return Err(format!("unknown plan spec key '{other}'")),
+            }
+        }
+        Ok(plan)
+    }
+
     /// Segments `img` with `classifier` according to the plan's tiling on
     /// the plan's backend.  Byte-identical across every plan configuration.
     pub fn segment_rgb<C>(&self, classifier: &C, img: &RgbImage) -> LabelMap
@@ -326,6 +389,63 @@ mod tests {
         assert!(SegmentPlan::from_flags("gpu", "off", "serial", 0).is_err());
         assert!(SegmentPlan::from_flags("table", "?", "serial", 0).is_err());
         assert!(SegmentPlan::from_flags("table", "off", "gpu", 0).is_err());
+    }
+
+    #[test]
+    fn plan_specs_round_trip_losslessly() {
+        let backends = [
+            Backend::Serial,
+            Backend::Threads(0),
+            Backend::Threads(7),
+            Backend::Rayon,
+        ];
+        for kind in ClassifierKind::ALL {
+            for tiling in [
+                Tiling::Whole,
+                Tiling::Tiles {
+                    width: 48,
+                    height: 32,
+                },
+            ] {
+                for backend in backends {
+                    let plan = SegmentPlan::new(kind, tiling, backend);
+                    let spec = plan.to_spec();
+                    assert_eq!(SegmentPlan::from_spec(&spec).unwrap(), plan, "{spec}");
+                }
+            }
+        }
+        let spec = SegmentPlan::new(
+            ClassifierKind::Table,
+            Tiling::Tiles {
+                width: 48,
+                height: 48,
+            },
+            Backend::Threads(4),
+        )
+        .to_spec();
+        assert_eq!(spec, "classifier=table;tile=48x48;backend=threads:4");
+    }
+
+    #[test]
+    fn plan_spec_parsing_is_order_insensitive_and_rejects_junk() {
+        let plan = SegmentPlan::from_spec("backend=threads;classifier=lut;tile=8x8").unwrap();
+        assert_eq!(plan.classifier(), ClassifierKind::Lut);
+        assert_eq!(plan.backend(), Backend::Threads(0));
+        assert_eq!(
+            SegmentPlan::from_spec("").unwrap(),
+            SegmentPlan::default(),
+            "missing keys keep their defaults"
+        );
+        for bad in [
+            "classifier=gpu",
+            "tile=64",
+            "backend=gpu",
+            "backend=threads:lots",
+            "flavour=mint",
+            "classifier",
+        ] {
+            assert!(SegmentPlan::from_spec(bad).is_err(), "{bad}");
+        }
     }
 
     #[test]

@@ -13,6 +13,10 @@
 //! * [`throughput`] — the batched `iqft-pipeline` service workload
 //!   (`iqft-experiments throughput`), with the `PhaseTable` steady-state
 //!   fast path and a byte-identity cross-check against serial segmentation.
+//! * [`service`] — the network face: `iqft-experiments serve` boots the
+//!   `iqft-serve` TCP daemon and `iqft-experiments loadgen` drives
+//!   concurrent clients against it, with the same default-on byte-identity
+//!   verification.
 //!
 //! The `iqft-experiments` binary exposes one subcommand per experiment; every
 //! experiment is also callable as a library function so the benchmark crate
@@ -36,6 +40,7 @@
 
 pub mod evaluate;
 pub mod figures;
+pub mod service;
 pub mod tables;
 pub mod throughput;
 

@@ -22,6 +22,13 @@
 //!                              batched pipeline service workload
 //!                              (--tile splits images into tile jobs;
 //!                              default off = whole-image jobs)
+//!   serve   [--addr A] [--classifier C] [--tile T] [--workers W]
+//!                              boot the iqft-serve TCP daemon and block
+//!                              until a client sends Shutdown
+//!   loadgen [--addr A] [--clients C] [--images N] [--size S] [--seed S]
+//!           [--no-verify] [--shutdown]
+//!                              drive concurrent clients against a running
+//!                              daemon (byte-identity verified by default)
 //!   all     [--out DIR]        everything above with reduced sizes
 //!
 //! Global options:
@@ -35,6 +42,7 @@
 //! changes how the work is scheduled.
 
 use experiments::figures;
+use experiments::service::{self, LoadgenConfig, ServeCliConfig};
 use experiments::tables::{self, Table3Config};
 use experiments::throughput::{self, ThroughputConfig};
 use experiments::SegmentEngine;
@@ -55,6 +63,10 @@ struct Args {
     classifier: String,
     tile: String,
     verify: bool,
+    addr: String,
+    clients: usize,
+    workers: usize,
+    shutdown: bool,
 }
 
 fn parse_args() -> Args {
@@ -73,6 +85,10 @@ fn parse_args() -> Args {
         classifier: "table".to_string(),
         tile: "off".to_string(),
         verify: true,
+        addr: "127.0.0.1:7870".to_string(),
+        clients: 4,
+        workers: 0,
+        shutdown: false,
     };
     let mut iter = std::env::args().skip(1);
     if let Some(cmd) = iter.next() {
@@ -94,6 +110,10 @@ fn parse_args() -> Args {
             "--classifier" => args.classifier = value(),
             "--tile" => args.tile = value(),
             "--no-verify" => args.verify = false,
+            "--addr" => args.addr = value(),
+            "--clients" => args.clients = value().parse().unwrap_or(args.clients),
+            "--workers" => args.workers = value().parse().unwrap_or(args.workers),
+            "--shutdown" => args.shutdown = true,
             other => eprintln!("ignoring unknown flag {other}"),
         }
     }
@@ -135,6 +155,42 @@ fn main() {
         "fig8" => figures::fig8_9_report(&engine, false, out, 30),
         "fig9" => figures::fig8_9_report(&engine, true, out, 30),
         "fig10" => figures::fig10_report(&engine, 30),
+        "serve" => {
+            let config = ServeCliConfig {
+                addr: args.addr.clone(),
+                classifier: args.classifier.clone(),
+                tile: args.tile.clone(),
+                backend: args.backend.clone(),
+                threads: args.threads,
+                workers: args.workers,
+            };
+            match service::serve_command(&config) {
+                Ok(summary) => summary,
+                Err(message) => {
+                    eprintln!("{message}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        "loadgen" => {
+            let config = LoadgenConfig {
+                addr: args.addr.clone(),
+                clients: args.clients,
+                images: args.images,
+                image_size: args.size,
+                seed: args.seed,
+                verify: args.verify,
+                shutdown: args.shutdown,
+                ..LoadgenConfig::default()
+            };
+            match service::loadgen_report(&config) {
+                Ok(report) => report,
+                Err(message) => {
+                    eprintln!("{message}");
+                    std::process::exit(1);
+                }
+            }
+        }
         "throughput" => throughput::throughput_report(
             &engine,
             &ThroughputConfig {
@@ -168,6 +224,10 @@ fn main() {
                 classifier: args.classifier.clone(),
                 tile: args.tile.clone(),
                 verify: args.verify,
+                addr: args.addr.clone(),
+                clients: args.clients,
+                workers: args.workers,
+                shutdown: args.shutdown,
             };
             all.push_str(&run_table3(&quick, &engine));
             all.push('\n');
@@ -225,7 +285,7 @@ fn main() {
         }
         "" | "help" | "--help" | "-h" => {
             eprintln!(
-                "usage: iqft-experiments <table1|table2|table3|fig1-3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|throughput|all> [--out DIR] [--samples N] [--voc N] [--xview N] [--size S] [--seed S] [--backend serial|threads|rayon] [--threads N] [--images N] [--batch B] [--classifier exact|lut|table] [--tile WxH] [--no-verify]"
+                "usage: iqft-experiments <table1|table2|table3|fig1-3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|throughput|serve|loadgen|all> [--out DIR] [--samples N] [--voc N] [--xview N] [--size S] [--seed S] [--backend serial|threads|rayon] [--threads N] [--images N] [--batch B] [--classifier exact|lut|table] [--tile WxH] [--no-verify] [--addr A] [--clients C] [--workers W] [--shutdown]"
             );
             return;
         }

@@ -1,0 +1,372 @@
+//! The `serve` and `loadgen` subcommands: the network face of the harness.
+//!
+//! `serve` boots a long-lived [`iqft_serve::Server`] around one warm
+//! [`seg_engine::SegmentPlan`] and blocks until a Shutdown frame drains it;
+//! `loadgen` plays the millions-of-users side: `--clients C` concurrent
+//! connections stream `--images N` synthetic frames through the daemon,
+//! cross-check every reply byte-for-byte against a local serial
+//! [`SegmentEngine`] pass (default on, like the `throughput` subcommand),
+//! and report client-side throughput plus the server's own statistics
+//! snapshot.  With `--shutdown`, loadgen finishes by asking the server to
+//! drain and stop — which is exactly what the CI `service-smoke` job does.
+
+use crate::throughput::{throughput_images, ThroughputConfig};
+use imaging::{LabelMap, Segmenter};
+use iqft_seg::IqftRgbSegmenter;
+use iqft_serve::{Client, Server, ServerConfig};
+use seg_engine::{SegmentEngine, SegmentPlan};
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Configuration of the `serve` subcommand (mirrors its CLI flags).
+#[derive(Debug, Clone)]
+pub struct ServeCliConfig {
+    /// Listen address (`--addr`), e.g. `127.0.0.1:7870`.
+    pub addr: String,
+    /// Classifier flag (`--classifier exact|lut|table`).
+    pub classifier: String,
+    /// Tiling flag (`--tile off|WxH`).
+    pub tile: String,
+    /// Backend flag (`--backend serial|threads|rayon`).
+    pub backend: String,
+    /// Thread count for the threads backend (`--threads`).
+    pub threads: usize,
+    /// Cap on concurrently-executing segment requests (`--workers`,
+    /// 0 = the plan's effective thread count).
+    pub workers: usize,
+}
+
+impl Default for ServeCliConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7870".to_string(),
+            classifier: "table".to_string(),
+            tile: "off".to_string(),
+            backend: "threads".to_string(),
+            threads: 0,
+            workers: 0,
+        }
+    }
+}
+
+/// Boots the daemon described by `config` and blocks until it has drained
+/// and stopped (a client sent Shutdown).  Returns a one-line exit summary.
+///
+/// The boot line is printed to stdout *before* blocking so a supervising
+/// script (the CI smoke job) can tell the server is up.
+pub fn serve_command(config: &ServeCliConfig) -> Result<String, String> {
+    let plan = SegmentPlan::from_flags(
+        &config.classifier,
+        &config.tile,
+        &config.backend,
+        config.threads,
+    )?;
+    let server = Server::bind(
+        config.addr.as_str(),
+        ServerConfig {
+            plan,
+            max_inflight: config.workers,
+        },
+    )
+    .map_err(|e| format!("failed to bind {}: {e}", config.addr))?;
+    println!(
+        "iqft-serve listening on {} ({}; max_inflight={})",
+        server.local_addr(),
+        plan.describe(),
+        server.max_inflight(),
+    );
+    let (total, pixels) = server.join_with_counters();
+    Ok(format!(
+        "iqft-serve drained and stopped after {total} requests ({:.3} Mpx segmented)",
+        pixels as f64 / 1e6
+    ))
+}
+
+/// Configuration of the `loadgen` subcommand (mirrors its CLI flags).
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Server address (`--addr`).
+    pub addr: String,
+    /// Concurrent client connections (`--clients`).
+    pub clients: usize,
+    /// Total images to stream across all clients (`--images`).
+    pub images: usize,
+    /// Square-ish image edge length (`--size`).
+    pub image_size: usize,
+    /// Dataset seed (`--seed`).
+    pub seed: u64,
+    /// Cross-check every reply against a local serial pass (`--no-verify`
+    /// turns this off; the default runs it).
+    pub verify: bool,
+    /// Send a Shutdown frame once traffic (and stats) are done
+    /// (`--shutdown`).
+    pub shutdown: bool,
+    /// How long the initial connection keeps retrying (milliseconds), so
+    /// loadgen can be launched concurrently with a booting server.  No CLI
+    /// flag; tests shrink it.
+    pub connect_deadline_ms: u64,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7870".to_string(),
+            clients: 4,
+            images: 32,
+            image_size: 160,
+            seed: 42,
+            verify: true,
+            shutdown: false,
+            connect_deadline_ms: 15_000,
+        }
+    }
+}
+
+const CONNECT_RETRY: Duration = Duration::from_millis(250);
+
+/// Connects with retries until `deadline_ms` elapses, so loadgen can be
+/// launched concurrently with a still-booting server (as the CI smoke job
+/// does).
+fn connect_with_retry(addr: &str, deadline_ms: u64) -> Result<Client, String> {
+    let deadline = Instant::now() + Duration::from_millis(deadline_ms);
+    loop {
+        match Client::connect(addr) {
+            Ok(client) => return Ok(client),
+            Err(e) if Instant::now() < deadline => {
+                let _ = e;
+                std::thread::sleep(CONNECT_RETRY);
+            }
+            Err(e) => return Err(format!("could not connect to {addr}: {e}")),
+        }
+    }
+}
+
+/// Per-client outcome of a loadgen run.
+#[derive(Debug, Default, Clone)]
+struct ClientOutcome {
+    requests: usize,
+    pixels: u64,
+    mismatches: usize,
+    elapsed_secs: f64,
+}
+
+/// Drives the configured traffic and renders the report.
+///
+/// Errors (rather than reporting) on connection failure, any protocol/server
+/// error, or — when verification is on — any reply that is not
+/// byte-identical to the local serial reference, so a supervising script
+/// fails loudly.
+pub fn loadgen_report(config: &LoadgenConfig) -> Result<String, String> {
+    let clients = config.clients.max(1);
+    let images = throughput_images(&ThroughputConfig {
+        images: config.images,
+        image_size: config.image_size,
+        seed: config.seed,
+        ..ThroughputConfig::default()
+    });
+    // The reference pass runs locally on the serial engine: whatever
+    // classifier/tiling/backend the *server* was booted with, its replies
+    // must be byte-identical to this by construction.
+    let reference: Vec<LabelMap> = if config.verify {
+        let serial = IqftRgbSegmenter::paper_default().with_engine(SegmentEngine::serial());
+        images.iter().map(|img| serial.segment_rgb(img)).collect()
+    } else {
+        Vec::new()
+    };
+
+    // Probe once with retries so a freshly-booted server has time to bind.
+    let mut probe = connect_with_retry(&config.addr, config.connect_deadline_ms)?;
+    probe.ping().map_err(|e| format!("ping failed: {e}"))?;
+
+    let started = Instant::now();
+    let outcomes: Vec<Result<ClientOutcome, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|client_idx| {
+                let images = &images;
+                let reference = &reference;
+                let addr = config.addr.as_str();
+                let verify = config.verify;
+                scope.spawn(move || -> Result<ClientOutcome, String> {
+                    let mut client = Client::connect(addr)
+                        .map_err(|e| format!("client {client_idx}: connect failed: {e}"))?;
+                    let mut outcome = ClientOutcome::default();
+                    let started = Instant::now();
+                    for (idx, img) in images.iter().enumerate() {
+                        if idx % clients != client_idx {
+                            continue;
+                        }
+                        let labels = client.segment(img).map_err(|e| {
+                            format!("client {client_idx}: segment of image {idx} failed: {e}")
+                        })?;
+                        outcome.requests += 1;
+                        outcome.pixels += labels.len() as u64;
+                        if verify && labels != reference[idx] {
+                            outcome.mismatches += 1;
+                        }
+                    }
+                    outcome.elapsed_secs = started.elapsed().as_secs_f64();
+                    Ok(outcome)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|_| Err("client panicked".into())))
+            .collect()
+    });
+    let wall_secs = started.elapsed().as_secs_f64();
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Loadgen: {} images ({}x{}) across {} clients against {}",
+        config.images,
+        config.image_size,
+        config.image_size * 3 / 4,
+        clients,
+        config.addr,
+    );
+    let mut total = ClientOutcome::default();
+    for (idx, outcome) in outcomes.iter().enumerate() {
+        let outcome = outcome.as_ref().map_err(|e| e.clone())?;
+        let _ = writeln!(
+            out,
+            "  client {idx}: {:>4} requests  {:>8.3} Mpx  {:>8.2} ms  {:>7.2} Mpx/s",
+            outcome.requests,
+            outcome.pixels as f64 / 1e6,
+            outcome.elapsed_secs * 1e3,
+            outcome.pixels as f64 / 1e6 / outcome.elapsed_secs.max(1e-9),
+        );
+        total.requests += outcome.requests;
+        total.pixels += outcome.pixels;
+        total.mismatches += outcome.mismatches;
+    }
+    let _ = writeln!(
+        out,
+        "  total: {} requests, {:.3} Mpx in {:.2} ms -> {:.2} Mpx/s over the wire",
+        total.requests,
+        total.pixels as f64 / 1e6,
+        wall_secs * 1e3,
+        total.pixels as f64 / 1e6 / wall_secs.max(1e-9),
+    );
+    if config.verify {
+        if total.mismatches > 0 {
+            return Err(format!(
+                "verify: FAILED — {} of {} replies differ from the local serial reference",
+                total.mismatches, total.requests
+            ));
+        }
+        let _ = writeln!(
+            out,
+            "  verify: all {} replies byte-identical to the local serial reference",
+            total.requests
+        );
+    }
+
+    let stats = probe
+        .stats()
+        .map_err(|e| format!("stats request failed: {e}"))?;
+    let _ = writeln!(
+        out,
+        "  server: plan [{}], {} conns ({} open), {} requests ({} segment), {:.3} Mpx, \
+         {:.2} Mpx/s since boot",
+        stats.plan,
+        stats.connections_total,
+        stats.connections_open,
+        stats.requests_total,
+        stats.segment_requests,
+        stats.pixels_total as f64 / 1e6,
+        stats.mpix_per_sec,
+    );
+    let _ = writeln!(
+        out,
+        "  server arena: {} allocations, {} reuses ({} pooled); max_inflight {}; {} protocol errors",
+        stats.arena_allocations,
+        stats.arena_reuses,
+        stats.arena_pooled,
+        stats.max_inflight,
+        stats.protocol_errors,
+    );
+
+    if config.shutdown {
+        probe
+            .shutdown()
+            .map_err(|e| format!("shutdown request failed: {e}"))?;
+        let _ = writeln!(out, "  shutdown: acknowledged, server is draining");
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seg_engine::{ClassifierKind, Tiling};
+
+    fn boot(plan: SegmentPlan) -> Server {
+        Server::bind(
+            "127.0.0.1:0",
+            ServerConfig {
+                plan,
+                max_inflight: 0,
+            },
+        )
+        .expect("ephemeral bind")
+    }
+
+    fn small_loadgen(addr: String) -> LoadgenConfig {
+        LoadgenConfig {
+            addr,
+            clients: 3,
+            images: 9,
+            image_size: 40,
+            seed: 7,
+            verify: true,
+            shutdown: true,
+            connect_deadline_ms: 2_000,
+        }
+    }
+
+    #[test]
+    fn loadgen_drives_verifies_and_shuts_down_a_real_server() {
+        let plan = SegmentPlan::default()
+            .with_classifier(ClassifierKind::Table)
+            .with_tiling(Tiling::Tiles {
+                width: 16,
+                height: 16,
+            });
+        let server = boot(plan);
+        let report = loadgen_report(&small_loadgen(server.local_addr().to_string())).unwrap();
+        assert!(
+            report.contains("verify: all 9 replies byte-identical"),
+            "{report}"
+        );
+        assert!(report.contains("client 0"), "{report}");
+        assert!(report.contains("shutdown: acknowledged"), "{report}");
+        assert!(report.contains(&plan.to_spec()), "{report}");
+        // The Shutdown frame drains the server; join must not hang.
+        server.join();
+    }
+
+    #[test]
+    fn loadgen_fails_loudly_when_no_server_listens() {
+        let mut config = small_loadgen("127.0.0.1:1".to_string());
+        config.shutdown = false;
+        config.connect_deadline_ms = 100;
+        let err = loadgen_report(&config).unwrap_err();
+        assert!(err.contains("could not connect"), "{err}");
+    }
+
+    #[test]
+    fn serve_command_rejects_bad_flags() {
+        let config = ServeCliConfig {
+            classifier: "gpu".to_string(),
+            ..ServeCliConfig::default()
+        };
+        assert!(serve_command(&config).is_err());
+        let config = ServeCliConfig {
+            addr: "256.256.256.256:99999".to_string(),
+            ..ServeCliConfig::default()
+        };
+        assert!(serve_command(&config).unwrap_err().contains("bind"));
+    }
+}

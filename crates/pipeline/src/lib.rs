@@ -180,14 +180,47 @@ impl<C: PixelClassifier + Sync> SegmentPipeline<C> {
         self.arena.recycle(labels);
     }
 
+    /// Shared single-image wrapper: takes an arena buffer, lets `fill` write
+    /// the labels, and shapes the result to `img`'s dimensions.
+    fn segment_with<F>(&self, img: &RgbImage, fill: F) -> LabelMap
+    where
+        F: FnOnce(&mut Vec<u32>),
+    {
+        let mut buf = self.arena.take();
+        fill(&mut buf);
+        let (w, h) = img.dimensions();
+        LabelMap::from_vec(w, h, buf).expect("label buffer matches image size")
+    }
+
     /// Segments a single image on the pipeline's engine (per-pixel parallel,
     /// arena-backed).  Recycle the result to keep the hot path allocation-free.
     pub fn segment_one(&self, img: &RgbImage) -> LabelMap {
-        let mut buf = self.arena.take();
-        self.engine
-            .segment_rgb_into(&self.classifier, img, &mut buf);
-        let (w, h) = img.dimensions();
-        LabelMap::from_vec(w, h, buf).expect("label buffer matches image size")
+        self.segment_with(img, |buf| {
+            self.engine.segment_rgb_into(&self.classifier, img, buf)
+        })
+    }
+
+    /// Per-request submit/completion entry point for long-lived services.
+    ///
+    /// Unlike [`SegmentPipeline::run_batch`], which owns a whole batch and a
+    /// join barrier, this segments exactly one image synchronously — the
+    /// shape a connection-per-client server (`iqft-serve`) needs: each
+    /// connection thread submits its request here and the call completes
+    /// when the labels are ready.  And unlike [`SegmentPipeline::segment_one`]
+    /// it honours the configured [`PipelineConfig::tiling`], so one oversized
+    /// frame still fans out across the engine's backend.  The scratch buffer
+    /// comes from the shared [`LabelArena`]; recycle the result and the
+    /// steady state stays allocation-free across all callers.
+    ///
+    /// Byte-identical to a serial whole-image pass for any configuration.
+    pub fn segment_request(&self, img: &RgbImage) -> LabelMap {
+        self.segment_with(img, |buf| match self.config.tiling {
+            Tiling::Whole => self.engine.segment_rgb_into(&self.classifier, img, buf),
+            Tiling::Tiles { width, height } => {
+                self.engine
+                    .segment_tiled_into(&self.classifier, img, width, height, buf)
+            }
+        })
     }
 
     /// Segments one batch of images through the bounded queue on the
@@ -536,6 +569,32 @@ mod tests {
         let again = pipeline.segment_one(img);
         assert_eq!(pipeline.arena().reuses(), 1);
         drop(again);
+    }
+
+    #[test]
+    fn segment_request_honours_tiling_and_recycles_through_the_arena() {
+        let img = &test_images(1)[0];
+        let expected = SegmentEngine::serial().segment_rgb(&IqftRgbSegmenter::paper_default(), img);
+        for tiling in [
+            seg_engine::Tiling::Whole,
+            seg_engine::Tiling::Tiles {
+                width: 8,
+                height: 8,
+            },
+        ] {
+            let pipeline =
+                SegmentPipeline::new(SegmentEngine::with_threads(2), PhaseTable::paper_default())
+                    .with_config(PipelineConfig {
+                        tiling,
+                        ..PipelineConfig::default()
+                    });
+            let labels = pipeline.segment_request(img);
+            assert_eq!(labels, expected, "{tiling:?}");
+            pipeline.recycle(labels);
+            let again = pipeline.segment_request(img);
+            assert_eq!(again, expected, "{tiling:?} (recycled)");
+            assert!(pipeline.arena().reuses() >= 1, "{tiling:?}");
+        }
     }
 
     #[test]

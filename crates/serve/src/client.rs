@@ -1,0 +1,203 @@
+//! The synchronous client side of the `iqft-serve` protocol.
+//!
+//! A [`Client`] owns one TCP connection and issues request/response pairs in
+//! lockstep: every call writes one frame, reads one frame, checks the echoed
+//! request id, and converts a server [`Message::Error`] into
+//! [`ServeError::Server`].  One client is one connection — for concurrent
+//! load, open one client per thread (that is exactly what the
+//! `iqft-experiments loadgen` subcommand does).
+
+use crate::protocol::{self, Message, ProtocolError};
+use crate::stats::StatsSnapshot;
+use imaging::{LabelMap, RgbImage};
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Everything a client call can fail with.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The wire protocol failed (framing, limits, transport I/O).
+    Protocol(ProtocolError),
+    /// The server answered with an [`Message::Error`] frame.
+    Server(String),
+    /// The server answered with a well-formed frame of the wrong kind.
+    Unexpected {
+        /// What the call was waiting for.
+        expected: &'static str,
+        /// What actually arrived.
+        got: &'static str,
+    },
+    /// The reply echoed a different request id than the one sent.
+    IdMismatch {
+        /// The id this client sent.
+        sent: u64,
+        /// The id the reply carried.
+        got: u64,
+    },
+    /// A stats payload that did not parse as a snapshot.
+    BadStats(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Protocol(err) => write!(f, "protocol error: {err}"),
+            ServeError::Server(message) => write!(f, "server error: {message}"),
+            ServeError::Unexpected { expected, got } => {
+                write!(f, "expected a {expected} reply, got {got}")
+            }
+            ServeError::IdMismatch { sent, got } => {
+                write!(f, "request id mismatch: sent {sent}, reply echoed {got}")
+            }
+            ServeError::BadStats(err) => write!(f, "malformed stats snapshot: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<ProtocolError> for ServeError {
+    fn from(err: ProtocolError) -> Self {
+        ServeError::Protocol(err)
+    }
+}
+
+impl From<io::Error> for ServeError {
+    fn from(err: io::Error) -> Self {
+        ServeError::Protocol(ProtocolError::Io(err))
+    }
+}
+
+/// A synchronous connection to an `iqft-serve` daemon.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects to a running server.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Client { stream, next_id: 1 })
+    }
+
+    fn next_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id = self.next_id.wrapping_add(1);
+        id
+    }
+
+    fn read_reply(&mut self, sent: u64) -> Result<Message, ServeError> {
+        let (got, reply) = protocol::read_message(&mut self.stream)?;
+        if let Message::Error { message } = reply {
+            return Err(ServeError::Server(message));
+        }
+        if got != sent {
+            return Err(ServeError::IdMismatch { sent, got });
+        }
+        Ok(reply)
+    }
+
+    fn round_trip(&mut self, request: &Message) -> Result<Message, ServeError> {
+        let sent = self.next_id();
+        protocol::write_message(&mut self.stream, sent, request)?;
+        self.read_reply(sent)
+    }
+
+    /// Liveness probe: sends `Ping`, expects `Pong`.
+    pub fn ping(&mut self) -> Result<(), ServeError> {
+        match self.round_trip(&Message::Ping)? {
+            Message::Pong => Ok(()),
+            other => Err(ServeError::Unexpected {
+                expected: "Pong",
+                got: other.name(),
+            }),
+        }
+    }
+
+    /// Segments `image` on the server and returns the label map.
+    ///
+    /// The reply's dimensions are checked against the request's, so a
+    /// confused server cannot hand back a mis-shaped map silently.  The
+    /// frame is encoded straight from the borrowed image
+    /// ([`protocol::encode_segment`]); the hot path never clones the pixels.
+    pub fn segment(&mut self, image: &RgbImage) -> Result<LabelMap, ServeError> {
+        let sent = self.next_id();
+        let frame = protocol::encode_segment(sent, image)?;
+        {
+            use std::io::Write as _;
+            self.stream.write_all(&frame)?;
+            self.stream.flush()?;
+        }
+        match self.read_reply(sent)? {
+            Message::SegmentReply { labels } => {
+                if labels.dimensions() != image.dimensions() {
+                    return Err(ServeError::Unexpected {
+                        expected: "SegmentReply with matching dimensions",
+                        got: "SegmentReply with different dimensions",
+                    });
+                }
+                Ok(labels)
+            }
+            other => Err(ServeError::Unexpected {
+                expected: "SegmentReply",
+                got: other.name(),
+            }),
+        }
+    }
+
+    /// Fetches and parses a server statistics snapshot.
+    pub fn stats(&mut self) -> Result<StatsSnapshot, ServeError> {
+        match self.round_trip(&Message::Stats)? {
+            Message::StatsReply { text } => {
+                StatsSnapshot::from_text(&text).map_err(ServeError::BadStats)
+            }
+            other => Err(ServeError::Unexpected {
+                expected: "StatsReply",
+                got: other.name(),
+            }),
+        }
+    }
+
+    /// Asks the server to drain and stop.  On `Ok`, the shutdown was
+    /// acknowledged and the server is stopping; this connection is done.
+    pub fn shutdown(&mut self) -> Result<(), ServeError> {
+        match self.round_trip(&Message::Shutdown)? {
+            Message::ShutdownReply => Ok(()),
+            other => Err(ServeError::Unexpected {
+                expected: "ShutdownReply",
+                got: other.name(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_human_readable_diagnostics() {
+        let err = ServeError::IdMismatch { sent: 4, got: 9 };
+        assert!(err.to_string().contains("sent 4"));
+        let err = ServeError::Unexpected {
+            expected: "Pong",
+            got: "StatsReply",
+        };
+        assert!(err.to_string().contains("Pong"));
+        assert!(ServeError::Server("boom".into())
+            .to_string()
+            .contains("boom"));
+        assert!(ServeError::BadStats("no plan".into())
+            .to_string()
+            .contains("no plan"));
+    }
+
+    #[test]
+    fn connect_to_unbound_port_fails_cleanly() {
+        // Port 1 on loopback is essentially never listening.
+        assert!(Client::connect("127.0.0.1:1").is_err());
+    }
+}

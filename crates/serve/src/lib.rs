@@ -1,0 +1,57 @@
+#![warn(missing_docs)]
+//! `iqft-serve` — a TCP segmentation service on top of the warm pipeline.
+//!
+//! Everything the earlier layers earned — the `PhaseTable` fast path, the
+//! [`iqft_pipeline::LabelArena`] recycling pool, tiled fan-out — was only
+//! reachable in-process.  This crate puts a long-lived daemon in front of it:
+//! a [`Server`] owns one [`seg_engine::SegmentPlan`] and one warm
+//! [`iqft_pipeline::SegmentPipeline`], and serves concurrent clients over a
+//! hand-rolled, length-prefixed binary protocol ([`protocol`]) built purely
+//! on `std::net` — the workspace is offline, so there are no external
+//! dependencies to lean on.
+//!
+//! * [`protocol`] — the wire format: 20-byte header (magic, version, op,
+//!   request id, payload length) + checked payload.  A malformed frame can
+//!   never allocate unbounded memory and never panics the peer.
+//! * [`Server`] — acceptor thread + one thread per connection, all feeding
+//!   the shared pipeline; per-connection and aggregate [`ServerStats`];
+//!   graceful drain-then-stop shutdown (in-flight requests are answered).
+//! * [`Client`] — the synchronous request/response side: `ping`, `segment`,
+//!   `stats`, `shutdown`.
+//!
+//! The `iqft-experiments` binary exposes both ends as subcommands:
+//! `serve --addr … --classifier … --tile … --backend … --workers …` boots the
+//! daemon, and `loadgen --addr … --clients C --images N` drives concurrent
+//! traffic with default-on byte-identity verification against a local
+//! [`seg_engine::SegmentEngine`] pass.
+//!
+//! # Example
+//!
+//! ```
+//! use imaging::{Rgb, RgbImage, Segmenter};
+//! use iqft_serve::{Client, Server, ServerConfig};
+//!
+//! // Boot a server on an ephemeral loopback port.
+//! let server = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+//!
+//! // Segment over the wire; the result is byte-identical to a local pass.
+//! let img = RgbImage::from_fn(24, 16, |x, y| Rgb::new((x * 10) as u8, (y * 12) as u8, 80));
+//! let mut client = Client::connect(server.local_addr()).unwrap();
+//! let remote = client.segment(&img).unwrap();
+//! let local = iqft_seg::IqftRgbSegmenter::paper_default().segment_rgb(&img);
+//! assert_eq!(remote, local);
+//!
+//! // Drain and stop.
+//! client.shutdown().unwrap();
+//! server.join();
+//! ```
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+pub mod stats;
+
+pub use client::{Client, ServeError};
+pub use protocol::{Message, Op, ProtocolError};
+pub use server::{Server, ServerConfig};
+pub use stats::{ServerStats, StatsSnapshot};

@@ -1,0 +1,706 @@
+//! The `iqft-serve` wire protocol: length-prefixed binary frames.
+//!
+//! Every message on the wire is one *frame*: a fixed 20-byte header followed
+//! by an op-specific payload.  All integers are little-endian.
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  magic        b"IQFT"
+//!      4     2  version      u16 (currently 1)
+//!      6     1  op           u8 (see [`Op`])
+//!      7     1  reserved     must be 0
+//!      8     8  request id   u64 (echoed verbatim in the reply)
+//!     16     4  payload len  u32 (bounded by [`MAX_PAYLOAD_BYTES`])
+//!     20     …  payload      op-specific, exactly `payload len` bytes
+//! ```
+//!
+//! Payloads:
+//!
+//! * [`Message::Segment`] — `width: u32, height: u32`, then `3·w·h` RGB bytes
+//!   in row-major pixel order.
+//! * [`Message::SegmentReply`] — `width: u32, height: u32`, then `4·w·h`
+//!   label bytes (`u32` per pixel).
+//! * [`Message::StatsReply`] / [`Message::Error`] — UTF-8 text.
+//! * Everything else — empty (a non-empty payload is a protocol error).
+//!
+//! Decoding is fully checked: a malformed frame — bad magic, unknown
+//! version/op, a length field that disagrees with the declared dimensions, or
+//! a payload larger than [`MAX_PAYLOAD_BYTES`] — yields a [`ProtocolError`]
+//! *before* any unbounded allocation, and never panics.
+
+use imaging::{LabelMap, Rgb, RgbImage};
+use std::io::{self, Read, Write};
+
+/// Frame magic: the first four bytes of every frame.
+pub const MAGIC: [u8; 4] = *b"IQFT";
+/// Current protocol version.
+pub const VERSION: u16 = 1;
+/// Fixed frame-header size in bytes.
+pub const HEADER_LEN: usize = 20;
+/// Hard upper bound on a frame payload (64 MiB).  A frame declaring more is
+/// rejected before any payload allocation happens.
+pub const MAX_PAYLOAD_BYTES: usize = 64 << 20;
+/// Hard upper bound on the pixel count of one segmentation request, chosen so
+/// both the RGB request (`3·n` bytes) and the label reply (`4·n` bytes) fit
+/// under [`MAX_PAYLOAD_BYTES`].
+pub const MAX_PIXELS: usize = (MAX_PAYLOAD_BYTES - 8) / 4;
+
+/// Operation codes carried in the frame header.  Requests use the low range,
+/// replies set the high bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Op {
+    /// Segment the enclosed RGB image.
+    Segment = 0x01,
+    /// Liveness probe.
+    Ping = 0x02,
+    /// Request a server statistics snapshot.
+    Stats = 0x03,
+    /// Ask the server to drain in-flight requests and stop.
+    Shutdown = 0x04,
+    /// Reply to [`Op::Segment`]: the label map.
+    SegmentReply = 0x81,
+    /// Reply to [`Op::Ping`].
+    Pong = 0x82,
+    /// Reply to [`Op::Stats`]: `key=value` text lines.
+    StatsReply = 0x83,
+    /// Reply to [`Op::Shutdown`]: acknowledged, the server is draining.
+    ShutdownReply = 0x84,
+    /// Reply to any malformed or failed request: a UTF-8 diagnostic.
+    Error = 0xFF,
+}
+
+impl Op {
+    fn from_byte(byte: u8) -> Result<Self, ProtocolError> {
+        match byte {
+            0x01 => Ok(Op::Segment),
+            0x02 => Ok(Op::Ping),
+            0x03 => Ok(Op::Stats),
+            0x04 => Ok(Op::Shutdown),
+            0x81 => Ok(Op::SegmentReply),
+            0x82 => Ok(Op::Pong),
+            0x83 => Ok(Op::StatsReply),
+            0x84 => Ok(Op::ShutdownReply),
+            0xFF => Ok(Op::Error),
+            other => Err(ProtocolError::UnknownOp(other)),
+        }
+    }
+}
+
+/// A decoded protocol message (request or reply).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Segment this image (request).
+    Segment {
+        /// The RGB image to segment.
+        image: RgbImage,
+    },
+    /// The segmentation result (reply).
+    SegmentReply {
+        /// One label per pixel, same dimensions as the request image.
+        labels: LabelMap,
+    },
+    /// Liveness probe (request).
+    Ping,
+    /// Liveness acknowledgement (reply).
+    Pong,
+    /// Statistics request.
+    Stats,
+    /// Statistics snapshot as `key=value` lines (reply).
+    StatsReply {
+        /// The snapshot text (see `stats::StatsSnapshot`).
+        text: String,
+    },
+    /// Drain-then-stop request.
+    Shutdown,
+    /// Shutdown acknowledged (reply); the connection closes after this frame.
+    ShutdownReply,
+    /// Request failed; the payload is a human-readable diagnostic (reply).
+    Error {
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl Message {
+    /// The wire op code of this message.
+    pub fn op(&self) -> Op {
+        match self {
+            Message::Segment { .. } => Op::Segment,
+            Message::SegmentReply { .. } => Op::SegmentReply,
+            Message::Ping => Op::Ping,
+            Message::Pong => Op::Pong,
+            Message::Stats => Op::Stats,
+            Message::StatsReply { .. } => Op::StatsReply,
+            Message::Shutdown => Op::Shutdown,
+            Message::ShutdownReply => Op::ShutdownReply,
+            Message::Error { .. } => Op::Error,
+        }
+    }
+
+    /// A short human-readable name (for diagnostics).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Message::Segment { .. } => "Segment",
+            Message::SegmentReply { .. } => "SegmentReply",
+            Message::Ping => "Ping",
+            Message::Pong => "Pong",
+            Message::Stats => "Stats",
+            Message::StatsReply { .. } => "StatsReply",
+            Message::Shutdown => "Shutdown",
+            Message::ShutdownReply => "ShutdownReply",
+            Message::Error { .. } => "Error",
+        }
+    }
+}
+
+/// Everything that can go wrong while encoding or decoding a frame.
+///
+/// Decoding never panics; every malformed input maps to one of these.
+#[derive(Debug)]
+pub enum ProtocolError {
+    /// The frame did not start with [`MAGIC`].
+    BadMagic([u8; 4]),
+    /// The frame declared an unsupported protocol version.
+    BadVersion(u16),
+    /// The reserved header byte was not zero.
+    BadReserved(u8),
+    /// The op byte is not a known [`Op`].
+    UnknownOp(u8),
+    /// The declared payload length exceeds [`MAX_PAYLOAD_BYTES`].
+    PayloadTooLarge {
+        /// Declared payload length.
+        len: usize,
+        /// The enforced maximum.
+        max: usize,
+    },
+    /// The payload length disagrees with what the op's layout requires.
+    BadLength {
+        /// The op being decoded.
+        op: Op,
+        /// Expected payload length in bytes (`None` when the header itself
+        /// was too short to tell).
+        expected: Option<usize>,
+        /// Actual payload length in bytes.
+        got: usize,
+    },
+    /// The declared image dimensions overflow or exceed [`MAX_PIXELS`].
+    BadDimensions {
+        /// Declared width.
+        width: usize,
+        /// Declared height.
+        height: usize,
+    },
+    /// A text payload was not valid UTF-8.
+    BadText,
+    /// The underlying stream failed (includes mid-frame EOF as
+    /// [`io::ErrorKind::UnexpectedEof`]).
+    Io(io::Error),
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::BadMagic(bytes) => write!(f, "bad frame magic {bytes:?}"),
+            ProtocolError::BadVersion(v) => {
+                write!(f, "unsupported protocol version {v} (expected {VERSION})")
+            }
+            ProtocolError::BadReserved(b) => write!(f, "reserved header byte is {b}, expected 0"),
+            ProtocolError::UnknownOp(op) => write!(f, "unknown op byte {op:#04x}"),
+            ProtocolError::PayloadTooLarge { len, max } => {
+                write!(f, "payload of {len} bytes exceeds the {max}-byte limit")
+            }
+            ProtocolError::BadLength { op, expected, got } => match expected {
+                Some(expected) => write!(
+                    f,
+                    "{op:?} payload is {got} bytes, layout requires {expected}"
+                ),
+                None => write!(f, "{op:?} payload of {got} bytes is too short"),
+            },
+            ProtocolError::BadDimensions { width, height } => write!(
+                f,
+                "image dimensions {width}x{height} overflow or exceed {MAX_PIXELS} pixels"
+            ),
+            ProtocolError::BadText => write!(f, "text payload is not valid UTF-8"),
+            ProtocolError::Io(err) => write!(f, "i/o error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+impl From<io::Error> for ProtocolError {
+    fn from(err: io::Error) -> Self {
+        ProtocolError::Io(err)
+    }
+}
+
+/// A parsed frame header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Header {
+    /// Caller-chosen request id, echoed in the reply.
+    pub request_id: u64,
+    /// The frame's operation.
+    pub op: Op,
+    /// Payload length in bytes (already bounds-checked).
+    pub payload_len: usize,
+}
+
+/// Parses and validates a raw 20-byte frame header.
+pub fn parse_header(bytes: &[u8; HEADER_LEN]) -> Result<Header, ProtocolError> {
+    if bytes[0..4] != MAGIC {
+        return Err(ProtocolError::BadMagic([
+            bytes[0], bytes[1], bytes[2], bytes[3],
+        ]));
+    }
+    let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+    if version != VERSION {
+        return Err(ProtocolError::BadVersion(version));
+    }
+    let op = Op::from_byte(bytes[6])?;
+    if bytes[7] != 0 {
+        return Err(ProtocolError::BadReserved(bytes[7]));
+    }
+    let request_id = u64::from_le_bytes(bytes[8..16].try_into().expect("8-byte slice"));
+    let payload_len = u32::from_le_bytes(bytes[16..20].try_into().expect("4-byte slice")) as usize;
+    if payload_len > MAX_PAYLOAD_BYTES {
+        return Err(ProtocolError::PayloadTooLarge {
+            len: payload_len,
+            max: MAX_PAYLOAD_BYTES,
+        });
+    }
+    Ok(Header {
+        request_id,
+        op,
+        payload_len,
+    })
+}
+
+fn checked_pixels(width: usize, height: usize) -> Result<usize, ProtocolError> {
+    width
+        .checked_mul(height)
+        .filter(|&n| n <= MAX_PIXELS)
+        .ok_or(ProtocolError::BadDimensions { width, height })
+}
+
+fn read_dims(op: Op, payload: &[u8]) -> Result<(usize, usize, usize), ProtocolError> {
+    if payload.len() < 8 {
+        return Err(ProtocolError::BadLength {
+            op,
+            expected: None,
+            got: payload.len(),
+        });
+    }
+    let width = u32::from_le_bytes(payload[0..4].try_into().expect("4-byte slice")) as usize;
+    let height = u32::from_le_bytes(payload[4..8].try_into().expect("4-byte slice")) as usize;
+    let pixels = checked_pixels(width, height)?;
+    Ok((width, height, pixels))
+}
+
+fn expect_len(op: Op, payload: &[u8], expected: usize) -> Result<(), ProtocolError> {
+    if payload.len() != expected {
+        return Err(ProtocolError::BadLength {
+            op,
+            expected: Some(expected),
+            got: payload.len(),
+        });
+    }
+    Ok(())
+}
+
+/// Decodes a payload into a [`Message`] given its (already validated) op.
+pub fn decode_body(op: Op, payload: &[u8]) -> Result<Message, ProtocolError> {
+    match op {
+        Op::Segment => {
+            let (width, height, pixels) = read_dims(op, payload)?;
+            expect_len(op, payload, 8 + pixels * 3)?;
+            let data: Vec<Rgb<u8>> = payload[8..]
+                .chunks_exact(3)
+                .map(|c| Rgb::new(c[0], c[1], c[2]))
+                .collect();
+            let image = RgbImage::from_vec(width, height, data)
+                .map_err(|_| ProtocolError::BadDimensions { width, height })?;
+            Ok(Message::Segment { image })
+        }
+        Op::SegmentReply => {
+            let (width, height, pixels) = read_dims(op, payload)?;
+            expect_len(op, payload, 8 + pixels * 4)?;
+            let data: Vec<u32> = payload[8..]
+                .chunks_exact(4)
+                .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                .collect();
+            let labels = LabelMap::from_vec(width, height, data)
+                .map_err(|_| ProtocolError::BadDimensions { width, height })?;
+            Ok(Message::SegmentReply { labels })
+        }
+        Op::StatsReply | Op::Error => {
+            let text = std::str::from_utf8(payload)
+                .map_err(|_| ProtocolError::BadText)?
+                .to_string();
+            Ok(match op {
+                Op::StatsReply => Message::StatsReply { text },
+                _ => Message::Error { message: text },
+            })
+        }
+        Op::Ping | Op::Pong | Op::Stats | Op::Shutdown | Op::ShutdownReply => {
+            expect_len(op, payload, 0)?;
+            Ok(match op {
+                Op::Ping => Message::Ping,
+                Op::Pong => Message::Pong,
+                Op::Stats => Message::Stats,
+                Op::Shutdown => Message::Shutdown,
+                _ => Message::ShutdownReply,
+            })
+        }
+    }
+}
+
+/// Starts a frame: one allocation sized for header + payload, with the
+/// payload-length field zeroed until [`finish_frame`] patches it in.  The
+/// payload is serialized directly into this buffer — frames are built in a
+/// single pass with no intermediate payload copy.
+fn begin_frame(request_id: u64, op: Op, payload_capacity: usize) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(HEADER_LEN + payload_capacity);
+    frame.extend_from_slice(&MAGIC);
+    frame.extend_from_slice(&VERSION.to_le_bytes());
+    frame.push(op as u8);
+    frame.push(0);
+    frame.extend_from_slice(&request_id.to_le_bytes());
+    frame.extend_from_slice(&0u32.to_le_bytes());
+    frame
+}
+
+fn finish_frame(mut frame: Vec<u8>) -> Result<Vec<u8>, ProtocolError> {
+    let payload_len = frame.len() - HEADER_LEN;
+    if payload_len > MAX_PAYLOAD_BYTES {
+        return Err(ProtocolError::PayloadTooLarge {
+            len: payload_len,
+            max: MAX_PAYLOAD_BYTES,
+        });
+    }
+    frame[16..20].copy_from_slice(&(payload_len as u32).to_le_bytes());
+    Ok(frame)
+}
+
+fn append_segment_payload(frame: &mut Vec<u8>, image: &RgbImage) {
+    frame.extend_from_slice(&(image.width() as u32).to_le_bytes());
+    frame.extend_from_slice(&(image.height() as u32).to_le_bytes());
+    for px in image.as_slice() {
+        frame.extend_from_slice(&[px.r(), px.g(), px.b()]);
+    }
+}
+
+/// Encodes a full frame (header + payload) into a byte vector.
+///
+/// Returns an error if the message's payload would exceed
+/// [`MAX_PAYLOAD_BYTES`] or the image exceeds [`MAX_PIXELS`] — the encoder
+/// enforces the same limits the decoder does, so a conforming peer can never
+/// be handed an undecodable frame.
+pub fn encode_message(request_id: u64, message: &Message) -> Result<Vec<u8>, ProtocolError> {
+    let capacity = match message {
+        Message::Segment { image } => {
+            checked_pixels(image.width(), image.height())?;
+            8 + image.len() * 3
+        }
+        Message::SegmentReply { labels } => {
+            checked_pixels(labels.width(), labels.height())?;
+            8 + labels.len() * 4
+        }
+        Message::StatsReply { text } => text.len(),
+        Message::Error { message } => message.len(),
+        _ => 0,
+    };
+    let mut frame = begin_frame(request_id, message.op(), capacity);
+    match message {
+        Message::Segment { image } => append_segment_payload(&mut frame, image),
+        Message::SegmentReply { labels } => {
+            frame.extend_from_slice(&(labels.width() as u32).to_le_bytes());
+            frame.extend_from_slice(&(labels.height() as u32).to_le_bytes());
+            for label in labels.as_slice() {
+                frame.extend_from_slice(&label.to_le_bytes());
+            }
+        }
+        Message::StatsReply { text } => frame.extend_from_slice(text.as_bytes()),
+        Message::Error { message } => frame.extend_from_slice(message.as_bytes()),
+        _ => {}
+    }
+    finish_frame(frame)
+}
+
+/// Encodes a `Segment` request frame directly from a borrowed image —
+/// byte-identical to `encode_message` with [`Message::Segment`], without
+/// cloning the image into a message first.  This is the client's hot path.
+pub fn encode_segment(request_id: u64, image: &RgbImage) -> Result<Vec<u8>, ProtocolError> {
+    checked_pixels(image.width(), image.height())?;
+    let mut frame = begin_frame(request_id, Op::Segment, 8 + image.len() * 3);
+    append_segment_payload(&mut frame, image);
+    finish_frame(frame)
+}
+
+/// Encodes and writes one frame to `w` (single `write_all` + flush).
+pub fn write_message<W: Write>(
+    w: &mut W,
+    request_id: u64,
+    message: &Message,
+) -> Result<(), ProtocolError> {
+    let frame = encode_message(request_id, message)?;
+    w.write_all(&frame)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one full frame from `r` and decodes it.
+///
+/// Mid-frame EOF surfaces as [`ProtocolError::Io`] with
+/// [`io::ErrorKind::UnexpectedEof`].
+pub fn read_message<R: Read>(r: &mut R) -> Result<(u64, Message), ProtocolError> {
+    let mut header = [0u8; HEADER_LEN];
+    r.read_exact(&mut header)?;
+    let header = parse_header(&header)?;
+    read_body(r, header).map(|message| (header.request_id, message))
+}
+
+/// Reads the payload for an already-parsed header and decodes the body.
+///
+/// Split out from [`read_message`] so a server can read the header with its
+/// own polling/timeout policy and still share the payload path.
+pub fn read_body<R: Read>(r: &mut R, header: Header) -> Result<Message, ProtocolError> {
+    let mut payload = vec![0u8; header.payload_len];
+    r.read_exact(&mut payload)?;
+    decode_body(header.op, &payload)
+}
+
+/// Decodes one complete frame from a byte slice (header + payload).
+pub fn decode_message(frame: &[u8]) -> Result<(u64, Message), ProtocolError> {
+    let mut cursor = frame;
+    let decoded = read_message(&mut cursor)?;
+    Ok(decoded)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_image() -> RgbImage {
+        RgbImage::from_fn(5, 3, |x, y| Rgb::new(x as u8, y as u8, (x * y) as u8))
+    }
+
+    fn all_messages() -> Vec<Message> {
+        vec![
+            Message::Segment {
+                image: sample_image(),
+            },
+            Message::SegmentReply {
+                labels: LabelMap::from_vec(5, 3, (0..15).collect()).unwrap(),
+            },
+            Message::Ping,
+            Message::Pong,
+            Message::Stats,
+            Message::StatsReply {
+                text: "requests=3\nplan=classifier=table;tile=off;backend=serial\n".to_string(),
+            },
+            Message::Shutdown,
+            Message::ShutdownReply,
+            Message::Error {
+                message: "no such θ".to_string(),
+            },
+        ]
+    }
+
+    #[test]
+    fn every_op_round_trips_through_encode_decode() {
+        for (i, message) in all_messages().into_iter().enumerate() {
+            let id = 0x1234_5678_9abc_def0 ^ i as u64;
+            let frame = encode_message(id, &message).unwrap();
+            let (got_id, got) = decode_message(&frame).unwrap();
+            assert_eq!(got_id, id, "{}", message.name());
+            assert_eq!(got, message, "{}", message.name());
+            assert_eq!(got.op(), message.op());
+        }
+    }
+
+    #[test]
+    fn stream_read_write_round_trips() {
+        let mut buf = Vec::new();
+        for (i, message) in all_messages().into_iter().enumerate() {
+            write_message(&mut buf, i as u64, &message).unwrap();
+        }
+        let mut cursor = &buf[..];
+        for (i, message) in all_messages().into_iter().enumerate() {
+            let (id, got) = read_message(&mut cursor).unwrap();
+            assert_eq!(id, i as u64);
+            assert_eq!(got, message);
+        }
+        assert!(cursor.is_empty());
+    }
+
+    #[test]
+    fn borrowed_segment_encoder_matches_the_message_encoder() {
+        let image = sample_image();
+        let via_message = encode_message(
+            42,
+            &Message::Segment {
+                image: image.clone(),
+            },
+        )
+        .unwrap();
+        assert_eq!(encode_segment(42, &image).unwrap(), via_message);
+    }
+
+    #[test]
+    fn zero_area_image_round_trips() {
+        let message = Message::Segment {
+            image: RgbImage::from_fn(0, 0, |_, _| Rgb::new(0, 0, 0)),
+        };
+        let frame = encode_message(1, &message).unwrap();
+        let (_, got) = decode_message(&frame).unwrap();
+        assert_eq!(got, message);
+    }
+
+    #[test]
+    fn truncated_frames_error_instead_of_panicking() {
+        let frame = encode_message(
+            7,
+            &Message::Segment {
+                image: sample_image(),
+            },
+        )
+        .unwrap();
+        for cut in [
+            0,
+            1,
+            HEADER_LEN - 1,
+            HEADER_LEN,
+            HEADER_LEN + 5,
+            frame.len() - 1,
+        ] {
+            let err = decode_message(&frame[..cut]).unwrap_err();
+            assert!(
+                matches!(err, ProtocolError::Io(ref e) if e.kind() == io::ErrorKind::UnexpectedEof),
+                "cut at {cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_magic_version_op_and_reserved_are_rejected() {
+        let good = encode_message(1, &Message::Ping).unwrap();
+
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            decode_message(&bad).unwrap_err(),
+            ProtocolError::BadMagic(_)
+        ));
+
+        let mut bad = good.clone();
+        bad[4] = 99;
+        assert!(matches!(
+            decode_message(&bad).unwrap_err(),
+            ProtocolError::BadVersion(99)
+        ));
+
+        let mut bad = good.clone();
+        bad[6] = 0x7E;
+        assert!(matches!(
+            decode_message(&bad).unwrap_err(),
+            ProtocolError::UnknownOp(0x7E)
+        ));
+
+        let mut bad = good;
+        bad[7] = 1;
+        assert!(matches!(
+            decode_message(&bad).unwrap_err(),
+            ProtocolError::BadReserved(1)
+        ));
+    }
+
+    #[test]
+    fn oversized_payload_length_is_rejected_before_allocation() {
+        let mut frame = encode_message(1, &Message::Ping).unwrap();
+        frame[16..20].copy_from_slice(&u32::MAX.to_le_bytes());
+        // The length field alone triggers the error; no 4 GiB allocation.
+        assert!(matches!(
+            decode_message(&frame).unwrap_err(),
+            ProtocolError::PayloadTooLarge { .. }
+        ));
+    }
+
+    #[test]
+    fn dimension_overflow_and_pixel_limit_are_rejected() {
+        // Declared dims whose product overflows the payload bound.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&u32::MAX.to_le_bytes());
+        payload.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_body(Op::Segment, &payload).unwrap_err(),
+            ProtocolError::BadDimensions { .. }
+        ));
+        // A Segment whose payload disagrees with its declared dims.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&4u32.to_le_bytes());
+        payload.extend_from_slice(&4u32.to_le_bytes());
+        payload.extend_from_slice(&[0; 5]);
+        assert!(matches!(
+            decode_body(Op::Segment, &payload).unwrap_err(),
+            ProtocolError::BadLength {
+                op: Op::Segment,
+                expected: Some(56),
+                got: 13,
+            }
+        ));
+        // A header too short to even carry dimensions.
+        assert!(matches!(
+            decode_body(Op::SegmentReply, &[1, 2, 3]).unwrap_err(),
+            ProtocolError::BadLength { expected: None, .. }
+        ));
+        // An in-bounds reply still encodes fine.
+        assert!(encode_message(
+            1,
+            &Message::SegmentReply {
+                labels: LabelMap::from_vec(1, 1, vec![0]).unwrap(),
+            },
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn empty_op_payloads_must_be_empty() {
+        for op in [
+            Op::Ping,
+            Op::Pong,
+            Op::Stats,
+            Op::Shutdown,
+            Op::ShutdownReply,
+        ] {
+            assert!(matches!(
+                decode_body(op, &[0]).unwrap_err(),
+                ProtocolError::BadLength { .. }
+            ));
+            assert!(decode_body(op, &[]).is_ok());
+        }
+    }
+
+    #[test]
+    fn invalid_utf8_text_payloads_are_rejected() {
+        for op in [Op::StatsReply, Op::Error] {
+            assert!(matches!(
+                decode_body(op, &[0xFF, 0xFE]).unwrap_err(),
+                ProtocolError::BadText
+            ));
+        }
+    }
+
+    #[test]
+    fn errors_render_human_readable_diagnostics() {
+        let err = ProtocolError::PayloadTooLarge {
+            len: 1 << 30,
+            max: MAX_PAYLOAD_BYTES,
+        };
+        assert!(err.to_string().contains("exceeds"));
+        assert!(ProtocolError::BadMagic(*b"HTTP")
+            .to_string()
+            .contains("magic"));
+        assert!(ProtocolError::BadText.to_string().contains("UTF-8"));
+    }
+}

@@ -1,0 +1,683 @@
+//! The TCP segmentation daemon.
+//!
+//! Thread model: one *acceptor* thread owns the listening socket and spawns
+//! one *connection* thread per client.  Each connection thread reads frames,
+//! executes them against the shared warm [`SegmentPipeline`] (so every
+//! connection benefits from the same phase-table classifier and
+//! [`iqft_pipeline::LabelArena`] recycling pool), and writes the reply before
+//! reading the next frame — requests on one connection are processed in
+//! order, while connections run concurrently.
+//!
+//! Concurrency inside a request comes from the pipeline's engine (the plan's
+//! backend, plus tiled fan-out when the plan says so); concurrency *across*
+//! requests is bounded by [`ServerConfig::max_inflight`] via a small
+//! semaphore whose permit is taken *before* a `Segment` frame's payload is
+//! even read — so a burst of heavy frames cannot oversubscribe the host's
+//! CPU or its memory, no matter how many connections are open.
+//!
+//! Shutdown reuses the pipeline's drain-then-stop semantics: a `Shutdown`
+//! frame (or [`Server::shutdown_now`]) flips a flag, the acceptor stops
+//! accepting, and every connection finishes the frames already on the wire —
+//! a request whose bytes reached the server is always answered — then closes
+//! once its socket goes idle.  [`Server::join`] returns when the last
+//! connection has drained.
+
+use crate::protocol::{self, Header, Message, ProtocolError, HEADER_LEN};
+use crate::stats::{ServerStats, StatsSnapshot};
+use iqft_pipeline::{PipelineConfig, SegmentPipeline};
+use iqft_seg::IqftClassifier;
+use seg_engine::SegmentPlan;
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How long an idle connection waits between checks of the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(100);
+/// After shutdown is signalled, how long a connection keeps listening for
+/// frames already in flight before closing an idle socket.
+const SHUTDOWN_GRACE: Duration = Duration::from_millis(200);
+/// Once a frame's first byte has arrived, the *whole* rest of the frame must
+/// arrive within this wall-clock budget — enforced as an overall deadline,
+/// not a per-read timeout, so a client dripping one byte at a time cannot
+/// keep a connection thread (and thus the drain) alive forever.
+const FRAME_READ_DEADLINE: Duration = Duration::from_secs(10);
+/// Per-read poll granularity while a frame deadline is in force.
+const FRAME_POLL: Duration = Duration::from_millis(200);
+
+/// Tuning for a [`Server`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerConfig {
+    /// The segmentation strategy (classifier × tiling × backend) the server
+    /// materialises once and serves from.
+    pub plan: SegmentPlan,
+    /// Maximum concurrently-executing `Segment` requests across all
+    /// connections (0 = the plan's effective thread count).
+    pub max_inflight: usize,
+}
+
+/// A counting semaphore bounding concurrent segment requests (std-only).
+#[derive(Debug)]
+struct Gate {
+    permits: Mutex<usize>,
+    freed: Condvar,
+}
+
+impl Gate {
+    fn new(permits: usize) -> Self {
+        Self {
+            permits: Mutex::new(permits.max(1)),
+            freed: Condvar::new(),
+        }
+    }
+
+    /// Takes a permit; the returned guard gives it back on drop, so a panic
+    /// while segmenting can never leak a permit and starve later requests.
+    fn acquire(&self) -> GatePermit<'_> {
+        let mut permits = self.permits.lock().unwrap_or_else(|e| e.into_inner());
+        while *permits == 0 {
+            permits = self.freed.wait(permits).unwrap_or_else(|e| e.into_inner());
+        }
+        *permits -= 1;
+        GatePermit(self)
+    }
+
+    fn release(&self) {
+        *self.permits.lock().unwrap_or_else(|e| e.into_inner()) += 1;
+        self.freed.notify_one();
+    }
+}
+
+struct GatePermit<'a>(&'a Gate);
+
+impl Drop for GatePermit<'_> {
+    fn drop(&mut self) {
+        self.0.release();
+    }
+}
+
+/// State shared by the acceptor and every connection thread.
+#[derive(Debug)]
+struct Shared {
+    pipeline: SegmentPipeline<IqftClassifier>,
+    plan: SegmentPlan,
+    stats: ServerStats,
+    gate: Gate,
+    max_inflight: usize,
+    shutting_down: AtomicBool,
+    started: Instant,
+    addr: SocketAddr,
+}
+
+impl Shared {
+    fn shutting_down(&self) -> bool {
+        self.shutting_down.load(Ordering::SeqCst)
+    }
+
+    fn snapshot(&self, conn: &ConnStats) -> StatsSnapshot {
+        let uptime_secs = self.started.elapsed().as_secs_f64();
+        let pixels_total = self.stats.pixels_total();
+        StatsSnapshot {
+            plan: self.plan.to_spec(),
+            uptime_secs,
+            connections_total: self.stats.connections_total(),
+            connections_open: self.stats.connections_open(),
+            requests_total: self.stats.requests_total(),
+            segment_requests: self.stats.segment_requests(),
+            pixels_total,
+            mpix_per_sec: if uptime_secs > 0.0 {
+                pixels_total as f64 / 1e6 / uptime_secs
+            } else {
+                0.0
+            },
+            protocol_errors: self.stats.protocol_errors(),
+            arena_allocations: self.pipeline.arena().allocations(),
+            arena_reuses: self.pipeline.arena().reuses(),
+            arena_pooled: self.pipeline.arena().pooled(),
+            max_inflight: self.max_inflight,
+            conn_requests: conn.requests,
+            conn_pixels: conn.pixels,
+        }
+    }
+
+    /// Flips the shutdown flag and pokes the (possibly blocked) acceptor
+    /// with a throwaway loopback connection so it observes the flag.
+    fn signal_shutdown(&self) {
+        self.shutting_down.store(true, Ordering::SeqCst);
+        // A wildcard bind (0.0.0.0 / ::) is not itself connectable; poke
+        // the loopback of the same family instead.  A failed poke just
+        // means the listener is already gone.
+        let mut poke = self.addr;
+        if poke.ip().is_unspecified() {
+            poke.set_ip(match poke {
+                SocketAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+                SocketAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+            });
+        }
+        let _ = TcpStream::connect_timeout(&poke, Duration::from_secs(1));
+    }
+}
+
+/// Per-connection counters (folded into the Stats reply for that client).
+#[derive(Debug, Default)]
+struct ConnStats {
+    requests: usize,
+    pixels: u64,
+}
+
+/// A running segmentation service bound to a TCP address.
+#[derive(Debug)]
+pub struct Server {
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port), builds the
+    /// warm pipeline for `config.plan`, and starts the acceptor thread.
+    pub fn bind<A: ToSocketAddrs>(addr: A, config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let plan = config.plan;
+        let pipeline = SegmentPipeline::new(plan.engine(), IqftClassifier::for_plan(&plan))
+            .with_config(PipelineConfig {
+                tiling: plan.tiling(),
+                ..PipelineConfig::default()
+            });
+        let max_inflight = if config.max_inflight == 0 {
+            plan.engine().threads()
+        } else {
+            config.max_inflight
+        };
+        let shared = Arc::new(Shared {
+            pipeline,
+            plan,
+            stats: ServerStats::new(),
+            gate: Gate::new(max_inflight),
+            max_inflight,
+            shutting_down: AtomicBool::new(false),
+            started: Instant::now(),
+            addr,
+        });
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("iqft-serve-acceptor".to_string())
+                .spawn(move || accept_loop(listener, shared))?
+        };
+        Ok(Server {
+            shared,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The address the server actually bound (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// The plan the server is executing.
+    pub fn plan(&self) -> SegmentPlan {
+        self.shared.plan
+    }
+
+    /// Effective cap on concurrently-executing segment requests.
+    pub fn max_inflight(&self) -> usize {
+        self.shared.max_inflight
+    }
+
+    /// Whether a shutdown has been requested (by frame or locally).
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutting_down()
+    }
+
+    /// Total frames handled so far (for post-shutdown reporting).
+    pub fn requests_total(&self) -> usize {
+        self.shared.stats.requests_total()
+    }
+
+    /// Total pixels segmented so far (for post-shutdown reporting).
+    pub fn pixels_total(&self) -> u64 {
+        self.shared.stats.pixels_total()
+    }
+
+    /// Triggers the same drain-then-stop shutdown a `Shutdown` frame does.
+    pub fn shutdown_now(&self) {
+        self.shared.signal_shutdown();
+    }
+
+    /// Blocks until the server has fully drained and stopped: the acceptor
+    /// has exited and every connection thread has been joined.
+    pub fn join(self) {
+        let _ = self.join_with_counters();
+    }
+
+    /// Like [`Server::join`], but returns the final
+    /// `(requests_total, pixels_total)` counters observed after the drain —
+    /// what a supervising CLI prints as its exit summary.
+    pub fn join_with_counters(mut self) -> (usize, u64) {
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+        (
+            self.shared.stats.requests_total(),
+            self.shared.stats.pixels_total(),
+        )
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        // A dropped server must not leak a live acceptor blocked in accept().
+        if let Some(handle) = self.acceptor.take() {
+            self.shared.signal_shutdown();
+            let _ = handle.join();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    let mut connections: Vec<JoinHandle<()>> = Vec::new();
+    loop {
+        if shared.shutting_down() {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let draining = shared.shutting_down();
+                // A connection accepted during shutdown may be a real client
+                // that raced the poke and already has a frame on the wire —
+                // serve it (drain semantics answer anything that arrived and
+                // close once idle); the poke itself just EOFs immediately.
+                spawn_connection(stream, &shared, &mut connections);
+                if draining {
+                    break;
+                }
+                // Reap handles of connections that already finished, so a
+                // long-lived daemon's handle list tracks *live* connections
+                // instead of growing with every client ever served.
+                connections.retain(|handle| !handle.is_finished());
+            }
+            Err(_) => {
+                if shared.shutting_down() {
+                    break;
+                }
+                // Transient accept errors (e.g. ECONNABORTED) are not
+                // fatal, but persistent ones (e.g. EMFILE) would otherwise
+                // hot-loop the acceptor at 100% CPU — back off briefly.
+                std::thread::sleep(POLL_INTERVAL);
+                continue;
+            }
+        }
+    }
+    // Serve whatever was already queued in the accept backlog at shutdown,
+    // so a client that connected just before the flag flipped is answered
+    // rather than silently dropped.
+    if listener.set_nonblocking(true).is_ok() {
+        while let Ok((stream, _peer)) = listener.accept() {
+            spawn_connection(stream, &shared, &mut connections);
+        }
+    }
+    drop(listener);
+    // Drain: every connection finishes its in-flight frames before we stop.
+    for handle in connections {
+        let _ = handle.join();
+    }
+}
+
+/// Drop-guard so the open-connection gauge stays correct even if the
+/// connection thread unwinds.
+struct OpenConn<'a>(&'a ServerStats);
+
+impl Drop for OpenConn<'_> {
+    fn drop(&mut self) {
+        self.0.connection_closed();
+    }
+}
+
+fn spawn_connection(
+    stream: TcpStream,
+    shared: &Arc<Shared>,
+    connections: &mut Vec<JoinHandle<()>>,
+) {
+    let shared = Arc::clone(shared);
+    let handle = std::thread::Builder::new()
+        .name("iqft-serve-conn".to_string())
+        .spawn(move || {
+            shared.stats.connection_opened();
+            let _open = OpenConn(&shared.stats);
+            let _ = serve_connection(stream, &shared);
+        });
+    if let Ok(handle) = handle {
+        connections.push(handle);
+    }
+}
+
+/// Outcome of waiting for the first byte of the next frame.
+enum FirstByte {
+    Byte(u8),
+    TimedOut,
+    Eof,
+}
+
+fn wait_first_byte(stream: &mut TcpStream, wait: Duration) -> io::Result<FirstByte> {
+    stream.set_read_timeout(Some(wait))?;
+    let mut byte = [0u8; 1];
+    match stream.read(&mut byte) {
+        Ok(0) => Ok(FirstByte::Eof),
+        Ok(_) => Ok(FirstByte::Byte(byte[0])),
+        Err(e)
+            if matches!(
+                e.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+            ) =>
+        {
+            Ok(FirstByte::TimedOut)
+        }
+        Err(e) => Err(e),
+    }
+}
+
+/// `read_exact` bounded by an overall wall-clock `deadline` (enforced across
+/// reads, so progress cannot reset the budget the way a per-read timeout
+/// would).
+fn read_exact_deadline(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    deadline: Instant,
+) -> io::Result<()> {
+    stream.set_read_timeout(Some(FRAME_POLL))?;
+    let mut filled = 0;
+    while filled < buf.len() {
+        if Instant::now() >= deadline {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "frame read deadline exceeded",
+            ));
+        }
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => return Err(io::ErrorKind::UnexpectedEof.into()),
+            Ok(n) => filled += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+fn serve_connection(mut stream: TcpStream, shared: &Shared) -> io::Result<()> {
+    // Backlog-drained sockets may inherit the listener's non-blocking mode
+    // on some platforms; the read-timeout machinery below needs blocking.
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_nodelay(true);
+    let mut conn = ConnStats::default();
+    loop {
+        let draining = shared.shutting_down();
+        let wait = if draining {
+            SHUTDOWN_GRACE
+        } else {
+            POLL_INTERVAL
+        };
+        let first = match wait_first_byte(&mut stream, wait)? {
+            FirstByte::Byte(byte) => byte,
+            FirstByte::Eof => break,
+            FirstByte::TimedOut => {
+                if draining {
+                    break;
+                }
+                continue;
+            }
+        };
+        match handle_frame(first, &mut stream, shared, &mut conn) {
+            Ok(keep_open) => {
+                if !keep_open {
+                    break;
+                }
+            }
+            // Reply was unsendable or the frame unreadable at the transport
+            // level: nothing more to do for this client.
+            Err(ProtocolError::Io(e)) => return Err(e),
+            Err(_) => break,
+        }
+    }
+    Ok(())
+}
+
+/// Reads the remainder of one frame (whose first byte is `first`), executes
+/// it, and writes the reply.  Returns whether the connection stays open.
+///
+/// Malformed frames get a best-effort [`Message::Error`] reply (with request
+/// id 0 if the header never parsed) and close the connection, since framing
+/// may be lost.
+fn handle_frame(
+    first: u8,
+    stream: &mut TcpStream,
+    shared: &Shared,
+    conn: &mut ConnStats,
+) -> Result<bool, ProtocolError> {
+    // A frame has started: each phase of it (header, then payload) must
+    // arrive within its own wall-clock deadline, so a half-sent or dripped
+    // frame cannot hang the drain forever.
+    let mut header = [0u8; HEADER_LEN];
+    header[0] = first;
+    read_exact_deadline(
+        stream,
+        &mut header[1..],
+        Instant::now() + FRAME_READ_DEADLINE,
+    )?;
+    shared.stats.request();
+    conn.requests += 1;
+    let header = match protocol::parse_header(&header) {
+        Ok(header) => header,
+        Err(err) => {
+            shared.stats.protocol_error();
+            reply_error(stream, 0, &err);
+            return Ok(false);
+        }
+    };
+    // For Segment frames, take the execution permit *before* the payload is
+    // read: at most `max_inflight` request buffers (payload + decoded image)
+    // exist at once, so a burst of heavy frames cannot oversubscribe memory
+    // no matter how many connections are open.  The permit is held through
+    // execution and released when this function returns.
+    let _permit = if header.op == protocol::Op::Segment {
+        Some(shared.gate.acquire())
+    } else {
+        None
+    };
+    // The payload deadline starts only now — time a request spends queued
+    // for a permit is not charged against its read budget, so a frame that
+    // waited behind heavy work is still read and answered.
+    // (Allocation bounded by MAX_PAYLOAD_BYTES; parse_header checked.)
+    let mut payload = vec![0u8; header.payload_len];
+    read_exact_deadline(stream, &mut payload, Instant::now() + FRAME_READ_DEADLINE)?;
+    let message = match protocol::decode_body(header.op, &payload) {
+        Ok(message) => message,
+        Err(err) => {
+            shared.stats.protocol_error();
+            reply_error(stream, header.request_id, &err);
+            return Ok(false);
+        }
+    };
+    execute(stream, shared, conn, header, message)
+}
+
+fn reply_error(stream: &mut TcpStream, request_id: u64, err: &ProtocolError) {
+    let _ = protocol::write_message(
+        stream,
+        request_id,
+        &Message::Error {
+            message: err.to_string(),
+        },
+    );
+}
+
+fn execute(
+    stream: &mut TcpStream,
+    shared: &Shared,
+    conn: &mut ConnStats,
+    header: Header,
+    message: Message,
+) -> Result<bool, ProtocolError> {
+    match message {
+        Message::Segment { image } => {
+            // The caller (handle_frame) already holds the gate permit.
+            let labels = shared.pipeline.segment_request(&image);
+            // Count the work before the reply ships, so a client that has
+            // its reply in hand can never read a stale snapshot.
+            shared.stats.segmented(labels.len());
+            conn.pixels += labels.len() as u64;
+            let reply = Message::SegmentReply { labels };
+            let result = protocol::write_message(stream, header.request_id, &reply);
+            // Reply bytes are on the wire (or the connection is dead); either
+            // way the buffer can go back to the arena for the next request.
+            if let Message::SegmentReply { labels } = reply {
+                shared.pipeline.recycle(labels);
+            }
+            result?;
+            Ok(true)
+        }
+        Message::Ping => {
+            protocol::write_message(stream, header.request_id, &Message::Pong)?;
+            Ok(true)
+        }
+        Message::Stats => {
+            let text = shared.snapshot(conn).to_text();
+            protocol::write_message(stream, header.request_id, &Message::StatsReply { text })?;
+            Ok(true)
+        }
+        Message::Shutdown => {
+            protocol::write_message(stream, header.request_id, &Message::ShutdownReply)?;
+            shared.signal_shutdown();
+            Ok(false)
+        }
+        // A reply op arriving as a request is a protocol violation; say so
+        // precisely (the op *is* known, it is just not a request).
+        other => {
+            shared.stats.protocol_error();
+            let _ = protocol::write_message(
+                stream,
+                header.request_id,
+                &Message::Error {
+                    message: format!(
+                        "{} is a reply op and cannot be sent as a request",
+                        other.name()
+                    ),
+                },
+            );
+            Ok(false)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+    use imaging::{Rgb, RgbImage};
+    use seg_engine::{ClassifierKind, SegmentEngine, Tiling};
+    use std::io::Write;
+
+    fn test_image(seed: u8) -> RgbImage {
+        RgbImage::from_fn(31, 17, move |x, y| {
+            Rgb::new(
+                (x * 7 + seed as usize) as u8,
+                (y * 11) as u8,
+                ((x + y) * 5) as u8,
+            )
+        })
+    }
+
+    #[test]
+    fn ephemeral_server_serves_ping_segment_stats_and_drains() {
+        let plan = SegmentPlan::default().with_tiling(Tiling::Tiles {
+            width: 16,
+            height: 16,
+        });
+        let server = Server::bind(
+            "127.0.0.1:0",
+            ServerConfig {
+                plan,
+                max_inflight: 2,
+            },
+        )
+        .unwrap();
+        assert_eq!(server.max_inflight(), 2);
+        assert_eq!(server.plan(), plan);
+        assert!(!server.is_shutting_down());
+
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        client.ping().unwrap();
+        let img = test_image(3);
+        let labels = client.segment(&img).unwrap();
+        let expected = SegmentEngine::serial()
+            .segment_rgb(&IqftClassifier::paper_default(ClassifierKind::Exact), &img);
+        assert_eq!(labels, expected);
+
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.segment_requests, 1);
+        assert_eq!(stats.pixels_total, img.len() as u64);
+        assert_eq!(stats.conn_requests, 3, "ping + segment + stats");
+        assert_eq!(stats.max_inflight, 2);
+        assert_eq!(stats.plan, plan.to_spec());
+
+        client.shutdown().unwrap();
+        server.join();
+    }
+
+    #[test]
+    fn dropped_server_does_not_leak_its_acceptor() {
+        let server = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+        let addr = server.local_addr();
+        drop(server); // Drop joins the acceptor; a hang here fails the test.
+        assert!(
+            Client::connect(addr).is_err() || {
+                // The OS may briefly accept on the dead listener's backlog; a
+                // subsequent request must still fail.
+                let mut c = Client::connect(addr).unwrap();
+                c.ping().is_err()
+            }
+        );
+    }
+
+    #[test]
+    fn garbage_frames_get_an_error_reply_not_a_crash() {
+        let server = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream.write_all(b"GET / HTTP/1.1\r\n\r\n").unwrap();
+        stream.write_all(&[0u8; 16]).unwrap();
+        let (id, reply) = protocol::read_message(&mut stream).unwrap();
+        assert_eq!(id, 0, "header never parsed, so the error echoes id 0");
+        assert!(
+            matches!(reply, Message::Error { ref message } if message.contains("magic")),
+            "{reply:?}"
+        );
+        // A well-formed frame carrying a reply op is diagnosed precisely.
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream
+            .write_all(&protocol::encode_message(5, &Message::Pong).unwrap())
+            .unwrap();
+        let (id, reply) = protocol::read_message(&mut stream).unwrap();
+        assert_eq!(id, 5);
+        assert!(
+            matches!(reply, Message::Error { ref message } if message.contains("reply op")),
+            "{reply:?}"
+        );
+        // The server survives and still serves fresh connections.
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        client.ping().unwrap();
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.protocol_errors, 2, "bad magic + reply-op request");
+        server.shutdown_now();
+        server.join();
+    }
+}

@@ -1,0 +1,296 @@
+//! Server-side counters and the wire-level statistics snapshot.
+//!
+//! [`ServerStats`] is the live atomic counter block the server updates on
+//! every frame; [`StatsSnapshot`] is the frozen, serializable view a
+//! [`crate::protocol::Op::Stats`] request receives.  The snapshot travels as
+//! plain `key=value` lines (one per field, split on the *first* `=` so values
+//! may themselves contain `=`, like the plan spec), which keeps the protocol
+//! free of any external serialization dependency and trivially
+//! forward-compatible: unknown keys are ignored on parse.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Live aggregate counters for a running server.
+///
+/// All counters are monotonic and relaxed — they feed an operator-facing
+/// snapshot, not a synchronization protocol.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Connections accepted since boot.
+    connections_total: AtomicUsize,
+    /// Connections currently open.
+    connections_open: AtomicUsize,
+    /// Frames handled (any op, including errors).
+    requests_total: AtomicUsize,
+    /// Segment requests completed.
+    segment_requests: AtomicUsize,
+    /// Pixels segmented.
+    pixels_total: AtomicU64,
+    /// Frames that failed to decode or execute.
+    protocol_errors: AtomicUsize,
+}
+
+impl ServerStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an accepted connection.
+    pub fn connection_opened(&self) {
+        self.connections_total.fetch_add(1, Ordering::Relaxed);
+        self.connections_open.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a closed connection.
+    pub fn connection_closed(&self) {
+        self.connections_open.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Records one handled frame.
+    pub fn request(&self) {
+        self.requests_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one completed segmentation of `pixels` pixels.
+    pub fn segmented(&self, pixels: usize) {
+        self.segment_requests.fetch_add(1, Ordering::Relaxed);
+        self.pixels_total
+            .fetch_add(pixels as u64, Ordering::Relaxed);
+    }
+
+    /// Records a malformed or failed frame.
+    pub fn protocol_error(&self) {
+        self.protocol_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Frames handled so far (any op).
+    pub fn requests_total(&self) -> usize {
+        self.requests_total.load(Ordering::Relaxed)
+    }
+
+    /// Segment requests completed so far.
+    pub fn segment_requests(&self) -> usize {
+        self.segment_requests.load(Ordering::Relaxed)
+    }
+
+    /// Pixels segmented so far.
+    pub fn pixels_total(&self) -> u64 {
+        self.pixels_total.load(Ordering::Relaxed)
+    }
+
+    /// Frames rejected so far.
+    pub fn protocol_errors(&self) -> usize {
+        self.protocol_errors.load(Ordering::Relaxed)
+    }
+
+    /// Connections accepted since boot.
+    pub fn connections_total(&self) -> usize {
+        self.connections_total.load(Ordering::Relaxed)
+    }
+
+    /// Connections currently open.
+    pub fn connections_open(&self) -> usize {
+        self.connections_open.load(Ordering::Relaxed)
+    }
+}
+
+/// A frozen statistics snapshot, as carried by a `StatsReply` frame.
+///
+/// Combines the aggregate server counters, the arena's recycling counters
+/// (the "arena hits" the pipeline earns), the serialized
+/// [`seg_engine::SegmentPlan`] spec, and the requesting *connection's* own
+/// counters — so a client sees both the server-wide picture and its share.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StatsSnapshot {
+    /// The server's segmentation strategy (`SegmentPlan::to_spec` format).
+    pub plan: String,
+    /// Seconds since the server started.
+    pub uptime_secs: f64,
+    /// Connections accepted since boot.
+    pub connections_total: usize,
+    /// Connections currently open.
+    pub connections_open: usize,
+    /// Frames handled (any op).
+    pub requests_total: usize,
+    /// Segment requests completed.
+    pub segment_requests: usize,
+    /// Pixels segmented.
+    pub pixels_total: u64,
+    /// Aggregate segmentation throughput since boot, in megapixels/second
+    /// (includes idle time; a load generator should prefer its own clock).
+    pub mpix_per_sec: f64,
+    /// Frames that failed to decode or execute.
+    pub protocol_errors: usize,
+    /// Label-buffer allocations the arena could not avoid.
+    pub arena_allocations: usize,
+    /// Label-buffer takes served from the recycling pool (arena hits).
+    pub arena_reuses: usize,
+    /// Buffers currently pooled in the arena.
+    pub arena_pooled: usize,
+    /// Maximum concurrently-executing segment requests.
+    pub max_inflight: usize,
+    /// Frames handled on the connection that asked for this snapshot.
+    pub conn_requests: usize,
+    /// Pixels segmented on the connection that asked for this snapshot.
+    pub conn_pixels: u64,
+}
+
+impl StatsSnapshot {
+    /// Renders the snapshot as `key=value` lines (the `StatsReply` payload).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let mut push = |key: &str, value: String| {
+            out.push_str(key);
+            out.push('=');
+            out.push_str(&value);
+            out.push('\n');
+        };
+        push("plan", self.plan.clone());
+        push("uptime_secs", format!("{:.3}", self.uptime_secs));
+        push("connections_total", self.connections_total.to_string());
+        push("connections_open", self.connections_open.to_string());
+        push("requests_total", self.requests_total.to_string());
+        push("segment_requests", self.segment_requests.to_string());
+        push("pixels_total", self.pixels_total.to_string());
+        push("mpix_per_sec", format!("{:.3}", self.mpix_per_sec));
+        push("protocol_errors", self.protocol_errors.to_string());
+        push("arena_allocations", self.arena_allocations.to_string());
+        push("arena_reuses", self.arena_reuses.to_string());
+        push("arena_pooled", self.arena_pooled.to_string());
+        push("max_inflight", self.max_inflight.to_string());
+        push("conn_requests", self.conn_requests.to_string());
+        push("conn_pixels", self.conn_pixels.to_string());
+        out
+    }
+
+    /// Parses a snapshot back out of `key=value` lines.
+    ///
+    /// Unknown keys are ignored (newer servers may add fields); a missing
+    /// `plan` key or an unparsable number is an error.
+    pub fn from_text(text: &str) -> Result<Self, String> {
+        let mut snapshot = StatsSnapshot::default();
+        let mut saw_plan = false;
+        for line in text.lines() {
+            if line.is_empty() {
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("stats line '{line}' has no '='"))?;
+            let bad = |what: &str| format!("stats key '{key}' has invalid {what} '{value}'");
+            match key {
+                "plan" => {
+                    snapshot.plan = value.to_string();
+                    saw_plan = true;
+                }
+                "uptime_secs" => snapshot.uptime_secs = value.parse().map_err(|_| bad("float"))?,
+                "connections_total" => {
+                    snapshot.connections_total = value.parse().map_err(|_| bad("count"))?
+                }
+                "connections_open" => {
+                    snapshot.connections_open = value.parse().map_err(|_| bad("count"))?
+                }
+                "requests_total" => {
+                    snapshot.requests_total = value.parse().map_err(|_| bad("count"))?
+                }
+                "segment_requests" => {
+                    snapshot.segment_requests = value.parse().map_err(|_| bad("count"))?
+                }
+                "pixels_total" => {
+                    snapshot.pixels_total = value.parse().map_err(|_| bad("count"))?
+                }
+                "mpix_per_sec" => {
+                    snapshot.mpix_per_sec = value.parse().map_err(|_| bad("float"))?
+                }
+                "protocol_errors" => {
+                    snapshot.protocol_errors = value.parse().map_err(|_| bad("count"))?
+                }
+                "arena_allocations" => {
+                    snapshot.arena_allocations = value.parse().map_err(|_| bad("count"))?
+                }
+                "arena_reuses" => {
+                    snapshot.arena_reuses = value.parse().map_err(|_| bad("count"))?
+                }
+                "arena_pooled" => {
+                    snapshot.arena_pooled = value.parse().map_err(|_| bad("count"))?
+                }
+                "max_inflight" => {
+                    snapshot.max_inflight = value.parse().map_err(|_| bad("count"))?
+                }
+                "conn_requests" => {
+                    snapshot.conn_requests = value.parse().map_err(|_| bad("count"))?
+                }
+                "conn_pixels" => snapshot.conn_pixels = value.parse().map_err(|_| bad("count"))?,
+                _ => {}
+            }
+        }
+        if !saw_plan {
+            return Err("stats snapshot is missing the 'plan' key".to_string());
+        }
+        Ok(snapshot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> StatsSnapshot {
+        StatsSnapshot {
+            plan: "classifier=table;tile=48x48;backend=threads:4".to_string(),
+            uptime_secs: 12.5,
+            connections_total: 9,
+            connections_open: 4,
+            requests_total: 120,
+            segment_requests: 100,
+            pixels_total: 1_920_000,
+            mpix_per_sec: 153.6,
+            protocol_errors: 2,
+            arena_allocations: 6,
+            arena_reuses: 94,
+            arena_pooled: 6,
+            max_inflight: 4,
+            conn_requests: 31,
+            conn_pixels: 480_000,
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_text() {
+        let snapshot = sample();
+        let parsed = StatsSnapshot::from_text(&snapshot.to_text()).unwrap();
+        assert_eq!(parsed, snapshot);
+        // The plan value itself contains '=' characters; first-'=' splitting
+        // must preserve it verbatim.
+        assert!(parsed.plan.contains("backend=threads:4"));
+    }
+
+    #[test]
+    fn unknown_keys_are_ignored_and_missing_plan_is_an_error() {
+        let mut text = sample().to_text();
+        text.push_str("future_field=42\n");
+        assert_eq!(StatsSnapshot::from_text(&text).unwrap(), sample());
+        assert!(StatsSnapshot::from_text("requests_total=1\n").is_err());
+        assert!(StatsSnapshot::from_text("requests_total\n").is_err());
+        assert!(StatsSnapshot::from_text("plan=x\nrequests_total=abc\n").is_err());
+    }
+
+    #[test]
+    fn live_counters_accumulate() {
+        let stats = ServerStats::new();
+        stats.connection_opened();
+        stats.connection_opened();
+        stats.connection_closed();
+        stats.request();
+        stats.request();
+        stats.segmented(1000);
+        stats.protocol_error();
+        assert_eq!(stats.connections_total(), 2);
+        assert_eq!(stats.connections_open(), 1);
+        assert_eq!(stats.requests_total(), 2);
+        assert_eq!(stats.segment_requests(), 1);
+        assert_eq!(stats.pixels_total(), 1000);
+        assert_eq!(stats.protocol_errors(), 1);
+    }
+}

@@ -1,0 +1,86 @@
+//! Run the segmentation service end to end in one process: boot an
+//! `iqft-serve` daemon on an ephemeral loopback port, segment a synthetic
+//! scene over the wire, compare against a local pass, read the server's
+//! statistics, and drain it.
+//!
+//! ```text
+//! cargo run --release --example segmentation_service
+//! ```
+//!
+//! For a real deployment shape (daemon in one process, traffic from
+//! another), use the CLI instead:
+//!
+//! ```text
+//! iqft-experiments serve   --addr 127.0.0.1:7870 --classifier table --tile 48x48
+//! iqft-experiments loadgen --addr 127.0.0.1:7870 --clients 4 --images 32 --shutdown
+//! ```
+
+use datasets::{PascalVocLikeConfig, PascalVocLikeDataset};
+use imaging::Segmenter;
+use iqft_seg::IqftRgbSegmenter;
+use iqft_serve::{Client, Server, ServerConfig};
+use seg_engine::{SegmentPlan, Tiling};
+
+fn main() {
+    // 1. Boot the daemon: one warm pipeline (phase-table classifier, tiled
+    //    fan-out) behind a TCP listener on an ephemeral port.
+    let plan = SegmentPlan::default().with_tiling(Tiling::Tiles {
+        width: 48,
+        height: 48,
+    });
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            plan,
+            max_inflight: 2,
+        },
+    )
+    .expect("bind loopback");
+    println!(
+        "serving on {} with [{}]",
+        server.local_addr(),
+        plan.describe()
+    );
+
+    // 2. Get an image (one synthetic PASCAL-VOC-like scene).
+    let sample = PascalVocLikeDataset::new(PascalVocLikeConfig {
+        len: 1,
+        width: 160,
+        height: 120,
+        seed: 7,
+        ..PascalVocLikeConfig::default()
+    })
+    .sample(0);
+
+    // 3. Segment it over the wire.
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    client.ping().expect("ping");
+    let remote = client
+        .segment(&sample.image)
+        .expect("segment over the wire");
+
+    // 4. The reply is byte-identical to a local in-process pass.
+    let local = IqftRgbSegmenter::paper_default().segment_rgb(&sample.image);
+    assert_eq!(remote, local, "wire output must match the local pass");
+    println!(
+        "segmented {}x{} over the wire; byte-identical to the local pass",
+        sample.image.width(),
+        sample.image.height()
+    );
+
+    // 5. Ask the server how it is doing.
+    let stats = client.stats().expect("stats");
+    println!(
+        "server stats: {} requests ({} segment), {:.3} Mpx, arena {} reuses / {} allocations",
+        stats.requests_total,
+        stats.segment_requests,
+        stats.pixels_total as f64 / 1e6,
+        stats.arena_reuses,
+        stats.arena_allocations,
+    );
+
+    // 6. Drain and stop.
+    client.shutdown().expect("shutdown");
+    server.join();
+    println!("server drained and stopped");
+}

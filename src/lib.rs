@@ -11,7 +11,13 @@
 //! * [`baselines`] — K-means and Otsu baselines;
 //! * [`metrics`] — foreground/background mIOU and friends;
 //! * [`datasets`] — synthetic VOC-like / xVIEW2-like / balls datasets;
-//! * [`xpar`] — the parallel execution substrate.
+//! * [`xpar`] — the parallel execution substrate;
+//! * [`seg_engine`] — the backend-aware engine and the `SegmentPlan`
+//!   strategy dispatch layer;
+//! * [`iqft_pipeline`] — the batched throughput pipeline (bounded queue,
+//!   label arena, per-request entry point);
+//! * [`iqft_serve`] — the TCP segmentation service (wire protocol, server,
+//!   client).
 //!
 //! See the `examples/` directory for runnable entry points, the
 //! `iqft-experiments` binary (in `crates/experiments`) for the full
@@ -35,9 +41,12 @@
 pub use baselines;
 pub use datasets;
 pub use imaging;
+pub use iqft_pipeline;
 pub use iqft_seg;
+pub use iqft_serve;
 pub use metrics;
 pub use quantum;
+pub use seg_engine;
 pub use xpar;
 
 /// The θ configuration used in the paper's headline Table III comparison.

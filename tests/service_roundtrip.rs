@@ -1,0 +1,193 @@
+//! Loopback integration tests for the `iqft-serve` daemon.
+//!
+//! The acceptance bar for the serving layer: output through the wire is
+//! **byte-identical** to a direct `SegmentEngine::segment_rgb` pass for
+//! every classifier kind, under concurrent clients, and graceful shutdown
+//! drains in-flight requests — a request whose bytes reached the server is
+//! always answered.
+
+use imaging::{LabelMap, Rgb, RgbImage};
+use iqft_seg::IqftClassifier;
+use iqft_serve::{protocol, Client, Message, Server, ServerConfig};
+use seg_engine::{ClassifierKind, SegmentEngine, SegmentPlan, Tiling};
+use std::io::Write as _;
+use std::net::TcpStream;
+
+fn test_images(count: usize) -> Vec<RgbImage> {
+    (0..count)
+        .map(|i| {
+            RgbImage::from_fn(41 + i % 7, 29 + i % 5, move |x, y| {
+                Rgb::new(
+                    (x * 13 + i * 31) as u8,
+                    (y * 17 + i * 7) as u8,
+                    ((x + y) * 11) as u8,
+                )
+            })
+        })
+        .collect()
+}
+
+fn reference_labels(images: &[RgbImage]) -> Vec<LabelMap> {
+    let exact = IqftClassifier::paper_default(ClassifierKind::Exact);
+    images
+        .iter()
+        .map(|img| SegmentEngine::serial().segment_rgb(&exact, img))
+        .collect()
+}
+
+/// Concurrent clients × {exact, lut, table}: every reply must match the
+/// direct engine pass byte for byte, whole-image and tiled.
+#[test]
+fn concurrent_clients_get_byte_identical_labels_for_every_classifier() {
+    let images = test_images(12);
+    let reference = reference_labels(&images);
+    for kind in ClassifierKind::ALL {
+        for tiling in [
+            Tiling::Whole,
+            Tiling::Tiles {
+                width: 16,
+                height: 16,
+            },
+        ] {
+            let plan = SegmentPlan::default()
+                .with_classifier(kind)
+                .with_tiling(tiling);
+            let server = Server::bind(
+                "127.0.0.1:0",
+                ServerConfig {
+                    plan,
+                    max_inflight: 2,
+                },
+            )
+            .expect("ephemeral bind");
+            let addr = server.local_addr();
+
+            let clients = 3usize;
+            std::thread::scope(|scope| {
+                for client_idx in 0..clients {
+                    let images = &images;
+                    let reference = &reference;
+                    scope.spawn(move || {
+                        let mut client = Client::connect(addr).expect("connect");
+                        client.ping().expect("ping");
+                        for (idx, img) in images.iter().enumerate() {
+                            if idx % clients != client_idx {
+                                continue;
+                            }
+                            let labels = client.segment(img).expect("segment");
+                            assert_eq!(
+                                labels, reference[idx],
+                                "image {idx} via {kind} tile={tiling}"
+                            );
+                        }
+                    });
+                }
+            });
+
+            let mut probe = Client::connect(addr).expect("probe connect");
+            let stats = probe.stats().expect("stats");
+            assert_eq!(stats.segment_requests, images.len(), "{kind} {tiling}");
+            assert_eq!(
+                stats.pixels_total,
+                images.iter().map(|i| i.len() as u64).sum::<u64>()
+            );
+            assert_eq!(stats.plan, plan.to_spec());
+            assert_eq!(SegmentPlan::from_spec(&stats.plan).unwrap(), plan);
+            probe.shutdown().expect("shutdown ack");
+            server.join();
+        }
+    }
+}
+
+/// Graceful shutdown must answer requests whose bytes were already on the
+/// wire: N connections each write a Segment frame *without reading*, then a
+/// separate connection sends Shutdown, and only afterwards do the clients
+/// read — every reply must still arrive, byte-identical.
+#[test]
+fn shutdown_drains_in_flight_requests_without_losing_replies() {
+    let images = test_images(4);
+    let reference = reference_labels(&images);
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            plan: SegmentPlan::default(),
+            max_inflight: 1, // serialise execution to keep requests queued longer
+        },
+    )
+    .expect("ephemeral bind");
+    let addr = server.local_addr();
+
+    // Write one frame per connection, do not read yet.
+    let mut streams: Vec<TcpStream> = Vec::new();
+    for (idx, img) in images.iter().enumerate() {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        let frame = protocol::encode_message(idx as u64, &Message::Segment { image: img.clone() })
+            .expect("encode");
+        stream.write_all(&frame).expect("write frame");
+        stream.flush().expect("flush");
+        streams.push(stream);
+    }
+
+    // Shut the server down while those requests are in flight.
+    let mut ctl = Client::connect(addr).expect("ctl connect");
+    ctl.shutdown().expect("shutdown ack");
+
+    // Every already-sent request still gets its reply before the drain ends.
+    for (idx, mut stream) in streams.into_iter().enumerate() {
+        let (id, reply) = protocol::read_message(&mut stream).expect("reply arrives");
+        assert_eq!(id, idx as u64);
+        match reply {
+            Message::SegmentReply { labels } => {
+                assert_eq!(labels, reference[idx], "in-flight image {idx}")
+            }
+            other => panic!("expected SegmentReply for image {idx}, got {other:?}"),
+        }
+    }
+    server.join();
+
+    // The drained server is really gone: fresh traffic fails.
+    let refused = match Client::connect(addr) {
+        Err(_) => true,
+        Ok(mut client) => client.ping().is_err(),
+    };
+    assert!(refused, "server accepted traffic after draining");
+}
+
+/// `segment` on an empty (0×0) image round-trips; malformed dimensions are
+/// answered with a protocol error frame, not a dead connection.
+#[test]
+fn degenerate_and_malformed_requests_are_handled_cleanly() {
+    let server = Server::bind("127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let addr = server.local_addr();
+
+    let empty = RgbImage::from_fn(0, 0, |_, _| Rgb::new(0, 0, 0));
+    let mut client = Client::connect(addr).expect("connect");
+    let labels = client.segment(&empty).expect("empty segment");
+    assert_eq!(labels.len(), 0);
+
+    // A Segment frame whose payload length disagrees with its dimensions.
+    let mut stream = TcpStream::connect(addr).expect("connect raw");
+    let mut frame = protocol::encode_message(
+        9,
+        &Message::Segment {
+            image: RgbImage::from_fn(4, 4, |_, _| Rgb::new(1, 2, 3)),
+        },
+    )
+    .expect("encode");
+    // Corrupt the declared width (payload starts after the 20-byte header).
+    frame[protocol::HEADER_LEN..protocol::HEADER_LEN + 4].copy_from_slice(&100u32.to_le_bytes());
+    stream.write_all(&frame).expect("write");
+    let (id, reply) = protocol::read_message(&mut stream).expect("error reply");
+    assert_eq!(id, 9);
+    assert!(
+        matches!(reply, Message::Error { ref message } if message.contains("payload")),
+        "{reply:?}"
+    );
+
+    // The server survived the malformed frame.
+    client.ping().expect("still alive");
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.protocol_errors, 1);
+    client.shutdown().expect("shutdown");
+    server.join();
+}
