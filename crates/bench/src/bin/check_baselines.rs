@@ -200,13 +200,46 @@ fn check_record(record: &BTreeMap<String, Value>) -> Result<(), String> {
     Ok(())
 }
 
+/// Extracts a record's `elems_per_sec` when its `bench` id contains
+/// `needle`.
+fn rate_of(records: &[BTreeMap<String, Value>], needle: &str) -> Option<f64> {
+    records.iter().find_map(
+        |record| match (record.get("bench"), record.get("elems_per_sec")) {
+            (Some(Value::String(bench)), Some(Value::Number(rate))) if bench.contains(needle) => {
+                Some(*rate)
+            }
+            _ => None,
+        },
+    )
+}
+
+/// File-specific semantic checks on top of the generic schema: the cache
+/// baseline must demonstrate the cache's reason to exist — the hit path
+/// beating the uncached phase-table classifier on repeated traffic.
+fn check_file_semantics(path: &Path, records: &[BTreeMap<String, Value>]) -> Result<(), String> {
+    let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+    if name == "BENCH_cache.json" {
+        let hit = rate_of(records, "hit_path")
+            .ok_or("missing a 'hit_path' record with a throughput pair")?;
+        let table = rate_of(records, "table_no_cache")
+            .ok_or("missing a 'table_no_cache' record with a throughput pair")?;
+        if hit <= table {
+            return Err(format!(
+                "cache hit path ({hit:.0} elem/s) does not beat the uncached \
+                 phase-table classifier ({table:.0} elem/s)"
+            ));
+        }
+    }
+    Ok(())
+}
+
 fn check_file(path: &Path) -> Result<usize, Vec<String>> {
     let content = match std::fs::read_to_string(path) {
         Ok(content) => content,
         Err(e) => return Err(vec![format!("{}: unreadable: {e}", path.display())]),
     };
     let mut problems = Vec::new();
-    let mut records = 0usize;
+    let mut records = Vec::new();
     for (lineno, line) in content.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
@@ -214,17 +247,20 @@ fn check_file(path: &Path) -> Result<usize, Vec<String>> {
         let located = |err: String| format!("{}:{}: {err}", path.display(), lineno + 1);
         match parse_flat_object(line) {
             Ok(record) => match check_record(&record) {
-                Ok(()) => records += 1,
+                Ok(()) => records.push(record),
                 Err(err) => problems.push(located(err)),
             },
             Err(err) => problems.push(located(err)),
         }
     }
-    if records == 0 && problems.is_empty() {
+    if records.is_empty() && problems.is_empty() {
         problems.push(format!("{}: no baseline records", path.display()));
     }
+    if let Err(err) = check_file_semantics(path, &records) {
+        problems.push(format!("{}: {err}", path.display()));
+    }
     if problems.is_empty() {
-        Ok(records)
+        Ok(records.len())
     } else {
         Err(problems)
     }
@@ -321,6 +357,35 @@ mod tests {
         )
         .unwrap();
         assert!(check_record(&record).unwrap_err().contains("together"));
+    }
+
+    #[test]
+    fn cache_baseline_semantics_require_the_hit_path_to_win() {
+        let record = |bench: &str, rate: f64| {
+            parse_flat_object(&format!(
+                r#"{{"group":"ablation_cache","bench":"{bench}","mean_ns":1000.0,"min_ns":900.0,"iters":10,"throughput_elems":1000,"elems_per_sec":{rate}}}"#
+            ))
+            .unwrap()
+        };
+        let path = Path::new("BENCH_cache.json");
+        let good = vec![
+            record("repeat32_96px/hit_path", 1e9),
+            record("repeat32_96px/table_no_cache", 1e8),
+        ];
+        assert!(check_file_semantics(path, &good).is_ok());
+        let losing = vec![
+            record("repeat32_96px/hit_path", 1e8),
+            record("repeat32_96px/table_no_cache", 1e9),
+        ];
+        assert!(check_file_semantics(path, &losing)
+            .unwrap_err()
+            .contains("does not beat"));
+        let incomplete = vec![record("repeat32_96px/hit_path", 1e9)];
+        assert!(check_file_semantics(path, &incomplete)
+            .unwrap_err()
+            .contains("table_no_cache"));
+        // Other baseline files carry no cache-specific requirements.
+        assert!(check_file_semantics(Path::new("BENCH_throughput.json"), &incomplete).is_ok());
     }
 
     #[test]

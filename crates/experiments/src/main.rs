@@ -18,17 +18,27 @@
 //!   fig9    [--out DIR]        qualitative wins (xVIEW2-like)
 //!   fig10                      per-image θ adjustment
 //!   throughput [--images N] [--batch B] [--size S] [--seed S]
-//!              [--classifier exact|lut|table] [--tile WxH] [--no-verify]
+//!              [--classifier exact|lut|table] [--tile WxH] [--cache-mb M]
+//!              [--no-verify]
 //!                              batched pipeline service workload
 //!                              (--tile splits images into tile jobs;
-//!                              default off = whole-image jobs)
+//!                              --cache-mb attaches the result cache and
+//!                              runs the per-request serving path)
 //!   serve   [--addr A] [--classifier C] [--tile T] [--workers W]
+//!           [--cache-mb M] [--addr-file PATH]
 //!                              boot the iqft-serve TCP daemon and block
-//!                              until a client sends Shutdown
+//!                              until a client sends Shutdown; --addr-file
+//!                              records the bound (possibly ephemeral) port
 //!   loadgen [--addr A] [--clients C] [--images N] [--size S] [--seed S]
+//!           [--repeat-ratio R] [--pipeline K] [--expect-cache-hits]
 //!           [--no-verify] [--shutdown]
 //!                              drive concurrent clients against a running
-//!                              daemon (byte-identity verified by default)
+//!                              daemon (byte-identity verified by default;
+//!                              --repeat-ratio generates Zipf-ish repeated
+//!                              traffic, --pipeline keeps K requests in
+//!                              flight per connection)
+//!   ping    [--addr A] [--retries N]
+//!                              readiness probe with bounded retries
 //!   all     [--out DIR]        everything above with reduced sizes
 //!
 //! Global options:
@@ -67,6 +77,12 @@ struct Args {
     clients: usize,
     workers: usize,
     shutdown: bool,
+    cache_mb: usize,
+    repeat_ratio: f64,
+    pipeline: usize,
+    expect_cache_hits: bool,
+    addr_file: Option<PathBuf>,
+    retries: usize,
 }
 
 fn parse_args() -> Args {
@@ -89,6 +105,12 @@ fn parse_args() -> Args {
         clients: 4,
         workers: 0,
         shutdown: false,
+        cache_mb: 0,
+        repeat_ratio: 0.0,
+        pipeline: 1,
+        expect_cache_hits: false,
+        addr_file: None,
+        retries: 40,
     };
     let mut iter = std::env::args().skip(1);
     if let Some(cmd) = iter.next() {
@@ -114,6 +136,12 @@ fn parse_args() -> Args {
             "--clients" => args.clients = value().parse().unwrap_or(args.clients),
             "--workers" => args.workers = value().parse().unwrap_or(args.workers),
             "--shutdown" => args.shutdown = true,
+            "--cache-mb" => args.cache_mb = value().parse().unwrap_or(args.cache_mb),
+            "--repeat-ratio" => args.repeat_ratio = value().parse().unwrap_or(args.repeat_ratio),
+            "--pipeline" => args.pipeline = value().parse().unwrap_or(args.pipeline),
+            "--expect-cache-hits" => args.expect_cache_hits = true,
+            "--addr-file" => args.addr_file = Some(PathBuf::from(value())),
+            "--retries" => args.retries = value().parse().unwrap_or(args.retries),
             other => eprintln!("ignoring unknown flag {other}"),
         }
     }
@@ -163,6 +191,8 @@ fn main() {
                 backend: args.backend.clone(),
                 threads: args.threads,
                 workers: args.workers,
+                cache_mb: args.cache_mb,
+                addr_file: args.addr_file.clone(),
             };
             match service::serve_command(&config) {
                 Ok(summary) => summary,
@@ -181,6 +211,9 @@ fn main() {
                 seed: args.seed,
                 verify: args.verify,
                 shutdown: args.shutdown,
+                repeat_ratio: args.repeat_ratio,
+                pipeline_depth: args.pipeline,
+                expect_cache_hits: args.expect_cache_hits,
                 ..LoadgenConfig::default()
             };
             match service::loadgen_report(&config) {
@@ -191,6 +224,13 @@ fn main() {
                 }
             }
         }
+        "ping" => match service::ping_command(&args.addr, args.retries, 250) {
+            Ok(report) => report,
+            Err(message) => {
+                eprintln!("{message}");
+                std::process::exit(1);
+            }
+        },
         "throughput" => throughput::throughput_report(
             &engine,
             &ThroughputConfig {
@@ -200,6 +240,7 @@ fn main() {
                 seed: args.seed,
                 classifier: args.classifier.clone(),
                 tile: args.tile.clone(),
+                cache_mb: args.cache_mb,
                 verify: args.verify,
             },
         ),
@@ -228,6 +269,12 @@ fn main() {
                 clients: args.clients,
                 workers: args.workers,
                 shutdown: args.shutdown,
+                cache_mb: args.cache_mb,
+                repeat_ratio: args.repeat_ratio,
+                pipeline: args.pipeline,
+                expect_cache_hits: args.expect_cache_hits,
+                addr_file: args.addr_file.clone(),
+                retries: args.retries,
             };
             all.push_str(&run_table3(&quick, &engine));
             all.push('\n');
@@ -256,6 +303,7 @@ fn main() {
                     seed: args.seed,
                     classifier: args.classifier.clone(),
                     tile: args.tile.clone(),
+                    cache_mb: 0,
                     verify: args.verify,
                 },
             ));
@@ -277,15 +325,33 @@ fn main() {
                         seed: args.seed,
                         classifier: args.classifier.clone(),
                         tile: "48x48".to_string(),
+                        cache_mb: 0,
                         verify: args.verify,
                     },
                 ));
             }
+            // ... and the cached per-request serving path (byte-identity
+            // verified the same way), even when the user did not pass
+            // --cache-mb.
+            all.push('\n');
+            all.push_str(&throughput::throughput_report(
+                &engine,
+                &ThroughputConfig {
+                    images: args.images.min(16),
+                    batch: args.batch.min(8),
+                    image_size: args.size.min(96),
+                    seed: args.seed,
+                    classifier: args.classifier.clone(),
+                    tile: args.tile.clone(),
+                    cache_mb: if args.cache_mb > 0 { args.cache_mb } else { 32 },
+                    verify: args.verify,
+                },
+            ));
             all
         }
         "" | "help" | "--help" | "-h" => {
             eprintln!(
-                "usage: iqft-experiments <table1|table2|table3|fig1-3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|throughput|serve|loadgen|all> [--out DIR] [--samples N] [--voc N] [--xview N] [--size S] [--seed S] [--backend serial|threads|rayon] [--threads N] [--images N] [--batch B] [--classifier exact|lut|table] [--tile WxH] [--no-verify] [--addr A] [--clients C] [--workers W] [--shutdown]"
+                "usage: iqft-experiments <table1|table2|table3|fig1-3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|throughput|serve|loadgen|ping|all> [--out DIR] [--samples N] [--voc N] [--xview N] [--size S] [--seed S] [--backend serial|threads|rayon] [--threads N] [--images N] [--batch B] [--classifier exact|lut|table] [--tile WxH] [--cache-mb M] [--no-verify] [--addr A] [--addr-file PATH] [--clients C] [--workers W] [--repeat-ratio R] [--pipeline K] [--expect-cache-hits] [--retries N] [--shutdown]"
             );
             return;
         }

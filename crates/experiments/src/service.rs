@@ -12,10 +12,12 @@
 
 use crate::throughput::{throughput_images, ThroughputConfig};
 use imaging::{LabelMap, Segmenter};
+use iqft_pipeline::CacheConfig;
 use iqft_seg::IqftRgbSegmenter;
-use iqft_serve::{Client, Server, ServerConfig};
+use iqft_serve::{protocol, Client, Server, ServerConfig};
 use seg_engine::{SegmentEngine, SegmentPlan};
 use std::fmt::Write as _;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 /// Configuration of the `serve` subcommand (mirrors its CLI flags).
@@ -34,6 +36,13 @@ pub struct ServeCliConfig {
     /// Cap on concurrently-executing segment requests (`--workers`,
     /// 0 = the plan's effective thread count).
     pub workers: usize,
+    /// Byte budget of the content-addressed result cache in MiB
+    /// (`--cache-mb`, 0 = caching disabled).
+    pub cache_mb: usize,
+    /// When set, the bound address is written to this file once the server
+    /// is listening (`--addr-file`) — with `--addr 127.0.0.1:0` this is how
+    /// a supervising script learns the ephemeral port.
+    pub addr_file: Option<PathBuf>,
 }
 
 impl Default for ServeCliConfig {
@@ -45,6 +54,8 @@ impl Default for ServeCliConfig {
             backend: "threads".to_string(),
             threads: 0,
             workers: 0,
+            cache_mb: 0,
+            addr_file: None,
         }
     }
 }
@@ -66,19 +77,56 @@ pub fn serve_command(config: &ServeCliConfig) -> Result<String, String> {
         ServerConfig {
             plan,
             max_inflight: config.workers,
+            cache: CacheConfig::with_capacity_mb(config.cache_mb),
         },
     )
     .map_err(|e| format!("failed to bind {}: {e}", config.addr))?;
+    if let Some(path) = &config.addr_file {
+        // Written only after the bind succeeded, so a supervising script can
+        // treat the file's existence as "the port is known and listening".
+        std::fs::write(path, server.local_addr().to_string())
+            .map_err(|e| format!("failed to write {}: {e}", path.display()))?;
+    }
     println!(
-        "iqft-serve listening on {} ({}; max_inflight={})",
+        "iqft-serve listening on {} ({}; max_inflight={}; cache={})",
         server.local_addr(),
         plan.describe(),
         server.max_inflight(),
+        if config.cache_mb > 0 {
+            format!("{}MiB", config.cache_mb)
+        } else {
+            "off".to_string()
+        },
     );
     let (total, pixels) = server.join_with_counters();
     Ok(format!(
         "iqft-serve drained and stopped after {total} requests ({:.3} Mpx segmented)",
         pixels as f64 / 1e6
+    ))
+}
+
+/// The `ping` subcommand: probes a server with bounded retries — the
+/// readiness check a supervising script (the CI smoke job) runs between
+/// booting the daemon and launching traffic at it.
+pub fn ping_command(addr: &str, retries: usize, interval_ms: u64) -> Result<String, String> {
+    let attempts = retries.max(1);
+    let mut last = String::from("never attempted");
+    for attempt in 1..=attempts {
+        match Client::connect(addr) {
+            Ok(mut client) => match client.ping() {
+                Ok(()) => {
+                    return Ok(format!("pong from {addr} (attempt {attempt}/{attempts})"));
+                }
+                Err(e) => last = e.to_string(),
+            },
+            Err(e) => last = e.to_string(),
+        }
+        if attempt < attempts {
+            std::thread::sleep(Duration::from_millis(interval_ms));
+        }
+    }
+    Err(format!(
+        "no pong from {addr} after {attempts} attempts: {last}"
     ))
 }
 
@@ -101,6 +149,17 @@ pub struct LoadgenConfig {
     /// Send a Shutdown frame once traffic (and stats) are done
     /// (`--shutdown`).
     pub shutdown: bool,
+    /// Fraction of requests that repeat an earlier image
+    /// (`--repeat-ratio`, 0.0–1.0) — Zipf-ish, head-biased repeated
+    /// traffic, the shape a warm result cache is built for.
+    pub repeat_ratio: f64,
+    /// Requests each client keeps in flight on its connection
+    /// (`--pipeline`, clamped to `1..=MAX_PIPELINE_DEPTH`).
+    pub pipeline_depth: usize,
+    /// Fail loudly unless the server's final stats snapshot reports at
+    /// least one cache hit (`--expect-cache-hits`) — the CI cache leg's
+    /// assertion.
+    pub expect_cache_hits: bool,
     /// How long the initial connection keeps retrying (milliseconds), so
     /// loadgen can be launched concurrently with a booting server.  No CLI
     /// flag; tests shrink it.
@@ -117,6 +176,9 @@ impl Default for LoadgenConfig {
             seed: 42,
             verify: true,
             shutdown: false,
+            repeat_ratio: 0.0,
+            pipeline_depth: 1,
+            expect_cache_hits: false,
             connect_deadline_ms: 15_000,
         }
     }
@@ -147,7 +209,45 @@ struct ClientOutcome {
     requests: usize,
     pixels: u64,
     mismatches: usize,
+    cache_hits: usize,
     elapsed_secs: f64,
+}
+
+/// Deterministic xorshift64* generator for the traffic shape (no external
+/// RNG on this path; the dataset generator owns its own seeding).
+struct TrafficRng(u64);
+
+impl TrafficRng {
+    fn new(seed: u64) -> Self {
+        Self(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+    }
+
+    fn next_unit(&mut self) -> f64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        (self.0.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// The request sequence for a loadgen run: request `i` either introduces
+/// image `i` or — with probability `repeat_ratio` — repeats the image of an
+/// earlier request, biased quadratically toward the head of the sequence
+/// (Zipf-ish popularity: a few images soak up most of the repeats).
+/// Deterministic in `seed`.
+fn request_sequence(n: usize, repeat_ratio: f64, seed: u64) -> Vec<usize> {
+    let mut rng = TrafficRng::new(seed);
+    let mut seq: Vec<usize> = Vec::with_capacity(n);
+    for i in 0..n {
+        if i > 0 && rng.next_unit() < repeat_ratio {
+            let u = rng.next_unit();
+            let j = ((u * u) * i as f64) as usize;
+            seq.push(seq[j.min(i - 1)]);
+        } else {
+            seq.push(i);
+        }
+    }
+    seq
 }
 
 /// Drives the configured traffic and renders the report.
@@ -158,15 +258,21 @@ struct ClientOutcome {
 /// fails loudly.
 pub fn loadgen_report(config: &LoadgenConfig) -> Result<String, String> {
     let clients = config.clients.max(1);
+    let depth = config.pipeline_depth.clamp(1, protocol::MAX_PIPELINE_DEPTH);
     let images = throughput_images(&ThroughputConfig {
         images: config.images,
         image_size: config.image_size,
         seed: config.seed,
         ..ThroughputConfig::default()
     });
+    // Which image each request carries: with --repeat-ratio this is
+    // Zipf-ish repeated traffic, the shape the server's result cache is
+    // built for; at 0.0 every request is a distinct image.
+    let sequence = request_sequence(config.images, config.repeat_ratio, config.seed);
     // The reference pass runs locally on the serial engine: whatever
-    // classifier/tiling/backend the *server* was booted with, its replies
-    // must be byte-identical to this by construction.
+    // classifier/tiling/backend the *server* was booted with, its replies —
+    // cache hits and misses alike — must be byte-identical to this by
+    // construction.
     let reference: Vec<LabelMap> = if config.verify {
         let serial = IqftRgbSegmenter::paper_default().with_engine(SegmentEngine::serial());
         images.iter().map(|img| serial.segment_rgb(img)).collect()
@@ -184,27 +290,35 @@ pub fn loadgen_report(config: &LoadgenConfig) -> Result<String, String> {
             .map(|client_idx| {
                 let images = &images;
                 let reference = &reference;
+                let sequence = &sequence;
                 let addr = config.addr.as_str();
                 let verify = config.verify;
                 scope.spawn(move || -> Result<ClientOutcome, String> {
                     let mut client = Client::connect(addr)
                         .map_err(|e| format!("client {client_idx}: connect failed: {e}"))?;
-                    let mut outcome = ClientOutcome::default();
+                    // This client's share of the request sequence, pipelined
+                    // over one connection with up to `depth` in flight.
+                    let mine: Vec<usize> = (0..sequence.len())
+                        .filter(|idx| idx % clients == client_idx)
+                        .collect();
+                    let refs: Vec<&imaging::RgbImage> =
+                        mine.iter().map(|&idx| &images[sequence[idx]]).collect();
                     let started = Instant::now();
-                    for (idx, img) in images.iter().enumerate() {
-                        if idx % clients != client_idx {
-                            continue;
-                        }
-                        let labels = client.segment(img).map_err(|e| {
-                            format!("client {client_idx}: segment of image {idx} failed: {e}")
-                        })?;
+                    let replies = client.segment_pipelined(&refs, depth, true).map_err(|e| {
+                        format!("client {client_idx}: pipelined segment failed: {e}")
+                    })?;
+                    let mut outcome = ClientOutcome {
+                        elapsed_secs: started.elapsed().as_secs_f64(),
+                        ..ClientOutcome::default()
+                    };
+                    for (&idx, (labels, cached)) in mine.iter().zip(&replies) {
                         outcome.requests += 1;
                         outcome.pixels += labels.len() as u64;
-                        if verify && labels != reference[idx] {
+                        outcome.cache_hits += usize::from(*cached);
+                        if verify && labels != &reference[sequence[idx]] {
                             outcome.mismatches += 1;
                         }
                     }
-                    outcome.elapsed_secs = started.elapsed().as_secs_f64();
                     Ok(outcome)
                 })
             })
@@ -216,14 +330,23 @@ pub fn loadgen_report(config: &LoadgenConfig) -> Result<String, String> {
     });
     let wall_secs = started.elapsed().as_secs_f64();
 
+    let unique_images = {
+        let mut seen = sequence.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        seen.len()
+    };
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "Loadgen: {} images ({}x{}) across {} clients against {}",
+        "Loadgen: {} requests over {} unique images ({}x{}) across {} clients \
+         (pipeline depth {}) against {}",
         config.images,
+        unique_images,
         config.image_size,
         config.image_size * 3 / 4,
         clients,
+        depth,
         config.addr,
     );
     let mut total = ClientOutcome::default();
@@ -231,8 +354,10 @@ pub fn loadgen_report(config: &LoadgenConfig) -> Result<String, String> {
         let outcome = outcome.as_ref().map_err(|e| e.clone())?;
         let _ = writeln!(
             out,
-            "  client {idx}: {:>4} requests  {:>8.3} Mpx  {:>8.2} ms  {:>7.2} Mpx/s",
+            "  client {idx}: {:>4} requests  {:>4} cache hits  {:>8.3} Mpx  {:>8.2} ms  \
+             {:>7.2} Mpx/s",
             outcome.requests,
+            outcome.cache_hits,
             outcome.pixels as f64 / 1e6,
             outcome.elapsed_secs * 1e3,
             outcome.pixels as f64 / 1e6 / outcome.elapsed_secs.max(1e-9),
@@ -240,11 +365,13 @@ pub fn loadgen_report(config: &LoadgenConfig) -> Result<String, String> {
         total.requests += outcome.requests;
         total.pixels += outcome.pixels;
         total.mismatches += outcome.mismatches;
+        total.cache_hits += outcome.cache_hits;
     }
     let _ = writeln!(
         out,
-        "  total: {} requests, {:.3} Mpx in {:.2} ms -> {:.2} Mpx/s over the wire",
+        "  total: {} requests ({} cache hits), {:.3} Mpx in {:.2} ms -> {:.2} Mpx/s over the wire",
         total.requests,
+        total.cache_hits,
         total.pixels as f64 / 1e6,
         wall_secs * 1e3,
         total.pixels as f64 / 1e6 / wall_secs.max(1e-9),
@@ -258,7 +385,8 @@ pub fn loadgen_report(config: &LoadgenConfig) -> Result<String, String> {
         }
         let _ = writeln!(
             out,
-            "  verify: all {} replies byte-identical to the local serial reference",
+            "  verify: all {} replies (hits and misses alike) byte-identical to the local \
+             serial reference",
             total.requests
         );
     }
@@ -287,6 +415,32 @@ pub fn loadgen_report(config: &LoadgenConfig) -> Result<String, String> {
         stats.max_inflight,
         stats.protocol_errors,
     );
+    if stats.cache_capacity_bytes > 0 {
+        let _ = writeln!(
+            out,
+            "  server cache: {} hits, {} misses, {} evictions; {} entries, \
+             {:.1}/{:.0} MiB used",
+            stats.cache_hits,
+            stats.cache_misses,
+            stats.cache_evictions,
+            stats.cache_entries,
+            stats.cache_bytes as f64 / (1 << 20) as f64,
+            stats.cache_capacity_bytes as f64 / (1 << 20) as f64,
+        );
+    } else {
+        let _ = writeln!(out, "  server cache: off");
+    }
+    if config.expect_cache_hits && stats.cache_hits == 0 {
+        return Err(format!(
+            "expected cache hits, but the server reports none (cache {}; {} misses)",
+            if stats.cache_capacity_bytes > 0 {
+                "enabled"
+            } else {
+                "DISABLED"
+            },
+            stats.cache_misses,
+        ));
+    }
 
     if config.shutdown {
         probe
@@ -303,11 +457,16 @@ mod tests {
     use seg_engine::{ClassifierKind, Tiling};
 
     fn boot(plan: SegmentPlan) -> Server {
+        boot_with_cache(plan, 0)
+    }
+
+    fn boot_with_cache(plan: SegmentPlan, cache_mb: usize) -> Server {
         Server::bind(
             "127.0.0.1:0",
             ServerConfig {
                 plan,
                 max_inflight: 0,
+                cache: CacheConfig::with_capacity_mb(cache_mb),
             },
         )
         .expect("ephemeral bind")
@@ -323,6 +482,7 @@ mod tests {
             verify: true,
             shutdown: true,
             connect_deadline_ms: 2_000,
+            ..LoadgenConfig::default()
         }
     }
 
@@ -337,14 +497,76 @@ mod tests {
         let server = boot(plan);
         let report = loadgen_report(&small_loadgen(server.local_addr().to_string())).unwrap();
         assert!(
-            report.contains("verify: all 9 replies byte-identical"),
+            report.contains("verify: all 9 replies (hits and misses alike) byte-identical"),
             "{report}"
         );
         assert!(report.contains("client 0"), "{report}");
+        assert!(report.contains("server cache: off"), "{report}");
         assert!(report.contains("shutdown: acknowledged"), "{report}");
         assert!(report.contains(&plan.to_spec()), "{report}");
         // The Shutdown frame drains the server; join must not hang.
         server.join();
+    }
+
+    #[test]
+    fn repeated_traffic_against_a_cached_server_reports_hits() {
+        let server = boot_with_cache(SegmentPlan::default(), 64);
+        let mut config = small_loadgen(server.local_addr().to_string());
+        config.images = 24;
+        config.repeat_ratio = 0.8;
+        config.pipeline_depth = 4;
+        config.expect_cache_hits = true;
+        let report = loadgen_report(&config).unwrap();
+        assert!(report.contains("byte-identical"), "{report}");
+        assert!(report.contains("server cache:"), "{report}");
+        assert!(!report.contains("server cache: off"), "{report}");
+        assert!(!report.contains(" 0 hits"), "{report}");
+        server.join();
+    }
+
+    #[test]
+    fn expect_cache_hits_fails_loudly_against_an_uncached_server() {
+        let server = boot(SegmentPlan::default());
+        let mut config = small_loadgen(server.local_addr().to_string());
+        config.shutdown = false;
+        config.repeat_ratio = 0.8;
+        config.expect_cache_hits = true;
+        let err = loadgen_report(&config).unwrap_err();
+        assert!(err.contains("expected cache hits"), "{err}");
+        assert!(err.contains("DISABLED"), "{err}");
+        server.shutdown_now();
+        server.join();
+    }
+
+    #[test]
+    fn request_sequences_are_deterministic_and_respect_the_ratio() {
+        let seq = request_sequence(64, 0.0, 7);
+        assert_eq!(seq, (0..64).collect::<Vec<_>>(), "no repeats at ratio 0");
+        let seq = request_sequence(200, 0.8, 7);
+        assert_eq!(seq, request_sequence(200, 0.8, 7), "deterministic in seed");
+        assert_ne!(seq, request_sequence(200, 0.8, 8));
+        let repeats = seq.iter().enumerate().filter(|&(i, &img)| img != i).count();
+        // 80% nominal; leave generous slack for the small sample.
+        assert!(
+            (120..=190).contains(&repeats),
+            "expected roughly 160 repeats, got {repeats}"
+        );
+        // Every repeated request replays an image introduced earlier.
+        for (i, &img) in seq.iter().enumerate() {
+            assert!(img <= i);
+        }
+    }
+
+    #[test]
+    fn ping_command_reports_liveness_and_bounded_failure() {
+        let server = boot(SegmentPlan::default());
+        let addr = server.local_addr().to_string();
+        let ok = ping_command(&addr, 5, 10).unwrap();
+        assert!(ok.contains("pong"), "{ok}");
+        server.shutdown_now();
+        server.join();
+        let err = ping_command("127.0.0.1:1", 2, 1).unwrap_err();
+        assert!(err.contains("after 2 attempts"), "{err}");
     }
 
     #[test]

@@ -28,7 +28,7 @@
 
 use datasets::{PascalVocLikeConfig, PascalVocLikeDataset};
 use imaging::{LabelMap, PixelClassifier, RgbImage, Segmenter};
-use iqft_pipeline::{PipelineConfig, PipelineReport, SegmentPipeline};
+use iqft_pipeline::{CacheConfig, PipelineConfig, PipelineReport, SegmentPipeline};
 use iqft_seg::{IqftClassifier, IqftRgbSegmenter};
 use seg_engine::{ClassifierKind, SegmentEngine, SegmentPlan, Tiling};
 use std::fmt::Write as _;
@@ -50,6 +50,11 @@ pub struct ThroughputConfig {
     /// Work decomposition: `off` for whole-image jobs or `WxH` for tile
     /// jobs (`--tile`), parsed by [`Tiling::from_flag`].
     pub tile: String,
+    /// Result-cache budget in MiB (`--cache-mb`, 0 = off).  With a cache
+    /// the stream runs through the per-request path
+    /// ([`SegmentPipeline::run_stream_requests`]) so repeated images are
+    /// answered from the cache, the way a serving deployment sees them.
+    pub cache_mb: usize,
     /// Skip the byte-identity cross-check (`--no-verify`); the default runs it.
     pub verify: bool,
 }
@@ -63,6 +68,7 @@ impl Default for ThroughputConfig {
             seed: 42,
             classifier: ClassifierKind::default().flag().to_string(),
             tile: Tiling::default().flag(),
+            cache_mb: 0,
             verify: true,
         }
     }
@@ -102,19 +108,31 @@ fn run_pipeline<C: PixelClassifier + Sync>(
     images: &[RgbImage],
     batch: usize,
     tiling: Tiling,
+    cache_mb: usize,
+    cache_salt: &str,
 ) -> (Vec<LabelMap>, PipelineReport) {
-    let pipeline = SegmentPipeline::new(*engine, classifier).with_config(PipelineConfig {
-        tiling,
-        ..PipelineConfig::default()
-    });
+    let pipeline = SegmentPipeline::new(*engine, classifier)
+        .with_config(PipelineConfig {
+            tiling,
+            ..PipelineConfig::default()
+        })
+        .with_cache(CacheConfig::with_capacity_mb(cache_mb), cache_salt);
     let mut outputs: Vec<Option<LabelMap>> = Vec::new();
     outputs.resize_with(images.len(), || None);
-    let report = pipeline.run_stream(images, batch, |idx, labels| {
+    let sink = |idx: usize, labels: LabelMap| {
         // Keep a copy for verification, recycle the storage for the next
         // batch.  (A real service would ship `labels` downstream instead.)
         outputs[idx] = Some(labels.clone());
         pipeline.recycle(labels);
-    });
+    };
+    let report = if cache_mb > 0 {
+        // Cached streams run the per-request serving path so repeated
+        // images are answered from the cache.
+        let mut sink = sink;
+        pipeline.run_stream_requests(images, batch, |idx, labels, _hit| sink(idx, labels))
+    } else {
+        pipeline.run_stream(images, batch, sink)
+    };
     let outputs = outputs
         .into_iter()
         .map(|slot| slot.expect("pipeline visited every image"))
@@ -137,6 +155,8 @@ pub fn throughput_run(
         images,
         config.batch,
         plan.tiling(),
+        config.cache_mb,
+        &plan.to_spec(),
     ))
 }
 
@@ -151,7 +171,8 @@ pub fn throughput_report(engine: &SegmentEngine, config: &ThroughputConfig) -> S
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "Throughput: {} images ({}x{}), batch {}, classifier '{}', tile '{}', {} workers",
+        "Throughput: {} images ({}x{}), batch {}, classifier '{}', tile '{}', {} workers, \
+         cache {}",
         config.images,
         config.image_size,
         config.image_size * 3 / 4,
@@ -159,6 +180,11 @@ pub fn throughput_report(engine: &SegmentEngine, config: &ThroughputConfig) -> S
         config.classifier,
         config.tile,
         report.workers,
+        if config.cache_mb > 0 {
+            format!("{}MiB", config.cache_mb)
+        } else {
+            "off".to_string()
+        },
     );
     for b in &report.batches {
         let _ = writeln!(
@@ -188,6 +214,17 @@ pub fn throughput_report(engine: &SegmentEngine, config: &ThroughputConfig) -> S
         "  arena: {} allocations, {} reuses ({} buffers pooled at exit)",
         report.arena_allocations, report.arena_reuses, report.arena_pooled,
     );
+    if config.cache_mb > 0 {
+        let _ = writeln!(
+            out,
+            "  cache: {} hits, {} misses, {} evictions ({} entries, {:.1} MiB at exit)",
+            report.cache_hits,
+            report.cache_misses,
+            report.cache_evictions,
+            report.cache_entries,
+            report.cache_bytes as f64 / (1 << 20) as f64,
+        );
+    }
 
     if config.verify {
         let serial = SegmentEngine::serial();
@@ -227,6 +264,7 @@ mod tests {
             seed: 7,
             classifier: classifier.to_string(),
             tile: "off".to_string(),
+            cache_mb: 0,
             verify: true,
         }
     }
@@ -254,6 +292,32 @@ mod tests {
                 assert_eq!(report.batches.len(), 3);
             }
         }
+    }
+
+    #[test]
+    fn cached_streams_agree_with_serial_reference_and_report_cache_counters() {
+        let engine = SegmentEngine::with_threads(2);
+        let mut config = small_config("table");
+        config.cache_mb = 4;
+        let images = throughput_images(&config);
+        let reference: Vec<LabelMap> = images
+            .iter()
+            .map(|img| {
+                IqftRgbSegmenter::paper_default()
+                    .with_engine(SegmentEngine::serial())
+                    .segment_rgb(img)
+            })
+            .collect();
+        let (labels, report) = throughput_run(&engine, &config, &images).unwrap();
+        assert_eq!(labels, reference);
+        // Distinct images: every request misses and is stored.
+        assert_eq!(report.cache_misses, 6, "{report:?}");
+        assert_eq!(report.cache_hits, 0, "{report:?}");
+        assert_eq!(report.cache_entries, 6, "{report:?}");
+        let rendered = throughput_report(&engine, &config);
+        assert!(rendered.contains("cache 4MiB"), "{rendered}");
+        assert!(rendered.contains("cache:"), "{rendered}");
+        assert!(rendered.contains("byte-identical"), "{rendered}");
     }
 
     #[test]

@@ -1,0 +1,633 @@
+//! A sharded, content-addressed cache of finished segmentations.
+//!
+//! Real segmentation traffic is highly repetitive — the same frames arrive
+//! again and again with the same θ-parameters — yet every request used to pay
+//! the full classification cost.  [`SegmentCache`] keys a finished label
+//! buffer by the *content* of the request (a 128-bit hand-rolled hash over
+//! the pixel bytes, the image dimensions, and a caller-provided salt such as
+//! `SegmentPlan::to_spec()`), so a repeated image is answered with a memcpy
+//! instead of a classification pass.
+//!
+//! Design points:
+//!
+//! * **Sharded locking** — the key space is split across N independent
+//!   mutex-guarded shards, so concurrent connections rarely contend on the
+//!   same lock.
+//! * **Byte-budget LRU eviction** — every shard owns an equal slice of the
+//!   configured byte budget and evicts its least-recently-used entries when
+//!   an insert would overflow it.  An entry larger than a whole shard's
+//!   budget is never stored (it would evict everything for one request).
+//! * **Arena integration** — cached label buffers are checked out of the
+//!   pipeline's existing [`LabelArena`] and evicted buffers go back to it,
+//!   so a warm cache keeps the steady state allocation-free end to end.
+//! * **Correctness over capacity** — a hit is produced by copying the cached
+//!   labels into a fresh arena buffer; the cache never hands out a buffer it
+//!   still owns, so eviction can never corrupt a reply already in flight.
+//!   Keys are 128 bits (two independent 64-bit hashes) and carry the image
+//!   dimensions, which makes an accidental collision between distinct
+//!   requests astronomically unlikely and a dimension mix-up impossible.
+//!
+//! Hit results are byte-identical to a fresh segmentation by construction:
+//! the cache only ever stores bytes produced by the pipeline itself, and
+//! `tests/service_roundtrip.rs` plus the loadgen's default-on verification
+//! enforce the identity end to end.
+
+use crate::arena::LabelArena;
+use imaging::{LabelMap, RgbImage};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Mutex;
+
+/// Default shard count when [`CacheConfig::shards`] is 0.
+pub const DEFAULT_SHARDS: usize = 8;
+
+/// Approximate per-entry bookkeeping overhead charged against the byte
+/// budget (map nodes, LRU stamp, entry header) in addition to the label
+/// bytes themselves.
+pub const ENTRY_OVERHEAD_BYTES: usize = 96;
+
+/// Tuning for a [`SegmentCache`].  `Default` (and `capacity_bytes == 0`)
+/// means *no cache* — callers opt in, typically via the `--cache-mb` CLI
+/// knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheConfig {
+    /// Total byte budget across all shards (0 = caching disabled).
+    pub capacity_bytes: usize,
+    /// Number of mutex-sharded LRU shards (0 = [`DEFAULT_SHARDS`]).
+    pub shards: usize,
+}
+
+impl CacheConfig {
+    /// A config with an `mb`-megabyte budget and the default shard count
+    /// (the shape the `--cache-mb N` flag builds).
+    pub fn with_capacity_mb(mb: usize) -> Self {
+        Self {
+            capacity_bytes: mb.saturating_mul(1 << 20),
+            shards: 0,
+        }
+    }
+
+    /// Whether this config enables caching at all.
+    pub fn enabled(&self) -> bool {
+        self.capacity_bytes > 0
+    }
+
+    /// The effective shard count.
+    pub fn effective_shards(&self) -> usize {
+        if self.shards == 0 {
+            DEFAULT_SHARDS
+        } else {
+            self.shards
+        }
+    }
+}
+
+/// A 128-bit content address: two independent 64-bit hashes over the same
+/// request bytes.  The pair (plus the dimensions stored in the entry) makes
+/// accidental collisions between distinct images astronomically unlikely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    lo: u64,
+    hi: u64,
+}
+
+impl CacheKey {
+    /// The shard index this key maps to.
+    fn shard(&self, shards: usize) -> usize {
+        // The high hash picks the shard and the low hash addresses within
+        // it, so shard choice and map lookup use independent bits.
+        (self.hi % shards as u64) as usize
+    }
+}
+
+const PRIME_A: u64 = 0xFF51_AFD7_ED55_8CCD;
+const PRIME_B: u64 = 0xC4CE_B9FE_1A85_EC53;
+const SEED_LO: u64 = 0x9E37_79B9_7F4A_7C15;
+const SEED_HI: u64 = 0xC2B2_AE3D_27D4_EB4F;
+
+/// FNV-1a over a byte string — used to fold the caller's salt (e.g. the
+/// plan spec) into the image-hash seeds.
+fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut state = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        state ^= b as u64;
+        state = state.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    state
+}
+
+/// One multiply-rotate-multiply mixing step (xxHash-style).
+#[inline]
+fn mix(state: u64, word: u64) -> u64 {
+    (state ^ word.wrapping_mul(PRIME_A))
+        .rotate_left(27)
+        .wrapping_mul(SEED_LO)
+        .wrapping_add(0x2545_F491_4F6C_DD1D)
+}
+
+/// Final avalanche so every input bit affects every output bit.
+#[inline]
+fn finish(mut state: u64) -> u64 {
+    state ^= state >> 33;
+    state = state.wrapping_mul(PRIME_A);
+    state ^= state >> 29;
+    state = state.wrapping_mul(PRIME_B);
+    state ^ (state >> 32)
+}
+
+/// Hashes an image's pixel bytes (plus dimensions) into a [`CacheKey`].
+/// Pixels are packed 8 at a time into three 64-bit words, so the hot loop
+/// costs a fraction of a mixing step per pixel — cheap next to even the
+/// phase-table classifier's three lookups per pixel.
+fn hash_image(img: &RgbImage, seed_lo: u64, seed_hi: u64) -> CacheKey {
+    let dims = ((img.width() as u64) << 32) | img.height() as u64;
+    let mut lo = mix(seed_lo, dims);
+    let mut hi = mix(seed_hi, dims);
+    let pixels = img.as_slice();
+    let chunks = pixels.chunks_exact(8);
+    let remainder = chunks.remainder();
+    for chunk in chunks {
+        let mut bytes = [0u8; 24];
+        for (i, px) in chunk.iter().enumerate() {
+            bytes[i * 3] = px.r();
+            bytes[i * 3 + 1] = px.g();
+            bytes[i * 3 + 2] = px.b();
+        }
+        for word_bytes in bytes.chunks_exact(8) {
+            let word = u64::from_le_bytes(word_bytes.try_into().expect("8-byte chunk"));
+            lo = mix(lo, word);
+            hi = mix(hi, word.rotate_left(32));
+        }
+    }
+    for px in remainder {
+        let word = px.r() as u64 | (px.g() as u64) << 8 | (px.b() as u64) << 16;
+        lo = mix(lo, word);
+        hi = mix(hi, word.rotate_left(32));
+    }
+    CacheKey {
+        lo: finish(lo),
+        hi: finish(hi),
+    }
+}
+
+/// One cached segmentation.
+#[derive(Debug)]
+struct Entry {
+    labels: Vec<u32>,
+    width: usize,
+    height: usize,
+    /// LRU stamp; also the entry's key in the shard's recency index.
+    stamp: u64,
+}
+
+impl Entry {
+    fn charged_bytes(&self) -> usize {
+        self.labels.len() * 4 + ENTRY_OVERHEAD_BYTES
+    }
+}
+
+/// Counters and live figures for one shard (or, summed, the whole cache).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: usize,
+    /// Lookups that found nothing (the caller then segments and inserts).
+    pub misses: usize,
+    /// Entries stored.
+    pub insertions: usize,
+    /// Entries evicted to make room under the byte budget.
+    pub evictions: usize,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Bytes currently charged against the budget (labels + overhead).
+    pub bytes: usize,
+    /// The configured total byte budget.
+    pub capacity_bytes: usize,
+}
+
+impl CacheStats {
+    fn absorb(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.insertions += other.insertions;
+        self.evictions += other.evictions;
+        self.entries += other.entries;
+        self.bytes += other.bytes;
+    }
+}
+
+/// One mutex-guarded slice of the key space: a content-addressed map plus a
+/// recency index ordered by LRU stamp.
+#[derive(Debug, Default)]
+struct Shard {
+    entries: HashMap<CacheKey, Entry>,
+    /// stamp → key, ordered oldest-first; eviction pops the first entry.
+    recency: BTreeMap<u64, CacheKey>,
+    bytes: usize,
+    next_stamp: u64,
+    hits: usize,
+    misses: usize,
+    insertions: usize,
+    evictions: usize,
+}
+
+impl Shard {
+    fn touch(&mut self, key: CacheKey) {
+        let stamp = self.next_stamp;
+        self.next_stamp += 1;
+        if let Some(entry) = self.entries.get_mut(&key) {
+            self.recency.remove(&entry.stamp);
+            entry.stamp = stamp;
+            self.recency.insert(stamp, key);
+        }
+    }
+
+    /// Evicts least-recently-used entries until `needed` more bytes fit
+    /// under `budget`, returning the freed buffers to `arena`.
+    fn evict_for(&mut self, needed: usize, budget: usize, arena: &LabelArena) {
+        while self.bytes + needed > budget {
+            let Some((&stamp, &key)) = self.recency.iter().next() else {
+                break;
+            };
+            self.recency.remove(&stamp);
+            let entry = self
+                .entries
+                .remove(&key)
+                .expect("recency index entries always exist in the map");
+            self.bytes -= entry.charged_bytes();
+            self.evictions += 1;
+            arena.put(entry.labels);
+        }
+    }
+
+    fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            insertions: self.insertions,
+            evictions: self.evictions,
+            entries: self.entries.len(),
+            bytes: self.bytes,
+            capacity_bytes: 0,
+        }
+    }
+}
+
+/// A sharded, content-addressed, byte-budgeted LRU cache of segmentations.
+///
+/// See the [module docs](self) for the design; build one through
+/// [`CacheConfig`] (usually via `SegmentPipeline::with_cache`).
+#[derive(Debug)]
+pub struct SegmentCache {
+    shards: Vec<Mutex<Shard>>,
+    /// Each shard owns an equal slice of the total budget.
+    shard_budget: usize,
+    capacity_bytes: usize,
+    seed_lo: u64,
+    seed_hi: u64,
+}
+
+impl SegmentCache {
+    /// Builds a cache for `config`, salting the content hash with `salt`
+    /// (callers pass the serialized segmentation strategy, e.g.
+    /// `SegmentPlan::to_spec()`, so caches built for different strategies
+    /// can never alias even if their buffers were somehow shared).
+    ///
+    /// `config.capacity_bytes` must be non-zero; gate on
+    /// [`CacheConfig::enabled`] first.
+    pub fn new(config: CacheConfig, salt: &str) -> Self {
+        assert!(config.enabled(), "SegmentCache requires a non-zero budget");
+        let shards = config.effective_shards();
+        let salt_hash = fnv1a_64(salt.as_bytes());
+        Self {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            shard_budget: (config.capacity_bytes / shards).max(1),
+            capacity_bytes: config.capacity_bytes,
+            seed_lo: SEED_LO ^ salt_hash,
+            seed_hi: SEED_HI ^ salt_hash.rotate_left(32),
+        }
+    }
+
+    /// The content address of `img` under this cache's salt.
+    pub fn key_for(&self, img: &RgbImage) -> CacheKey {
+        hash_image(img, self.seed_lo, self.seed_hi)
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The configured total byte budget.
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity_bytes
+    }
+
+    /// Looks `key` up; on a hit the cached labels are copied into a buffer
+    /// taken from `arena` and returned as a fresh [`LabelMap`] — the cache
+    /// keeps its own copy, so a later eviction can never touch the returned
+    /// map.  Counts a hit or a miss either way.
+    pub fn lookup(&self, key: CacheKey, arena: &LabelArena) -> Option<LabelMap> {
+        let mut shard = self.shards[key.shard(self.shards.len())]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let Some(entry) = shard.entries.get(&key) else {
+            shard.misses += 1;
+            return None;
+        };
+        let (width, height) = (entry.width, entry.height);
+        let mut buf = arena.take();
+        buf.clear();
+        buf.extend_from_slice(&entry.labels);
+        shard.hits += 1;
+        shard.touch(key);
+        drop(shard);
+        Some(LabelMap::from_vec(width, height, buf).expect("cached labels match their dimensions"))
+    }
+
+    /// Stores a finished segmentation under `key`.  The labels are copied
+    /// into a buffer taken from `arena`; entries evicted to make room (and
+    /// any replaced duplicate) return their buffers to `arena`.  An entry
+    /// larger than one shard's whole budget is not stored.
+    pub fn insert(&self, key: CacheKey, labels: &LabelMap, arena: &LabelArena) {
+        let charged = labels.len() * 4 + ENTRY_OVERHEAD_BYTES;
+        if charged > self.shard_budget {
+            return;
+        }
+        // Copy the labels *before* taking the shard lock: the memcpy of a
+        // multi-megapixel map is the expensive part and touches no shard
+        // state, so concurrent misses on the same shard only serialise on
+        // the cheap map/recency bookkeeping below.
+        let mut buf = arena.take();
+        buf.clear();
+        buf.extend_from_slice(labels.as_slice());
+        let mut shard = self.shards[key.shard(self.shards.len())]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        if let Some(existing) = shard.entries.remove(&key) {
+            // Two threads raced to segment the same image; keep one copy.
+            shard.recency.remove(&existing.stamp);
+            shard.bytes -= existing.charged_bytes();
+            arena.put(existing.labels);
+        }
+        shard.evict_for(charged, self.shard_budget, arena);
+        let stamp = shard.next_stamp;
+        shard.next_stamp += 1;
+        shard.recency.insert(stamp, key);
+        shard.bytes += charged;
+        shard.insertions += 1;
+        let (width, height) = labels.dimensions();
+        shard.entries.insert(
+            key,
+            Entry {
+                labels: buf,
+                width,
+                height,
+                stamp,
+            },
+        );
+    }
+
+    /// Aggregate counters across all shards.
+    pub fn stats(&self) -> CacheStats {
+        let mut total = CacheStats {
+            capacity_bytes: self.capacity_bytes,
+            ..CacheStats::default()
+        };
+        for stats in self.shard_stats() {
+            total.absorb(&stats);
+        }
+        total
+    }
+
+    /// Per-shard counters, in shard order (each reports `capacity_bytes` 0;
+    /// the budget is a whole-cache figure).
+    pub fn shard_stats(&self) -> Vec<CacheStats> {
+        self.shards
+            .iter()
+            .map(|shard| shard.lock().unwrap_or_else(|e| e.into_inner()).stats())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imaging::Rgb;
+
+    fn image(seed: u8, w: usize, h: usize) -> RgbImage {
+        RgbImage::from_fn(w, h, move |x, y| {
+            Rgb::new(
+                (x * 3 + seed as usize) as u8,
+                (y * 5) as u8,
+                ((x ^ y) * 7) as u8,
+            )
+        })
+    }
+
+    fn labels_for(img: &RgbImage, fill: u32) -> LabelMap {
+        LabelMap::from_vec(img.width(), img.height(), vec![fill; img.len()]).unwrap()
+    }
+
+    fn small_cache(capacity: usize, shards: usize) -> SegmentCache {
+        SegmentCache::new(
+            CacheConfig {
+                capacity_bytes: capacity,
+                shards,
+            },
+            "classifier=table;tile=off;backend=serial",
+        )
+    }
+
+    #[test]
+    fn lookup_after_insert_returns_byte_identical_labels() {
+        let arena = LabelArena::new();
+        let cache = small_cache(1 << 20, 4);
+        let img = image(1, 16, 12);
+        let labels = labels_for(&img, 3);
+        let key = cache.key_for(&img);
+        assert!(cache.lookup(key, &arena).is_none(), "cold cache misses");
+        cache.insert(key, &labels, &arena);
+        let hit = cache.lookup(key, &arena).expect("warm cache hits");
+        assert_eq!(hit, labels);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.insertions), (1, 1, 1));
+        assert_eq!(stats.entries, 1);
+        assert!(stats.bytes >= img.len() * 4);
+        assert_eq!(stats.capacity_bytes, 1 << 20);
+    }
+
+    #[test]
+    fn keys_are_content_addressed_and_salted() {
+        let cache = small_cache(1 << 20, 4);
+        let img = image(1, 16, 12);
+        assert_eq!(cache.key_for(&img), cache.key_for(&img.clone()));
+        // A single-byte difference changes the key.
+        let mut other = img.clone();
+        other.set(3, 4, Rgb::new(255, 0, 0));
+        assert_ne!(cache.key_for(&img), cache.key_for(&other));
+        // Same pixel bytes, different dimensions → different key.
+        let wide = RgbImage::from_vec(img.len(), 1, img.as_slice().to_vec()).unwrap();
+        assert_ne!(cache.key_for(&img), cache.key_for(&wide));
+        // Same content, different salt (plan spec) → different key.
+        let other_salt = SegmentCache::new(
+            CacheConfig {
+                capacity_bytes: 1 << 20,
+                shards: 4,
+            },
+            "classifier=exact;tile=off;backend=serial",
+        );
+        assert_ne!(cache.key_for(&img), other_salt.key_for(&img));
+    }
+
+    #[test]
+    fn byte_budget_evicts_least_recently_used_first() {
+        let arena = LabelArena::new();
+        let entry_bytes = 8 * 8 * 4 + ENTRY_OVERHEAD_BYTES;
+        // One shard that fits exactly two entries.
+        let cache = small_cache(entry_bytes * 2, 1);
+        let imgs: Vec<RgbImage> = (0..3).map(|i| image(i as u8, 8, 8)).collect();
+        let keys: Vec<CacheKey> = imgs.iter().map(|img| cache.key_for(img)).collect();
+        cache.insert(keys[0], &labels_for(&imgs[0], 0), &arena);
+        cache.insert(keys[1], &labels_for(&imgs[1], 1), &arena);
+        assert_eq!(cache.stats().entries, 2);
+        // Touch entry 0 so entry 1 is the LRU, then overflow the budget.
+        assert!(cache.lookup(keys[0], &arena).is_some());
+        cache.insert(keys[2], &labels_for(&imgs[2], 2), &arena);
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.evictions, 1);
+        assert!(stats.bytes <= entry_bytes * 2, "{stats:?}");
+        assert!(cache.lookup(keys[1], &arena).is_none(), "LRU entry evicted");
+        assert!(
+            cache.lookup(keys[0], &arena).is_some(),
+            "touched entry kept"
+        );
+        assert!(
+            cache.lookup(keys[2], &arena).is_some(),
+            "new entry resident"
+        );
+        // Evicted and copied-out buffers flow through the arena.
+        assert!(arena.pooled() + stats.entries > 0);
+    }
+
+    #[test]
+    fn entries_larger_than_a_shard_budget_are_not_stored() {
+        let arena = LabelArena::new();
+        let cache = small_cache(256, 1);
+        let img = image(0, 32, 32); // 4 KiB of labels ≫ 256-byte budget
+        let key = cache.key_for(&img);
+        cache.insert(key, &labels_for(&img, 1), &arena);
+        assert_eq!(cache.stats().entries, 0);
+        assert!(cache.lookup(key, &arena).is_none());
+    }
+
+    #[test]
+    fn keys_spread_across_shards() {
+        let cache = small_cache(8 << 20, 8);
+        let arena = LabelArena::new();
+        for i in 0..64u8 {
+            let img = image(i, 8, 8);
+            cache.insert(cache.key_for(&img), &labels_for(&img, i as u32), &arena);
+        }
+        let per_shard = cache.shard_stats();
+        assert_eq!(per_shard.len(), 8);
+        let populated = per_shard.iter().filter(|s| s.entries > 0).count();
+        assert!(
+            populated >= 6,
+            "64 distinct keys should land in most of 8 shards, got {populated}: {per_shard:?}"
+        );
+        assert_eq!(
+            per_shard.iter().map(|s| s.entries).sum::<usize>(),
+            cache.stats().entries
+        );
+    }
+
+    #[test]
+    fn duplicate_insert_keeps_one_copy_and_recycles_the_other() {
+        let arena = LabelArena::new();
+        let cache = small_cache(1 << 20, 1);
+        let img = image(3, 8, 8);
+        let key = cache.key_for(&img);
+        cache.insert(key, &labels_for(&img, 1), &arena);
+        let bytes_before = cache.stats().bytes;
+        cache.insert(key, &labels_for(&img, 1), &arena);
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.bytes, bytes_before);
+        assert_eq!(stats.insertions, 2);
+        // The replaced duplicate's buffer went back to the arena pool (the
+        // new copy's buffer is taken before the lock, so it cannot reuse
+        // the one it replaces).
+        assert!(arena.pooled() >= 1);
+    }
+
+    #[test]
+    fn eviction_under_concurrency_never_corrupts_returned_maps() {
+        // A tiny budget forces constant eviction while many threads hit the
+        // same shard set; every returned map must still carry exactly the
+        // bytes that were inserted for its image.
+        let arena = LabelArena::new();
+        let entry_bytes = 8 * 8 * 4 + ENTRY_OVERHEAD_BYTES;
+        let cache = small_cache(entry_bytes * 4, 2);
+        let imgs: Vec<RgbImage> = (0..16).map(|i| image(i as u8, 8, 8)).collect();
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let cache = &cache;
+                let arena = &arena;
+                let imgs = &imgs;
+                scope.spawn(move || {
+                    for round in 0..50 {
+                        let img = &imgs[(t * 7 + round * 3) % imgs.len()];
+                        let expected = ((t * 7 + round * 3) % imgs.len()) as u32;
+                        let key = cache.key_for(img);
+                        match cache.lookup(key, arena) {
+                            Some(map) => {
+                                assert_eq!(map.dimensions(), img.dimensions());
+                                assert!(map.as_slice().iter().all(|&l| l == expected));
+                                arena.recycle(map);
+                            }
+                            None => {
+                                let labels = LabelMap::from_vec(
+                                    img.width(),
+                                    img.height(),
+                                    vec![expected; img.len()],
+                                )
+                                .unwrap();
+                                cache.insert(key, &labels, arena);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert!(
+            stats.evictions > 0,
+            "tiny budget must have evicted: {stats:?}"
+        );
+        assert!(stats.bytes <= entry_bytes * 4);
+    }
+
+    #[test]
+    fn config_helpers() {
+        assert!(!CacheConfig::default().enabled());
+        let config = CacheConfig::with_capacity_mb(64);
+        assert!(config.enabled());
+        assert_eq!(config.capacity_bytes, 64 << 20);
+        assert_eq!(config.effective_shards(), DEFAULT_SHARDS);
+        assert_eq!(
+            CacheConfig {
+                shards: 3,
+                ..config
+            }
+            .effective_shards(),
+            3
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero budget")]
+    fn zero_budget_cache_is_a_construction_error() {
+        let _ = SegmentCache::new(CacheConfig::default(), "");
+    }
+}

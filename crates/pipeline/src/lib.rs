@@ -12,6 +12,10 @@
 //!   report's allocation/reuse counters prove it).
 //! * [`stats`] — per-batch throughput/latency accounting built on
 //!   [`xpar::Progress`], rolled up into a [`PipelineReport`].
+//! * [`cache::SegmentCache`] — an opt-in sharded, content-addressed,
+//!   byte-budgeted LRU cache of finished segmentations
+//!   ([`SegmentPipeline::with_cache`]): repeated images are answered with a
+//!   memcpy instead of a classification pass, byte-identically.
 //!
 //! The pipeline parallelises **across images** by default: each worker
 //! segments its image with a serial per-pixel pass, so the output of
@@ -59,10 +63,12 @@
 //! ```
 
 pub mod arena;
+pub mod cache;
 pub mod queue;
 pub mod stats;
 
 pub use arena::LabelArena;
+pub use cache::{CacheConfig, CacheStats, SegmentCache};
 pub use queue::JobQueue;
 pub use stats::{BatchStats, PipelineReport};
 
@@ -116,6 +122,7 @@ pub struct SegmentPipeline<C> {
     classifier: C,
     arena: LabelArena,
     config: PipelineConfig,
+    cache: Option<SegmentCache>,
 }
 
 impl<C: PixelClassifier + Sync> SegmentPipeline<C> {
@@ -127,12 +134,23 @@ impl<C: PixelClassifier + Sync> SegmentPipeline<C> {
             classifier,
             arena: LabelArena::new(),
             config: PipelineConfig::default(),
+            cache: None,
         }
     }
 
     /// Replaces the tuning knobs.
     pub fn with_config(mut self, config: PipelineConfig) -> Self {
         self.config = config;
+        self
+    }
+
+    /// Attaches a content-addressed result cache (see [`cache`]).  `salt`
+    /// should identify the segmentation strategy — callers pass the
+    /// serialized `SegmentPlan::to_spec()` — so caches built for different
+    /// strategies can never alias.  A disabled config
+    /// (`capacity_bytes == 0`) leaves the pipeline uncached.
+    pub fn with_cache(mut self, config: CacheConfig, salt: &str) -> Self {
+        self.cache = config.enabled().then(|| SegmentCache::new(config, salt));
         self
     }
 
@@ -172,6 +190,11 @@ impl<C: PixelClassifier + Sync> SegmentPipeline<C> {
     /// The label-buffer arena (for inspection; see [`LabelArena`]).
     pub fn arena(&self) -> &LabelArena {
         &self.arena
+    }
+
+    /// The attached result cache, if any (see [`SegmentPipeline::with_cache`]).
+    pub fn cache(&self) -> Option<&SegmentCache> {
+        self.cache.as_ref()
     }
 
     /// Returns a finished label map's buffer to the arena so a later image
@@ -221,6 +244,31 @@ impl<C: PixelClassifier + Sync> SegmentPipeline<C> {
                     .segment_tiled_into(&self.classifier, img, width, height, buf)
             }
         })
+    }
+
+    /// Cache-aware variant of [`SegmentPipeline::segment_request`]: when a
+    /// cache is attached (and `bypass` is false) the request is content-
+    /// addressed first, and a hit is answered by copying the cached labels
+    /// into an arena buffer — no classification at all.  A miss segments as
+    /// usual and stores a copy for the next identical request.
+    ///
+    /// Returns the labels plus whether they came from the cache.  Hit or
+    /// miss, the result is byte-identical to [`segment_request`] by
+    /// construction: the cache only ever stores this pipeline's own output.
+    ///
+    /// [`segment_request`]: SegmentPipeline::segment_request
+    pub fn segment_request_cached(&self, img: &RgbImage, bypass: bool) -> (LabelMap, bool) {
+        let cache = match (&self.cache, bypass) {
+            (Some(cache), false) => cache,
+            _ => return (self.segment_request(img), false),
+        };
+        let key = cache.key_for(img);
+        if let Some(labels) = cache.lookup(key, &self.arena) {
+            return (labels, true);
+        }
+        let labels = self.segment_request(img);
+        cache.insert(key, &labels, &self.arena);
+        (labels, false)
     }
 
     /// Segments one batch of images through the bounded queue on the
@@ -461,6 +509,64 @@ impl<C: PixelClassifier + Sync> SegmentPipeline<C> {
         report.arena_pooled = self.arena.pooled();
         report
     }
+
+    /// Streams `images` through the *per-request* path — the shape a serving
+    /// deployment sees: each image goes through
+    /// [`SegmentPipeline::segment_request_cached`] (honouring the configured
+    /// tiling and the attached cache), so repeated images are answered from
+    /// the cache instead of being re-classified.  Parallelism comes from
+    /// within each request (the engine's backend plus tiled fan-out), not
+    /// from batching across images.
+    ///
+    /// The sink receives `(index, labels, cache_hit)` and should recycle the
+    /// labels like [`SegmentPipeline::run_stream`]'s sink does.  The
+    /// returned report carries per-run cache and arena counter deltas;
+    /// batches group `batch_size` consecutive requests so throughput is
+    /// comparable with the batched path.
+    pub fn run_stream_requests<F>(
+        &self,
+        images: &[RgbImage],
+        batch_size: usize,
+        mut sink: F,
+    ) -> PipelineReport
+    where
+        F: FnMut(usize, LabelMap, bool),
+    {
+        let batch_size = batch_size.max(1);
+        let allocations_before = self.arena.allocations();
+        let reuses_before = self.arena.reuses();
+        let cache_before = self.cache.as_ref().map(|c| c.stats()).unwrap_or_default();
+        let mut report = PipelineReport {
+            workers: self.workers(),
+            ..PipelineReport::default()
+        };
+        for (batch_idx, chunk) in images.chunks(batch_size).enumerate() {
+            let offset = batch_idx * batch_size;
+            let started = std::time::Instant::now();
+            for (i, img) in chunk.iter().enumerate() {
+                let (labels, hit) = self.segment_request_cached(img, false);
+                sink(offset + i, labels, hit);
+            }
+            report.batches.push(BatchStats {
+                batch: batch_idx,
+                images: chunk.len(),
+                pixels: chunk.iter().map(|img| img.len()).sum(),
+                elapsed_secs: started.elapsed().as_secs_f64(),
+            });
+        }
+        report.arena_allocations = self.arena.allocations() - allocations_before;
+        report.arena_reuses = self.arena.reuses() - reuses_before;
+        report.arena_pooled = self.arena.pooled();
+        if let Some(cache) = &self.cache {
+            let now = cache.stats();
+            report.cache_hits = now.hits - cache_before.hits;
+            report.cache_misses = now.misses - cache_before.misses;
+            report.cache_evictions = now.evictions - cache_before.evictions;
+            report.cache_entries = now.entries;
+            report.cache_bytes = now.bytes;
+        }
+        report
+    }
 }
 
 #[cfg(test)]
@@ -697,6 +803,85 @@ mod tests {
         let second = pipeline.run_stream(&images, 4, |_, labels| pipeline.recycle(labels));
         assert_eq!(second.arena_allocations, 0, "{second:?}");
         assert!(second.arena_reuses > 0, "{second:?}");
+    }
+
+    #[test]
+    fn cached_requests_are_byte_identical_to_fresh_segmentation() {
+        let images = test_images(4);
+        let expected: Vec<LabelMap> = images
+            .iter()
+            .map(|img| SegmentEngine::serial().segment_rgb(&IqftRgbSegmenter::paper_default(), img))
+            .collect();
+        let pipeline = SegmentPipeline::new(SegmentEngine::serial(), PhaseTable::paper_default())
+            .with_cache(
+                CacheConfig::with_capacity_mb(4),
+                "classifier=table;tile=off;backend=serial",
+            );
+        // First pass: all misses, results stored.
+        for (img, expected) in images.iter().zip(&expected) {
+            let (labels, hit) = pipeline.segment_request_cached(img, false);
+            assert!(!hit);
+            assert_eq!(&labels, expected);
+            pipeline.recycle(labels);
+        }
+        // Second pass: all hits, byte-identical to the fresh pass.
+        for (img, expected) in images.iter().zip(&expected) {
+            let (labels, hit) = pipeline.segment_request_cached(img, false);
+            assert!(hit);
+            assert_eq!(&labels, expected);
+            pipeline.recycle(labels);
+        }
+        // Bypass skips the cache but still answers identically.
+        let (labels, hit) = pipeline.segment_request_cached(&images[0], true);
+        assert!(!hit);
+        assert_eq!(labels, expected[0]);
+        let stats = pipeline.cache().expect("cache attached").stats();
+        assert_eq!((stats.hits, stats.misses), (4, 4), "{stats:?}");
+    }
+
+    #[test]
+    fn uncached_pipeline_reports_misses_as_fresh_segmentations() {
+        let img = &test_images(1)[0];
+        let pipeline = SegmentPipeline::new(SegmentEngine::serial(), PhaseTable::paper_default());
+        assert!(pipeline.cache().is_none());
+        let (labels, hit) = pipeline.segment_request_cached(img, false);
+        assert!(!hit);
+        assert_eq!(labels, pipeline.segment_request(img));
+        // A disabled config is a no-op.
+        let pipeline = SegmentPipeline::new(SegmentEngine::serial(), PhaseTable::paper_default())
+            .with_cache(CacheConfig::default(), "");
+        assert!(pipeline.cache().is_none());
+    }
+
+    #[test]
+    fn request_streams_report_cache_and_arena_deltas() {
+        let unique = test_images(3);
+        // A repeated-traffic stream: each unique image appears three times.
+        let stream: Vec<RgbImage> = (0..9).map(|i| unique[i % 3].clone()).collect();
+        let pipeline = SegmentPipeline::new(SegmentEngine::serial(), PhaseTable::paper_default())
+            .with_cache(
+                CacheConfig::with_capacity_mb(4),
+                "classifier=table;tile=off;backend=serial",
+            );
+        let mut hits_seen = 0usize;
+        let report = pipeline.run_stream_requests(&stream, 3, |_, labels, hit| {
+            hits_seen += usize::from(hit);
+            pipeline.recycle(labels);
+        });
+        assert_eq!(report.images(), 9);
+        assert_eq!(report.batches.len(), 3);
+        assert_eq!(report.cache_misses, 3, "{report:?}");
+        assert_eq!(report.cache_hits, 6, "{report:?}");
+        assert_eq!(hits_seen, 6);
+        assert_eq!(report.cache_entries, 3);
+        assert!(report.cache_bytes > 0);
+        // A second run is all hits and reports its own deltas.
+        let second = pipeline.run_stream_requests(&stream, 3, |_, labels, _| {
+            pipeline.recycle(labels);
+        });
+        assert_eq!(second.cache_hits, 9, "{second:?}");
+        assert_eq!(second.cache_misses, 0, "{second:?}");
+        assert_eq!(second.arena_allocations, 0, "warm arena: {second:?}");
     }
 
     #[test]

@@ -65,6 +65,16 @@ pub struct PipelineReport {
     pub arena_reuses: usize,
     /// Buffers sitting idle in the arena pool when the run finished.
     pub arena_pooled: usize,
+    /// Result-cache hits during this run (0 when no cache is attached).
+    pub cache_hits: usize,
+    /// Result-cache misses during this run (0 when no cache is attached).
+    pub cache_misses: usize,
+    /// Result-cache evictions during this run (0 when no cache is attached).
+    pub cache_evictions: usize,
+    /// Entries resident in the result cache when the run finished.
+    pub cache_entries: usize,
+    /// Bytes charged against the result cache's budget when the run finished.
+    pub cache_bytes: usize,
 }
 
 impl PipelineReport {
@@ -161,6 +171,7 @@ mod tests {
             arena_allocations: 4,
             arena_reuses: 8,
             arena_pooled: 4,
+            ..PipelineReport::default()
         };
         assert_eq!(report.images(), 12);
         assert_eq!(report.pixels(), 1200);

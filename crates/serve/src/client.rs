@@ -12,6 +12,13 @@ use crate::stats::StatsSnapshot;
 use imaging::{LabelMap, RgbImage};
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Write-poll granularity while a pipelined burst is being sent: when a
+/// request write blocks this long, the client drains one reply to free
+/// socket-buffer space instead of waiting (see
+/// [`Client::segment_pipelined`]'s deadlock-safety note).
+const PIPELINE_WRITE_POLL: Duration = Duration::from_millis(100);
 
 /// Everything a client call can fail with.
 #[derive(Debug)]
@@ -34,6 +41,9 @@ pub enum ServeError {
         /// The id the reply carried.
         got: u64,
     },
+    /// A pipelined reply echoed an id with no outstanding request (or one
+    /// already answered).
+    UnknownId(u64),
     /// A stats payload that did not parse as a snapshot.
     BadStats(String),
 }
@@ -48,6 +58,12 @@ impl std::fmt::Display for ServeError {
             }
             ServeError::IdMismatch { sent, got } => {
                 write!(f, "request id mismatch: sent {sent}, reply echoed {got}")
+            }
+            ServeError::UnknownId(got) => {
+                write!(
+                    f,
+                    "pipelined reply echoed id {got}, which has no outstanding request"
+                )
             }
             ServeError::BadStats(err) => write!(f, "malformed stats snapshot: {err}"),
         }
@@ -146,6 +162,181 @@ impl Client {
                 got: other.name(),
             }),
         }
+    }
+
+    /// Segments `image` through the server's content-addressed result cache
+    /// (protocol v2's `SegmentCached` op).  Returns the labels plus whether
+    /// the server answered from its cache; with `bypass` the server skips
+    /// the cache entirely (neither lookup nor store).  Hit or miss, the
+    /// labels are byte-identical to [`Client::segment`].
+    pub fn segment_cached(
+        &mut self,
+        image: &RgbImage,
+        bypass: bool,
+    ) -> Result<(LabelMap, bool), ServeError> {
+        let sent = self.next_id();
+        let frame = protocol::encode_segment_cached(sent, image, bypass)?;
+        {
+            use std::io::Write as _;
+            self.stream.write_all(&frame)?;
+            self.stream.flush()?;
+        }
+        match self.read_reply(sent)? {
+            Message::SegmentCachedReply { labels, cached } => {
+                if labels.dimensions() != image.dimensions() {
+                    return Err(ServeError::Unexpected {
+                        expected: "SegmentCachedReply with matching dimensions",
+                        got: "SegmentCachedReply with different dimensions",
+                    });
+                }
+                Ok((labels, cached))
+            }
+            other => Err(ServeError::Unexpected {
+                expected: "SegmentCachedReply",
+                got: other.name(),
+            }),
+        }
+    }
+
+    /// Segments a whole slice of images with up to `depth` requests in
+    /// flight on this one connection (protocol v2 pipelining) — the client
+    /// no longer pays one network round-trip per image.
+    ///
+    /// `depth` is clamped to `1..=`[`protocol::MAX_PIPELINE_DEPTH`].  With
+    /// `use_cache` the requests go through the server's result cache
+    /// (`SegmentCached`); otherwise plain `Segment` frames are sent.
+    ///
+    /// Replies may arrive in any completion order; they are matched back to
+    /// their requests by the echoed id, so the returned vector is always in
+    /// input order.  Each element is `(labels, served_from_cache)` (the
+    /// flag is always `false` for plain `Segment` requests).
+    ///
+    /// Deadlock safety: a pipelined burst can exceed what the kernel socket
+    /// buffers hold (large frames, deep pipelines), and a server blocked
+    /// writing a reply nobody reads would stall the client's own writes
+    /// forever.  Request writes therefore run with a short write timeout,
+    /// and whenever a write would block while replies are outstanding the
+    /// client drains one reply before continuing — writes and reads
+    /// interleave on the full-duplex socket, so progress is always possible
+    /// on at least one side.
+    pub fn segment_pipelined(
+        &mut self,
+        images: &[&RgbImage],
+        depth: usize,
+        use_cache: bool,
+    ) -> Result<Vec<(LabelMap, bool)>, ServeError> {
+        let depth = depth.clamp(1, protocol::MAX_PIPELINE_DEPTH);
+        let mut results: Vec<Option<(LabelMap, bool)>> = (0..images.len()).map(|_| None).collect();
+        let mut pending: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+        let mut next = 0usize;
+        self.stream
+            .set_write_timeout(Some(PIPELINE_WRITE_POLL))
+            .map_err(|e| ServeError::Protocol(e.into()))?;
+        let outcome = (|| -> Result<(), ServeError> {
+            while results.iter().any(|slot| slot.is_none()) {
+                // Keep the pipe full: write until `depth` requests are in
+                // flight (or the input is exhausted), then read one reply.
+                while next < images.len() && pending.len() < depth {
+                    let id = self.next_id();
+                    let frame = if use_cache {
+                        protocol::encode_segment_cached(id, images[next], false)?
+                    } else {
+                        protocol::encode_segment(id, images[next])?
+                    };
+                    // Insert before writing: if the write has to drain
+                    // replies mid-frame, this request is already addressable.
+                    pending.insert(id, next);
+                    next += 1;
+                    self.write_frame_draining(&frame, &mut pending, &mut results, images)?;
+                }
+                self.receive_pipelined_reply(&mut pending, &mut results, images)?;
+            }
+            Ok(())
+        })();
+        // Restore blocking writes for the lockstep calls whatever happened.
+        let _ = self.stream.set_write_timeout(None);
+        outcome?;
+        Ok(results
+            .into_iter()
+            .map(|slot| slot.expect("every request was answered"))
+            .collect())
+    }
+
+    /// Writes one request frame under the pipeline write timeout, draining
+    /// a reply whenever the write would block and replies are outstanding —
+    /// the socket's send buffer can only be full because the peer (or this
+    /// side's receive path) has unread data in flight.
+    fn write_frame_draining(
+        &mut self,
+        frame: &[u8],
+        pending: &mut std::collections::HashMap<u64, usize>,
+        results: &mut [Option<(LabelMap, bool)>],
+        images: &[&RgbImage],
+    ) -> Result<(), ServeError> {
+        use std::io::Write as _;
+        let mut written = 0usize;
+        while written < frame.len() {
+            match self.stream.write(&frame[written..]) {
+                Ok(0) => {
+                    return Err(ServeError::Protocol(ProtocolError::Io(
+                        io::ErrorKind::WriteZero.into(),
+                    )))
+                }
+                Ok(n) => written += n,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    // More than this half-written frame is outstanding:
+                    // free buffer space by consuming a reply.  (With only
+                    // the in-progress frame pending the server cannot be
+                    // mid-reply; it drains our bytes as it reads the frame,
+                    // so simply retrying makes progress.)
+                    if pending.len() > 1 {
+                        self.receive_pipelined_reply(pending, results, images)?;
+                    }
+                }
+                Err(e) => return Err(ServeError::Protocol(ProtocolError::Io(e))),
+            }
+        }
+        self.stream.flush()?;
+        Ok(())
+    }
+
+    /// Reads one pipelined reply and files it into `results` by echoed id.
+    fn receive_pipelined_reply(
+        &mut self,
+        pending: &mut std::collections::HashMap<u64, usize>,
+        results: &mut [Option<(LabelMap, bool)>],
+        images: &[&RgbImage],
+    ) -> Result<(), ServeError> {
+        let (got, reply) = protocol::read_message(&mut self.stream)?;
+        if let Message::Error { message } = reply {
+            return Err(ServeError::Server(message));
+        }
+        let Some(slot) = pending.remove(&got) else {
+            return Err(ServeError::UnknownId(got));
+        };
+        let (labels, cached) = match reply {
+            Message::SegmentCachedReply { labels, cached } => (labels, cached),
+            Message::SegmentReply { labels } => (labels, false),
+            other => {
+                return Err(ServeError::Unexpected {
+                    expected: "SegmentReply or SegmentCachedReply",
+                    got: other.name(),
+                })
+            }
+        };
+        if labels.dimensions() != images[slot].dimensions() {
+            return Err(ServeError::Unexpected {
+                expected: "a reply with matching dimensions",
+                got: "a reply with different dimensions",
+            });
+        }
+        results[slot] = Some((labels, cached));
+        Ok(())
     }
 
     /// Fetches and parses a server statistics snapshot.

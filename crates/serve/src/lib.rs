@@ -10,20 +10,26 @@
 //! on `std::net` — the workspace is offline, so there are no external
 //! dependencies to lean on.
 //!
-//! * [`protocol`] — the wire format: 20-byte header (magic, version, op,
-//!   request id, payload length) + checked payload.  A malformed frame can
-//!   never allocate unbounded memory and never panics the peer.
+//! * [`protocol`] — the wire format (version 2): 20-byte header (magic,
+//!   version, op, request id, payload length) + checked payload.  A
+//!   malformed frame can never allocate unbounded memory and never panics
+//!   the peer; a v1 frame gets a typed version error.
 //! * [`Server`] — acceptor thread + one thread per connection, all feeding
-//!   the shared pipeline; per-connection and aggregate [`ServerStats`];
-//!   graceful drain-then-stop shutdown (in-flight requests are answered).
+//!   the shared pipeline; an opt-in content-addressed result cache
+//!   ([`ServerConfig::cache`]) answers repeated `SegmentCached` requests
+//!   with a memcpy; per-connection and aggregate [`ServerStats`]; graceful
+//!   drain-then-stop shutdown (in-flight requests are answered).
 //! * [`Client`] — the synchronous request/response side: `ping`, `segment`,
-//!   `stats`, `shutdown`.
+//!   `segment_cached`, `segment_pipelined` (up to
+//!   [`protocol::MAX_PIPELINE_DEPTH`] requests in flight, replies reordered
+//!   by id), `stats`, `shutdown`.
 //!
 //! The `iqft-experiments` binary exposes both ends as subcommands:
-//! `serve --addr … --classifier … --tile … --backend … --workers …` boots the
-//! daemon, and `loadgen --addr … --clients C --images N` drives concurrent
-//! traffic with default-on byte-identity verification against a local
-//! [`seg_engine::SegmentEngine`] pass.
+//! `serve --addr … --classifier … --tile … --backend … --workers …
+//! --cache-mb …` boots the daemon, and `loadgen --addr … --clients C
+//! --images N --pipeline K --repeat-ratio R` drives concurrent (optionally
+//! repeated and pipelined) traffic with default-on byte-identity
+//! verification against a local [`seg_engine::SegmentEngine`] pass.
 //!
 //! # Example
 //!
@@ -52,6 +58,7 @@ pub mod server;
 pub mod stats;
 
 pub use client::{Client, ServeError};
+pub use iqft_pipeline::CacheConfig;
 pub use protocol::{Message, Op, ProtocolError};
 pub use server::{Server, ServerConfig};
 pub use stats::{ServerStats, StatsSnapshot};

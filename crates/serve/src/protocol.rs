@@ -6,7 +6,7 @@
 //! ```text
 //! offset  size  field
 //!      0     4  magic        b"IQFT"
-//!      4     2  version      u16 (currently 1)
+//!      4     2  version      u16 (currently 2)
 //!      6     1  op           u8 (see [`Op`])
 //!      7     1  reserved     must be 0
 //!      8     8  request id   u64 (echoed verbatim in the reply)
@@ -20,8 +20,29 @@
 //!   in row-major pixel order.
 //! * [`Message::SegmentReply`] — `width: u32, height: u32`, then `4·w·h`
 //!   label bytes (`u32` per pixel).
+//! * [`Message::SegmentCached`] (v2) — `flags: u32` (bit 0 =
+//!   [`FLAG_BYPASS_CACHE`]; other bits must be zero), then the `Segment`
+//!   layout.  Lets the client opt a request into the server's
+//!   content-addressed result cache, or explicitly around it.
+//! * [`Message::SegmentCachedReply`] (v2) — `flags: u32` (bit 0 =
+//!   [`FLAG_CACHE_HIT`]), then the `SegmentReply` layout.
 //! * [`Message::StatsReply`] / [`Message::Error`] — UTF-8 text.
 //! * Everything else — empty (a non-empty payload is a protocol error).
+//!
+//! # Version 2 and pipelining
+//!
+//! Protocol v2 (this version) adds the cached-segmentation ops above and
+//! makes *pipelining* explicit: a connection may have up to
+//! [`MAX_PIPELINE_DEPTH`] request frames in flight before reading a reply,
+//! and replies — which always echo the request id — may arrive in
+//! **completion order**, not necessarily request order.  Clients must match
+//! replies to requests by id (`Client::segment_pipelined` does the
+//! reordering).  The current server answers each connection's frames in
+//! order, which is one valid completion order; clients must not rely on it.
+//!
+//! A v1 frame sent to a v2 peer is answered with a typed
+//! [`Message::Error`] frame carrying the [`ProtocolError::BadVersion`]
+//! diagnostic — never a panic, never a hang.
 //!
 //! Decoding is fully checked: a malformed frame — bad magic, unknown
 //! version/op, a length field that disagrees with the declared dimensions, or
@@ -33,8 +54,8 @@ use std::io::{self, Read, Write};
 
 /// Frame magic: the first four bytes of every frame.
 pub const MAGIC: [u8; 4] = *b"IQFT";
-/// Current protocol version.
-pub const VERSION: u16 = 1;
+/// Current protocol version (2: cached-segmentation ops + pipelining).
+pub const VERSION: u16 = 2;
 /// Fixed frame-header size in bytes.
 pub const HEADER_LEN: usize = 20;
 /// Hard upper bound on a frame payload (64 MiB).  A frame declaring more is
@@ -42,8 +63,19 @@ pub const HEADER_LEN: usize = 20;
 pub const MAX_PAYLOAD_BYTES: usize = 64 << 20;
 /// Hard upper bound on the pixel count of one segmentation request, chosen so
 /// both the RGB request (`3·n` bytes) and the label reply (`4·n` bytes) fit
-/// under [`MAX_PAYLOAD_BYTES`].
-pub const MAX_PIXELS: usize = (MAX_PAYLOAD_BYTES - 8) / 4;
+/// under [`MAX_PAYLOAD_BYTES`] even with the cached ops' extra flags word.
+pub const MAX_PIXELS: usize = (MAX_PAYLOAD_BYTES - 12) / 4;
+/// Maximum request frames a connection may have in flight before reading a
+/// reply (protocol v2 pipelining).  Clients clamp to this.  Note this
+/// bounds *frames*, not bytes: a deep burst of large frames can exceed any
+/// socket buffer, which is why the client's pipelined writer drains replies
+/// whenever a request write would block instead of relying on buffering.
+pub const MAX_PIPELINE_DEPTH: usize = 32;
+/// `SegmentCached` request flag: skip the server's result cache for this
+/// request (neither lookup nor store).
+pub const FLAG_BYPASS_CACHE: u32 = 1;
+/// `SegmentCachedReply` flag: the labels were served from the result cache.
+pub const FLAG_CACHE_HIT: u32 = 1;
 
 /// Operation codes carried in the frame header.  Requests use the low range,
 /// replies set the high bit.
@@ -58,6 +90,9 @@ pub enum Op {
     Stats = 0x03,
     /// Ask the server to drain in-flight requests and stop.
     Shutdown = 0x04,
+    /// Segment the enclosed RGB image through the server's result cache
+    /// (v2; carries a cache-control flags word).
+    SegmentCached = 0x05,
     /// Reply to [`Op::Segment`]: the label map.
     SegmentReply = 0x81,
     /// Reply to [`Op::Ping`].
@@ -66,6 +101,8 @@ pub enum Op {
     StatsReply = 0x83,
     /// Reply to [`Op::Shutdown`]: acknowledged, the server is draining.
     ShutdownReply = 0x84,
+    /// Reply to [`Op::SegmentCached`]: the label map plus a hit/miss flag.
+    SegmentCachedReply = 0x85,
     /// Reply to any malformed or failed request: a UTF-8 diagnostic.
     Error = 0xFF,
 }
@@ -77,10 +114,12 @@ impl Op {
             0x02 => Ok(Op::Ping),
             0x03 => Ok(Op::Stats),
             0x04 => Ok(Op::Shutdown),
+            0x05 => Ok(Op::SegmentCached),
             0x81 => Ok(Op::SegmentReply),
             0x82 => Ok(Op::Pong),
             0x83 => Ok(Op::StatsReply),
             0x84 => Ok(Op::ShutdownReply),
+            0x85 => Ok(Op::SegmentCachedReply),
             0xFF => Ok(Op::Error),
             other => Err(ProtocolError::UnknownOp(other)),
         }
@@ -99,6 +138,20 @@ pub enum Message {
     SegmentReply {
         /// One label per pixel, same dimensions as the request image.
         labels: LabelMap,
+    },
+    /// Segment this image through the server's result cache (v2 request).
+    SegmentCached {
+        /// The RGB image to segment.
+        image: RgbImage,
+        /// Skip the cache for this request ([`FLAG_BYPASS_CACHE`]).
+        bypass: bool,
+    },
+    /// The cached-segmentation result (v2 reply).
+    SegmentCachedReply {
+        /// One label per pixel, same dimensions as the request image.
+        labels: LabelMap,
+        /// Whether the labels came from the cache ([`FLAG_CACHE_HIT`]).
+        cached: bool,
     },
     /// Liveness probe (request).
     Ping,
@@ -128,6 +181,8 @@ impl Message {
         match self {
             Message::Segment { .. } => Op::Segment,
             Message::SegmentReply { .. } => Op::SegmentReply,
+            Message::SegmentCached { .. } => Op::SegmentCached,
+            Message::SegmentCachedReply { .. } => Op::SegmentCachedReply,
             Message::Ping => Op::Ping,
             Message::Pong => Op::Pong,
             Message::Stats => Op::Stats,
@@ -143,6 +198,8 @@ impl Message {
         match self {
             Message::Segment { .. } => "Segment",
             Message::SegmentReply { .. } => "SegmentReply",
+            Message::SegmentCached { .. } => "SegmentCached",
+            Message::SegmentCachedReply { .. } => "SegmentCachedReply",
             Message::Ping => "Ping",
             Message::Pong => "Pong",
             Message::Stats => "Stats",
@@ -191,6 +248,13 @@ pub enum ProtocolError {
         /// Declared height.
         height: usize,
     },
+    /// A flags word carried bits this version does not define.
+    BadFlags {
+        /// The op whose flags were malformed.
+        op: Op,
+        /// The offending flags word.
+        flags: u32,
+    },
     /// A text payload was not valid UTF-8.
     BadText,
     /// The underlying stream failed (includes mid-frame EOF as
@@ -221,6 +285,9 @@ impl std::fmt::Display for ProtocolError {
                 f,
                 "image dimensions {width}x{height} overflow or exceed {MAX_PIXELS} pixels"
             ),
+            ProtocolError::BadFlags { op, flags } => {
+                write!(f, "{op:?} flags word {flags:#010x} carries undefined bits")
+            }
             ProtocolError::BadText => write!(f, "text payload is not valid UTF-8"),
             ProtocolError::Io(err) => write!(f, "i/o error: {err}"),
         }
@@ -308,30 +375,73 @@ fn expect_len(op: Op, payload: &[u8], expected: usize) -> Result<(), ProtocolErr
     Ok(())
 }
 
+/// Splits a leading `flags: u32` word off a v2 payload and rejects any bits
+/// outside `allowed` — undefined flags are a protocol error, not silently
+/// ignored, so a future flag cannot be half-understood.
+fn read_flags(op: Op, payload: &[u8]) -> Result<(u32, &[u8]), ProtocolError> {
+    if payload.len() < 4 {
+        return Err(ProtocolError::BadLength {
+            op,
+            expected: None,
+            got: payload.len(),
+        });
+    }
+    let flags = u32::from_le_bytes(payload[0..4].try_into().expect("4-byte slice"));
+    // Both cached ops currently define exactly bit 0.
+    if flags & !1 != 0 {
+        return Err(ProtocolError::BadFlags { op, flags });
+    }
+    Ok((flags, &payload[4..]))
+}
+
+/// Decodes the `width, height, pixels…` image layout shared by the segment
+/// request ops.
+fn decode_image(op: Op, payload: &[u8]) -> Result<RgbImage, ProtocolError> {
+    let (width, height, pixels) = read_dims(op, payload)?;
+    expect_len(op, payload, 8 + pixels * 3)?;
+    let data: Vec<Rgb<u8>> = payload[8..]
+        .chunks_exact(3)
+        .map(|c| Rgb::new(c[0], c[1], c[2]))
+        .collect();
+    RgbImage::from_vec(width, height, data)
+        .map_err(|_| ProtocolError::BadDimensions { width, height })
+}
+
+/// Decodes the `width, height, labels…` layout shared by the segment reply
+/// ops.
+fn decode_labels(op: Op, payload: &[u8]) -> Result<LabelMap, ProtocolError> {
+    let (width, height, pixels) = read_dims(op, payload)?;
+    expect_len(op, payload, 8 + pixels * 4)?;
+    let data: Vec<u32> = payload[8..]
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect();
+    LabelMap::from_vec(width, height, data)
+        .map_err(|_| ProtocolError::BadDimensions { width, height })
+}
+
 /// Decodes a payload into a [`Message`] given its (already validated) op.
 pub fn decode_body(op: Op, payload: &[u8]) -> Result<Message, ProtocolError> {
     match op {
-        Op::Segment => {
-            let (width, height, pixels) = read_dims(op, payload)?;
-            expect_len(op, payload, 8 + pixels * 3)?;
-            let data: Vec<Rgb<u8>> = payload[8..]
-                .chunks_exact(3)
-                .map(|c| Rgb::new(c[0], c[1], c[2]))
-                .collect();
-            let image = RgbImage::from_vec(width, height, data)
-                .map_err(|_| ProtocolError::BadDimensions { width, height })?;
-            Ok(Message::Segment { image })
+        Op::Segment => Ok(Message::Segment {
+            image: decode_image(op, payload)?,
+        }),
+        Op::SegmentReply => Ok(Message::SegmentReply {
+            labels: decode_labels(op, payload)?,
+        }),
+        Op::SegmentCached => {
+            let (flags, rest) = read_flags(op, payload)?;
+            Ok(Message::SegmentCached {
+                image: decode_image(op, rest)?,
+                bypass: flags & FLAG_BYPASS_CACHE != 0,
+            })
         }
-        Op::SegmentReply => {
-            let (width, height, pixels) = read_dims(op, payload)?;
-            expect_len(op, payload, 8 + pixels * 4)?;
-            let data: Vec<u32> = payload[8..]
-                .chunks_exact(4)
-                .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
-                .collect();
-            let labels = LabelMap::from_vec(width, height, data)
-                .map_err(|_| ProtocolError::BadDimensions { width, height })?;
-            Ok(Message::SegmentReply { labels })
+        Op::SegmentCachedReply => {
+            let (flags, rest) = read_flags(op, payload)?;
+            Ok(Message::SegmentCachedReply {
+                labels: decode_labels(op, rest)?,
+                cached: flags & FLAG_CACHE_HIT != 0,
+            })
         }
         Op::StatsReply | Op::Error => {
             let text = std::str::from_utf8(payload)
@@ -390,6 +500,14 @@ fn append_segment_payload(frame: &mut Vec<u8>, image: &RgbImage) {
     }
 }
 
+fn append_labels_payload(frame: &mut Vec<u8>, labels: &LabelMap) {
+    frame.extend_from_slice(&(labels.width() as u32).to_le_bytes());
+    frame.extend_from_slice(&(labels.height() as u32).to_le_bytes());
+    for label in labels.as_slice() {
+        frame.extend_from_slice(&label.to_le_bytes());
+    }
+}
+
 /// Encodes a full frame (header + payload) into a byte vector.
 ///
 /// Returns an error if the message's payload would exceed
@@ -402,9 +520,17 @@ pub fn encode_message(request_id: u64, message: &Message) -> Result<Vec<u8>, Pro
             checked_pixels(image.width(), image.height())?;
             8 + image.len() * 3
         }
+        Message::SegmentCached { image, .. } => {
+            checked_pixels(image.width(), image.height())?;
+            12 + image.len() * 3
+        }
         Message::SegmentReply { labels } => {
             checked_pixels(labels.width(), labels.height())?;
             8 + labels.len() * 4
+        }
+        Message::SegmentCachedReply { labels, .. } => {
+            checked_pixels(labels.width(), labels.height())?;
+            12 + labels.len() * 4
         }
         Message::StatsReply { text } => text.len(),
         Message::Error { message } => message.len(),
@@ -413,12 +539,16 @@ pub fn encode_message(request_id: u64, message: &Message) -> Result<Vec<u8>, Pro
     let mut frame = begin_frame(request_id, message.op(), capacity);
     match message {
         Message::Segment { image } => append_segment_payload(&mut frame, image),
-        Message::SegmentReply { labels } => {
-            frame.extend_from_slice(&(labels.width() as u32).to_le_bytes());
-            frame.extend_from_slice(&(labels.height() as u32).to_le_bytes());
-            for label in labels.as_slice() {
-                frame.extend_from_slice(&label.to_le_bytes());
-            }
+        Message::SegmentCached { image, bypass } => {
+            let flags = if *bypass { FLAG_BYPASS_CACHE } else { 0 };
+            frame.extend_from_slice(&flags.to_le_bytes());
+            append_segment_payload(&mut frame, image);
+        }
+        Message::SegmentReply { labels } => append_labels_payload(&mut frame, labels),
+        Message::SegmentCachedReply { labels, cached } => {
+            let flags = if *cached { FLAG_CACHE_HIT } else { 0 };
+            frame.extend_from_slice(&flags.to_le_bytes());
+            append_labels_payload(&mut frame, labels);
         }
         Message::StatsReply { text } => frame.extend_from_slice(text.as_bytes()),
         Message::Error { message } => frame.extend_from_slice(message.as_bytes()),
@@ -433,6 +563,21 @@ pub fn encode_message(request_id: u64, message: &Message) -> Result<Vec<u8>, Pro
 pub fn encode_segment(request_id: u64, image: &RgbImage) -> Result<Vec<u8>, ProtocolError> {
     checked_pixels(image.width(), image.height())?;
     let mut frame = begin_frame(request_id, Op::Segment, 8 + image.len() * 3);
+    append_segment_payload(&mut frame, image);
+    finish_frame(frame)
+}
+
+/// Borrowed-image encoder for [`Message::SegmentCached`] — byte-identical to
+/// `encode_message`, without cloning the pixels into a message first.
+pub fn encode_segment_cached(
+    request_id: u64,
+    image: &RgbImage,
+    bypass: bool,
+) -> Result<Vec<u8>, ProtocolError> {
+    checked_pixels(image.width(), image.height())?;
+    let mut frame = begin_frame(request_id, Op::SegmentCached, 12 + image.len() * 3);
+    let flags = if bypass { FLAG_BYPASS_CACHE } else { 0 };
+    frame.extend_from_slice(&flags.to_le_bytes());
     append_segment_payload(&mut frame, image);
     finish_frame(frame)
 }
@@ -492,6 +637,22 @@ mod tests {
             },
             Message::SegmentReply {
                 labels: LabelMap::from_vec(5, 3, (0..15).collect()).unwrap(),
+            },
+            Message::SegmentCached {
+                image: sample_image(),
+                bypass: false,
+            },
+            Message::SegmentCached {
+                image: sample_image(),
+                bypass: true,
+            },
+            Message::SegmentCachedReply {
+                labels: LabelMap::from_vec(5, 3, (0..15).collect()).unwrap(),
+                cached: true,
+            },
+            Message::SegmentCachedReply {
+                labels: LabelMap::from_vec(5, 3, (15..30).collect()).unwrap(),
+                cached: false,
             },
             Message::Ping,
             Message::Pong,
@@ -679,6 +840,59 @@ mod tests {
             ));
             assert!(decode_body(op, &[]).is_ok());
         }
+    }
+
+    #[test]
+    fn cached_segment_flags_round_trip_and_undefined_bits_are_rejected() {
+        let image = sample_image();
+        let frame = encode_segment_cached(11, &image, true).unwrap();
+        let via_message = encode_message(
+            11,
+            &Message::SegmentCached {
+                image: image.clone(),
+                bypass: true,
+            },
+        )
+        .unwrap();
+        assert_eq!(frame, via_message);
+        let (id, got) = decode_message(&frame).unwrap();
+        assert_eq!(id, 11);
+        assert_eq!(
+            got,
+            Message::SegmentCached {
+                image,
+                bypass: true
+            }
+        );
+
+        // An undefined flag bit is a typed error, not silently ignored.
+        let mut bad = frame.clone();
+        bad[HEADER_LEN] |= 0x02;
+        assert!(matches!(
+            decode_message(&bad).unwrap_err(),
+            ProtocolError::BadFlags {
+                op: Op::SegmentCached,
+                flags: 0x03,
+            }
+        ));
+        // A payload too short even for the flags word is a length error.
+        assert!(matches!(
+            decode_body(Op::SegmentCachedReply, &[0, 0]).unwrap_err(),
+            ProtocolError::BadLength { expected: None, .. }
+        ));
+    }
+
+    #[test]
+    fn version_1_frames_are_rejected_with_a_typed_error() {
+        let mut frame = encode_message(1, &Message::Ping).unwrap();
+        frame[4..6].copy_from_slice(&1u16.to_le_bytes());
+        match decode_message(&frame).unwrap_err() {
+            ProtocolError::BadVersion(1) => {}
+            other => panic!("expected BadVersion(1), got {other}"),
+        }
+        assert!(ProtocolError::BadVersion(1)
+            .to_string()
+            .contains("expected 2"));
     }
 
     #[test]

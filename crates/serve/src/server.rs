@@ -24,7 +24,7 @@
 
 use crate::protocol::{self, Header, Message, ProtocolError, HEADER_LEN};
 use crate::stats::{ServerStats, StatsSnapshot};
-use iqft_pipeline::{PipelineConfig, SegmentPipeline};
+use iqft_pipeline::{CacheConfig, PipelineConfig, SegmentPipeline};
 use iqft_seg::IqftClassifier;
 use seg_engine::SegmentPlan;
 use std::io::{self, Read};
@@ -56,6 +56,10 @@ pub struct ServerConfig {
     /// Maximum concurrently-executing `Segment` requests across all
     /// connections (0 = the plan's effective thread count).
     pub max_inflight: usize,
+    /// Content-addressed result cache for `SegmentCached` requests
+    /// (default: disabled).  The cache key is salted with the plan spec, so
+    /// a server never serves entries recorded under a different strategy.
+    pub cache: CacheConfig,
 }
 
 /// A counting semaphore bounding concurrent segment requests (std-only).
@@ -119,6 +123,11 @@ impl Shared {
     fn snapshot(&self, conn: &ConnStats) -> StatsSnapshot {
         let uptime_secs = self.started.elapsed().as_secs_f64();
         let pixels_total = self.stats.pixels_total();
+        let cache = self
+            .pipeline
+            .cache()
+            .map(|cache| cache.stats())
+            .unwrap_or_default();
         StatsSnapshot {
             plan: self.plan.to_spec(),
             uptime_secs,
@@ -137,6 +146,12 @@ impl Shared {
             arena_reuses: self.pipeline.arena().reuses(),
             arena_pooled: self.pipeline.arena().pooled(),
             max_inflight: self.max_inflight,
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            cache_evictions: cache.evictions,
+            cache_entries: cache.entries,
+            cache_bytes: cache.bytes,
+            cache_capacity_bytes: cache.capacity_bytes,
             conn_requests: conn.requests,
             conn_pixels: conn.pixels,
         }
@@ -185,7 +200,8 @@ impl Server {
             .with_config(PipelineConfig {
                 tiling: plan.tiling(),
                 ..PipelineConfig::default()
-            });
+            })
+            .with_cache(config.cache, &plan.to_spec());
         let max_inflight = if config.max_inflight == 0 {
             plan.engine().threads()
         } else {
@@ -477,19 +493,31 @@ fn handle_frame(
     shared.stats.request();
     conn.requests += 1;
     let header = match protocol::parse_header(&header) {
-        Ok(header) => header,
+        Ok(parsed) => parsed,
         Err(err) => {
             shared.stats.protocol_error();
-            reply_error(stream, 0, &err);
+            // If the magic matched, the id field's offset is shared by every
+            // protocol version — echo it so e.g. a v1 client can correlate
+            // the typed version error with its request.  Otherwise the
+            // stream is not speaking this protocol at all; echo 0.
+            let id = if header[0..4] == protocol::MAGIC {
+                u64::from_le_bytes(header[8..16].try_into().expect("8-byte slice"))
+            } else {
+                0
+            };
+            reply_error(stream, id, &err);
             return Ok(false);
         }
     };
-    // For Segment frames, take the execution permit *before* the payload is
+    // For segment frames, take the execution permit *before* the payload is
     // read: at most `max_inflight` request buffers (payload + decoded image)
     // exist at once, so a burst of heavy frames cannot oversubscribe memory
     // no matter how many connections are open.  The permit is held through
     // execution and released when this function returns.
-    let _permit = if header.op == protocol::Op::Segment {
+    let _permit = if matches!(
+        header.op,
+        protocol::Op::Segment | protocol::Op::SegmentCached
+    ) {
         Some(shared.gate.acquire())
     } else {
         None
@@ -541,6 +569,20 @@ fn execute(
             // Reply bytes are on the wire (or the connection is dead); either
             // way the buffer can go back to the arena for the next request.
             if let Message::SegmentReply { labels } = reply {
+                shared.pipeline.recycle(labels);
+            }
+            result?;
+            Ok(true)
+        }
+        Message::SegmentCached { image, bypass } => {
+            // Same shape as Segment, but routed through the result cache:
+            // a hit is a hash + memcpy, a miss segments and stores a copy.
+            let (labels, cached) = shared.pipeline.segment_request_cached(&image, bypass);
+            shared.stats.segmented(labels.len());
+            conn.pixels += labels.len() as u64;
+            let reply = Message::SegmentCachedReply { labels, cached };
+            let result = protocol::write_message(stream, header.request_id, &reply);
+            if let Message::SegmentCachedReply { labels, .. } = reply {
                 shared.pipeline.recycle(labels);
             }
             result?;
@@ -608,6 +650,7 @@ mod tests {
             ServerConfig {
                 plan,
                 max_inflight: 2,
+                ..ServerConfig::default()
             },
         )
         .unwrap();
@@ -630,6 +673,41 @@ mod tests {
         assert_eq!(stats.max_inflight, 2);
         assert_eq!(stats.plan, plan.to_spec());
 
+        client.shutdown().unwrap();
+        server.join();
+    }
+
+    #[test]
+    fn cached_requests_hit_after_first_miss_and_stats_report_it() {
+        let server = Server::bind(
+            "127.0.0.1:0",
+            ServerConfig {
+                plan: SegmentPlan::default(),
+                max_inflight: 2,
+                cache: CacheConfig::with_capacity_mb(8),
+            },
+        )
+        .unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        let img = test_image(5);
+        let expected = SegmentEngine::serial()
+            .segment_rgb(&IqftClassifier::paper_default(ClassifierKind::Exact), &img);
+        let (first, hit) = client.segment_cached(&img, false).unwrap();
+        assert!(!hit, "cold cache misses");
+        assert_eq!(first, expected);
+        let (second, hit) = client.segment_cached(&img, false).unwrap();
+        assert!(hit, "warm cache hits");
+        assert_eq!(second, expected, "hit is byte-identical to a fresh pass");
+        // Bypass skips the cache but still answers identically.
+        let (third, hit) = client.segment_cached(&img, true).unwrap();
+        assert!(!hit);
+        assert_eq!(third, expected);
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.cache_hits, 1, "{stats:?}");
+        assert_eq!(stats.cache_misses, 1, "{stats:?}");
+        assert_eq!(stats.cache_entries, 1);
+        assert_eq!(stats.cache_capacity_bytes, 8 << 20);
+        assert!(stats.cache_bytes > 0);
         client.shutdown().unwrap();
         server.join();
     }

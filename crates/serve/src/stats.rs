@@ -130,6 +130,18 @@ pub struct StatsSnapshot {
     pub arena_pooled: usize,
     /// Maximum concurrently-executing segment requests.
     pub max_inflight: usize,
+    /// Result-cache lookups answered from the cache (0 when disabled).
+    pub cache_hits: usize,
+    /// Result-cache lookups that missed (0 when disabled).
+    pub cache_misses: usize,
+    /// Result-cache entries evicted under the byte budget (0 when disabled).
+    pub cache_evictions: usize,
+    /// Entries resident in the result cache.
+    pub cache_entries: usize,
+    /// Bytes charged against the result cache's budget.
+    pub cache_bytes: usize,
+    /// The result cache's configured byte budget (0 = caching disabled).
+    pub cache_capacity_bytes: usize,
     /// Frames handled on the connection that asked for this snapshot.
     pub conn_requests: usize,
     /// Pixels segmented on the connection that asked for this snapshot.
@@ -159,6 +171,15 @@ impl StatsSnapshot {
         push("arena_reuses", self.arena_reuses.to_string());
         push("arena_pooled", self.arena_pooled.to_string());
         push("max_inflight", self.max_inflight.to_string());
+        push("cache_hits", self.cache_hits.to_string());
+        push("cache_misses", self.cache_misses.to_string());
+        push("cache_evictions", self.cache_evictions.to_string());
+        push("cache_entries", self.cache_entries.to_string());
+        push("cache_bytes", self.cache_bytes.to_string());
+        push(
+            "cache_capacity_bytes",
+            self.cache_capacity_bytes.to_string(),
+        );
         push("conn_requests", self.conn_requests.to_string());
         push("conn_pixels", self.conn_pixels.to_string());
         out
@@ -218,6 +239,20 @@ impl StatsSnapshot {
                 "max_inflight" => {
                     snapshot.max_inflight = value.parse().map_err(|_| bad("count"))?
                 }
+                "cache_hits" => snapshot.cache_hits = value.parse().map_err(|_| bad("count"))?,
+                "cache_misses" => {
+                    snapshot.cache_misses = value.parse().map_err(|_| bad("count"))?
+                }
+                "cache_evictions" => {
+                    snapshot.cache_evictions = value.parse().map_err(|_| bad("count"))?
+                }
+                "cache_entries" => {
+                    snapshot.cache_entries = value.parse().map_err(|_| bad("count"))?
+                }
+                "cache_bytes" => snapshot.cache_bytes = value.parse().map_err(|_| bad("count"))?,
+                "cache_capacity_bytes" => {
+                    snapshot.cache_capacity_bytes = value.parse().map_err(|_| bad("count"))?
+                }
                 "conn_requests" => {
                     snapshot.conn_requests = value.parse().map_err(|_| bad("count"))?
                 }
@@ -251,6 +286,12 @@ mod tests {
             arena_reuses: 94,
             arena_pooled: 6,
             max_inflight: 4,
+            cache_hits: 70,
+            cache_misses: 30,
+            cache_evictions: 5,
+            cache_entries: 25,
+            cache_bytes: 12_000_000,
+            cache_capacity_bytes: 64 << 20,
             conn_requests: 31,
             conn_pixels: 480_000,
         }

@@ -1,6 +1,7 @@
 //! Run the segmentation service end to end in one process: boot an
-//! `iqft-serve` daemon on an ephemeral loopback port, segment a synthetic
-//! scene over the wire, compare against a local pass, read the server's
+//! `iqft-serve` daemon (with a result cache) on an ephemeral loopback port,
+//! segment a synthetic scene over the wire, compare against a local pass,
+//! hit the cache, pipeline a burst of requests, read the server's
 //! statistics, and drain it.
 //!
 //! ```text
@@ -11,19 +12,22 @@
 //! another), use the CLI instead:
 //!
 //! ```text
-//! iqft-experiments serve   --addr 127.0.0.1:7870 --classifier table --tile 48x48
-//! iqft-experiments loadgen --addr 127.0.0.1:7870 --clients 4 --images 32 --shutdown
+//! iqft-experiments serve   --addr 127.0.0.1:7870 --classifier table --tile 48x48 --cache-mb 64
+//! iqft-experiments loadgen --addr 127.0.0.1:7870 --clients 4 --images 32 \
+//!                          --pipeline 4 --repeat-ratio 0.8 --shutdown
 //! ```
 
 use datasets::{PascalVocLikeConfig, PascalVocLikeDataset};
 use imaging::Segmenter;
+use iqft_pipeline::CacheConfig;
 use iqft_seg::IqftRgbSegmenter;
 use iqft_serve::{Client, Server, ServerConfig};
 use seg_engine::{SegmentPlan, Tiling};
 
 fn main() {
     // 1. Boot the daemon: one warm pipeline (phase-table classifier, tiled
-    //    fan-out) behind a TCP listener on an ephemeral port.
+    //    fan-out) plus a 64 MiB content-addressed result cache behind a TCP
+    //    listener on an ephemeral port.
     let plan = SegmentPlan::default().with_tiling(Tiling::Tiles {
         width: 48,
         height: 48,
@@ -33,6 +37,7 @@ fn main() {
         ServerConfig {
             plan,
             max_inflight: 2,
+            cache: CacheConfig::with_capacity_mb(64),
         },
     )
     .expect("bind loopback");
@@ -68,18 +73,46 @@ fn main() {
         sample.image.height()
     );
 
-    // 5. Ask the server how it is doing.
+    // 5. The same image through the cache: the first cached request misses
+    //    and stores, the second is answered from the cache — byte-identical.
+    let (miss, was_hit) = client
+        .segment_cached(&sample.image, false)
+        .expect("cached segment (miss)");
+    assert!(!was_hit, "cold cache must miss");
+    let (hit, was_hit) = client
+        .segment_cached(&sample.image, false)
+        .expect("cached segment (hit)");
+    assert!(was_hit, "warm cache must hit");
+    assert_eq!(miss, local);
+    assert_eq!(hit, local, "cache hit must be byte-identical");
+    println!("cache hit byte-identical to the fresh segmentation");
+
+    // 6. Pipeline a burst: four requests in flight on one connection,
+    //    replies matched back by id.
+    let burst = vec![&sample.image; 4];
+    let replies = client
+        .segment_pipelined(&burst, 4, true)
+        .expect("pipelined burst");
+    assert!(replies
+        .iter()
+        .all(|(labels, cached)| labels == &local && *cached));
+    println!("pipelined burst of {} served from the cache", replies.len());
+
+    // 7. Ask the server how it is doing.
     let stats = client.stats().expect("stats");
     println!(
-        "server stats: {} requests ({} segment), {:.3} Mpx, arena {} reuses / {} allocations",
+        "server stats: {} requests ({} segment), {:.3} Mpx, arena {} reuses / {} allocations, \
+         cache {} hits / {} misses",
         stats.requests_total,
         stats.segment_requests,
         stats.pixels_total as f64 / 1e6,
         stats.arena_reuses,
         stats.arena_allocations,
+        stats.cache_hits,
+        stats.cache_misses,
     );
 
-    // 6. Drain and stop.
+    // 8. Drain and stop.
     client.shutdown().expect("shutdown");
     server.join();
     println!("server drained and stopped");

@@ -15,9 +15,10 @@
 //! * [`seg_engine`] — the backend-aware engine and the `SegmentPlan`
 //!   strategy dispatch layer;
 //! * [`iqft_pipeline`] — the batched throughput pipeline (bounded queue,
-//!   label arena, per-request entry point);
-//! * [`iqft_serve`] — the TCP segmentation service (wire protocol, server,
-//!   client).
+//!   label arena, per-request entry point, and the sharded
+//!   content-addressed result cache);
+//! * [`iqft_serve`] — the TCP segmentation service (wire protocol v2 with
+//!   cached ops and pipelining, server, client).
 //!
 //! See the `examples/` directory for runnable entry points, the
 //! `iqft-experiments` binary (in `crates/experiments`) for the full

@@ -7,11 +7,12 @@
 //! always answered.
 
 use imaging::{LabelMap, Rgb, RgbImage};
+use iqft_pipeline::CacheConfig;
 use iqft_seg::IqftClassifier;
 use iqft_serve::{protocol, Client, Message, Server, ServerConfig};
 use seg_engine::{ClassifierKind, SegmentEngine, SegmentPlan, Tiling};
-use std::io::Write as _;
-use std::net::TcpStream;
+use std::io::{Read as _, Write as _};
+use std::net::{TcpListener, TcpStream};
 
 fn test_images(count: usize) -> Vec<RgbImage> {
     (0..count)
@@ -57,6 +58,7 @@ fn concurrent_clients_get_byte_identical_labels_for_every_classifier() {
                 ServerConfig {
                     plan,
                     max_inflight: 2,
+                    ..ServerConfig::default()
                 },
             )
             .expect("ephemeral bind");
@@ -112,6 +114,7 @@ fn shutdown_drains_in_flight_requests_without_losing_replies() {
         ServerConfig {
             plan: SegmentPlan::default(),
             max_inflight: 1, // serialise execution to keep requests queued longer
+            ..ServerConfig::default()
         },
     )
     .expect("ephemeral bind");
@@ -151,6 +154,239 @@ fn shutdown_drains_in_flight_requests_without_losing_replies() {
         Ok(mut client) => client.ping().is_err(),
     };
     assert!(refused, "server accepted traffic after draining");
+}
+
+/// Protocol v2: a v1 client hitting a v2 server gets a *typed* version
+/// error frame — no panic, no hang, and the diagnostic names both versions.
+#[test]
+fn v1_client_gets_a_typed_version_error_not_a_hang() {
+    let server = Server::bind("127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let addr = server.local_addr();
+
+    // Hand-roll a v1 frame: a valid v2 Ping frame with the version field
+    // patched back to 1 — exactly the bytes a v1 client would send.
+    let mut frame = protocol::encode_message(77, &Message::Ping).expect("encode");
+    frame[4..6].copy_from_slice(&1u16.to_le_bytes());
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(&frame).expect("write v1 frame");
+
+    let (id, reply) = protocol::read_message(&mut stream).expect("typed error reply");
+    assert_eq!(id, 77, "the version error echoes the v1 request id");
+    match reply {
+        Message::Error { message } => {
+            assert!(message.contains("version 1"), "{message}");
+            assert!(message.contains("expected 2"), "{message}");
+        }
+        other => panic!("expected a typed Error reply, got {other:?}"),
+    }
+    // The connection is closed after the error (framing may be lost)...
+    let mut rest = Vec::new();
+    stream.read_to_end(&mut rest).expect("clean close");
+    assert!(rest.is_empty());
+    // ...and the server keeps serving v2 clients.
+    let mut client = Client::connect(addr).expect("connect v2");
+    client.ping().expect("still alive");
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.protocol_errors, 1);
+    client.shutdown().expect("shutdown");
+    server.join();
+}
+
+/// Protocol v2 pipelining against a real server: a client streams all its
+/// requests with several in flight and still gets every reply matched back
+/// byte-identically, mixed cached and uncached.
+#[test]
+fn pipelined_requests_round_trip_byte_identically() {
+    let images = test_images(10);
+    let reference = reference_labels(&images);
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            plan: SegmentPlan::default(),
+            max_inflight: 2,
+            cache: CacheConfig::with_capacity_mb(16),
+        },
+    )
+    .expect("bind");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    // Repeated traffic: every image requested twice in one pipelined burst.
+    let refs: Vec<&RgbImage> = images.iter().chain(images.iter()).collect();
+    let replies = client
+        .segment_pipelined(&refs, 4, true)
+        .expect("pipelined segment");
+    assert_eq!(replies.len(), 20);
+    for (k, (labels, _cached)) in replies.iter().enumerate() {
+        assert_eq!(labels, &reference[k % images.len()], "request {k}");
+    }
+    // The second half repeats the first: the cache must have answered them.
+    let hits = replies.iter().filter(|(_, cached)| *cached).count();
+    assert_eq!(hits, 10, "every repeated image is a cache hit");
+
+    // Plain (uncached) pipelining works over the same connection too.
+    let replies = client
+        .segment_pipelined(&refs[..6], 3, false)
+        .expect("uncached pipelined segment");
+    for (k, (labels, cached)) in replies.iter().enumerate() {
+        assert_eq!(labels, &reference[k % images.len()]);
+        assert!(!cached, "plain Segment never reports a cache hit");
+    }
+    client.shutdown().expect("shutdown");
+    server.join();
+}
+
+/// Deadlock safety: a deep pipelined burst of frames far larger than any
+/// socket buffer (here ~2.1 MB requests / ~2.8 MB replies, 16 in flight)
+/// must complete — the client has to drain replies while it is still
+/// writing requests, because the server writes each reply before reading
+/// the next frame.
+#[test]
+fn deep_pipelined_burst_of_large_frames_does_not_deadlock() {
+    let image = RgbImage::from_fn(1000, 700, |x, y| {
+        Rgb::new((x / 4) as u8, (y / 3) as u8, ((x + y) / 7) as u8)
+    });
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            plan: SegmentPlan::default(),
+            max_inflight: 2,
+            cache: CacheConfig::with_capacity_mb(64),
+        },
+    )
+    .expect("bind");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let refs: Vec<&RgbImage> = (0..16).map(|_| &image).collect();
+    let replies = client
+        .segment_pipelined(&refs, protocol::MAX_PIPELINE_DEPTH, true)
+        .expect("deep burst completes");
+    assert_eq!(replies.len(), 16);
+    let expected = SegmentEngine::serial().segment_rgb(
+        &IqftClassifier::paper_default(ClassifierKind::Table),
+        &image,
+    );
+    for (k, (labels, _)) in replies.iter().enumerate() {
+        assert_eq!(labels, &expected, "request {k}");
+    }
+    let hits = replies.iter().filter(|(_, cached)| *cached).count();
+    assert_eq!(hits, 15, "all repeats served from the cache");
+    client.shutdown().expect("shutdown");
+    server.join();
+}
+
+/// The client's pipelined reader must not rely on reply order: a mock
+/// server reads a whole burst and answers it back-to-front.  The client
+/// still returns results in input order, byte-identically.
+#[test]
+fn pipelined_replies_arriving_out_of_order_are_reordered_by_id() {
+    let images = test_images(6);
+    let reference = reference_labels(&images);
+    let listener = TcpListener::bind("127.0.0.1:0").expect("mock bind");
+    let addr = listener.local_addr().expect("addr");
+
+    let mock = {
+        let reference = reference.clone();
+        std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().expect("accept");
+            // Collect the whole burst first...
+            let mut requests = Vec::new();
+            for _ in 0..6 {
+                let (id, message) = protocol::read_message(&mut stream).expect("request");
+                match message {
+                    Message::SegmentCached { image, .. } => requests.push((id, image)),
+                    other => panic!("mock expected SegmentCached, got {other:?}"),
+                }
+            }
+            // ...then reply in reverse arrival order (a legal completion
+            // order under protocol v2), alternating reply ops.
+            for (k, (id, image)) in requests.into_iter().rev().enumerate() {
+                let idx = images_index(&image);
+                let labels = reference[idx].clone();
+                let reply = if k % 2 == 0 {
+                    Message::SegmentCachedReply {
+                        labels,
+                        cached: true,
+                    }
+                } else {
+                    Message::SegmentReply { labels }
+                };
+                protocol::write_message(&mut stream, id, &reply).expect("reply");
+            }
+        })
+    };
+
+    // Identify which test image a mock-received frame carries.
+    fn images_index(image: &RgbImage) -> usize {
+        test_images(6)
+            .iter()
+            .position(|candidate| candidate == image)
+            .expect("mock received an unknown image")
+    }
+
+    let mut client = Client::connect(addr).expect("connect");
+    let refs: Vec<&RgbImage> = images.iter().collect();
+    let replies = client
+        .segment_pipelined(&refs, 6, true)
+        .expect("pipelined against mock");
+    mock.join().expect("mock thread");
+    assert_eq!(replies.len(), 6);
+    for (k, (labels, _)) in replies.iter().enumerate() {
+        assert_eq!(labels, &reference[k], "reply {k} reordered incorrectly");
+    }
+}
+
+/// Cache correctness under concurrency: several clients hammer the same
+/// image set through the cache while eviction churns (tiny budget); every
+/// reply — hit or miss — must be byte-identical to a fresh serial pass.
+#[test]
+fn concurrent_cached_clients_get_hit_and_miss_replies_byte_identical_to_fresh() {
+    let images = test_images(8);
+    let reference = reference_labels(&images);
+    // A budget that holds only a few entries forces constant eviction.
+    let entry_bytes = images[0].len() * 4 + 96;
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            plan: SegmentPlan::default(),
+            max_inflight: 3,
+            cache: CacheConfig {
+                capacity_bytes: entry_bytes * 6,
+                shards: 2,
+            },
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+
+    std::thread::scope(|scope| {
+        for client_idx in 0..3usize {
+            let images = &images;
+            let reference = &reference;
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                for round in 0..4 {
+                    for step in 0..images.len() {
+                        // Stagger the orders so clients race on the same keys.
+                        let idx = (step + client_idx * 3 + round) % images.len();
+                        let (labels, _cached) = client
+                            .segment_cached(&images[idx], false)
+                            .expect("cached segment");
+                        assert_eq!(labels, reference[idx], "client {client_idx} image {idx}");
+                    }
+                }
+            });
+        }
+    });
+
+    let mut probe = Client::connect(addr).expect("probe");
+    let stats = probe.stats().expect("stats");
+    assert!(stats.cache_hits > 0, "repeated traffic must hit: {stats:?}");
+    assert!(stats.cache_misses > 0, "cold keys must miss: {stats:?}");
+    assert!(
+        stats.cache_bytes <= entry_bytes * 6,
+        "budget respected: {stats:?}"
+    );
+    probe.shutdown().expect("shutdown");
+    server.join();
 }
 
 /// `segment` on an empty (0×0) image round-trips; malformed dimensions are
