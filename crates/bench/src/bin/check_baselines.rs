@@ -230,6 +230,31 @@ fn check_file_semantics(path: &Path, records: &[BTreeMap<String, Value>]) -> Res
             ));
         }
     }
+    if name == "BENCH_simd.json" {
+        // The quantized/SIMD hot path's reason to exist: the recorded
+        // dispatch kernel must beat the f64 phase table by at least the
+        // advertised 2× (the real margin on the recording host was ~4×, so
+        // this bound leaves room for noise without ever accepting a
+        // regression to parity).
+        let simd = rate_of(records, "simd_dispatch")
+            .ok_or("missing a 'simd_dispatch' record with a throughput pair")?;
+        let scalar = rate_of(records, "quant_scalar")
+            .ok_or("missing a 'quant_scalar' record with a throughput pair")?;
+        let table = rate_of(records, "phase_table")
+            .ok_or("missing a 'phase_table' record with a throughput pair")?;
+        if simd < 2.0 * table {
+            return Err(format!(
+                "SIMD dispatch ({simd:.0} elem/s) is below 2x the f64 \
+                 phase-table classifier ({table:.0} elem/s)"
+            ));
+        }
+        if scalar <= table {
+            return Err(format!(
+                "quantized scalar kernel ({scalar:.0} elem/s) does not beat \
+                 the f64 phase-table classifier ({table:.0} elem/s)"
+            ));
+        }
+    }
     Ok(())
 }
 
@@ -386,6 +411,47 @@ mod tests {
             .contains("table_no_cache"));
         // Other baseline files carry no cache-specific requirements.
         assert!(check_file_semantics(Path::new("BENCH_throughput.json"), &incomplete).is_ok());
+    }
+
+    #[test]
+    fn simd_baseline_semantics_require_the_recorded_2x_win() {
+        let record = |bench: &str, rate: f64| {
+            parse_flat_object(&format!(
+                r#"{{"group":"ablation_simd","bench":"{bench}","mean_ns":1000.0,"min_ns":900.0,"iters":10,"throughput_elems":1000,"elems_per_sec":{rate}}}"#
+            ))
+            .unwrap()
+        };
+        let path = Path::new("BENCH_simd.json");
+        let good = vec![
+            record("classify_rgb/phase_table", 1e8),
+            record("classify_rgb/quant_scalar", 1.5e8),
+            record("classify_rgb/simd_dispatch", 4e8),
+        ];
+        assert!(check_file_semantics(path, &good).is_ok());
+        // A SIMD rate under 2x the table is a regression even if it still wins.
+        let narrow = vec![
+            record("classify_rgb/phase_table", 1e8),
+            record("classify_rgb/quant_scalar", 1.5e8),
+            record("classify_rgb/simd_dispatch", 1.9e8),
+        ];
+        assert!(check_file_semantics(path, &narrow)
+            .unwrap_err()
+            .contains("below 2x"));
+        // The scalar quantized kernel must at least beat the f64 table.
+        let scalar_loses = vec![
+            record("classify_rgb/phase_table", 1e8),
+            record("classify_rgb/quant_scalar", 9e7),
+            record("classify_rgb/simd_dispatch", 4e8),
+        ];
+        assert!(check_file_semantics(path, &scalar_loses)
+            .unwrap_err()
+            .contains("does not beat"));
+        let incomplete = vec![record("classify_rgb/simd_dispatch", 4e8)];
+        assert!(check_file_semantics(path, &incomplete)
+            .unwrap_err()
+            .contains("quant_scalar"));
+        // Other baseline files carry no SIMD-specific requirements.
+        assert!(check_file_semantics(Path::new("BENCH_tiling.json"), &incomplete).is_ok());
     }
 
     #[test]

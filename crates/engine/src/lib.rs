@@ -143,10 +143,12 @@ impl SegmentEngine {
         let pixels = img.as_slice();
         labels.clear();
         labels.resize(pixels.len(), 0);
+        // Each disjoint chunk goes through the classifier's batched slice
+        // hook, so row/SIMD kernels (e.g. iqft-seg's quantized table)
+        // accelerate the whole-image path too; the default hook is a
+        // per-pixel loop, byte-identical to classify_rgb_pixel calls.
         self.backend.for_each_chunk_mut(labels, |start, chunk| {
-            for (offset, label) in chunk.iter_mut().enumerate() {
-                *label = classifier.classify_rgb_pixel(pixels[start + offset]);
-            }
+            classifier.classify_rgb_slice_into(&pixels[start..start + chunk.len()], chunk);
         });
     }
 
@@ -170,9 +172,7 @@ impl SegmentEngine {
         labels.clear();
         labels.resize(pixels.len(), 0);
         self.backend.for_each_chunk_mut(labels, |start, chunk| {
-            for (offset, label) in chunk.iter_mut().enumerate() {
-                *label = classifier.classify_gray_pixel(pixels[start + offset]);
-            }
+            classifier.classify_gray_slice_into(&pixels[start..start + chunk.len()], chunk);
         });
     }
 

@@ -23,9 +23,10 @@ use xpar::Backend;
 /// The classifier families the workspace implements for the paper's RGB
 /// algorithm, as selected by the `--classifier` flag.
 ///
-/// This enum is the single source of truth for the `exact|lut|table` flag
-/// vocabulary previously duplicated across the experiments CLI and the
-/// bench targets.
+/// This enum is the single source of truth for the
+/// `exact|lut|table|quant|simd` flag vocabulary previously duplicated across
+/// the experiments CLI and the bench targets; help text and error messages
+/// render it via [`ClassifierKind::FLAG_HELP`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ClassifierKind {
     /// Direct statevector-equivalent math per pixel (`IqftRgbSegmenter`).
@@ -36,24 +37,43 @@ pub enum ClassifierKind {
     /// the steady-state fast path and the default).
     #[default]
     Table,
+    /// Fixed-point log-space quantization of the phase table, scalar integer
+    /// inner loop (`QuantizedPhaseTable` pinned to its scalar kernel) —
+    /// labels bit-identical to `exact` via the built-in f64 oracle fallback.
+    Quant,
+    /// The quantized table with runtime-dispatched `std::arch` SIMD kernels
+    /// (AVX2 → SSE4.1 → SSE2, scalar elsewhere; `IQFT_SIMD` env overrides) —
+    /// same bit-identical labels, the raw-speed hot path.
+    Simd,
 }
 
 impl ClassifierKind {
     /// Every classifier kind, in flag order — handy for sweeps.
-    pub const ALL: [ClassifierKind; 3] = [
+    pub const ALL: [ClassifierKind; 5] = [
         ClassifierKind::Exact,
         ClassifierKind::Lut,
         ClassifierKind::Table,
+        ClassifierKind::Quant,
+        ClassifierKind::Simd,
     ];
 
-    /// Parses the `--classifier exact|lut|table` flag.
+    /// The full `--classifier` flag vocabulary, rendered once for help text
+    /// and error messages so every subcommand and bench enumerates the same
+    /// set.
+    pub const FLAG_HELP: &'static str = "exact|lut|table|quant|simd";
+
+    /// Parses the `--classifier` flag (one of
+    /// [`ClassifierKind::FLAG_HELP`]).
     pub fn from_flag(flag: &str) -> Result<Self, String> {
         match flag {
             "exact" => Ok(ClassifierKind::Exact),
             "lut" => Ok(ClassifierKind::Lut),
             "table" => Ok(ClassifierKind::Table),
+            "quant" => Ok(ClassifierKind::Quant),
+            "simd" => Ok(ClassifierKind::Simd),
             other => Err(format!(
-                "unknown classifier '{other}' (expected exact, lut or table)"
+                "unknown classifier '{other}' (expected one of {})",
+                Self::FLAG_HELP
             )),
         }
     }
@@ -65,7 +85,15 @@ impl ClassifierKind {
             ClassifierKind::Exact => "exact",
             ClassifierKind::Lut => "lut",
             ClassifierKind::Table => "table",
+            ClassifierKind::Quant => "quant",
+            ClassifierKind::Simd => "simd",
         }
+    }
+
+    /// Whether this kind classifies through the quantized fixed-point table
+    /// (and therefore reports oracle-fallback pixel counts).
+    pub fn is_quantized(self) -> bool {
+        matches!(self, ClassifierKind::Quant | ClassifierKind::Simd)
     }
 }
 

@@ -18,8 +18,8 @@
 //!   fig9    [--out DIR]        qualitative wins (xVIEW2-like)
 //!   fig10                      per-image θ adjustment
 //!   throughput [--images N] [--batch B] [--size S] [--seed S]
-//!              [--classifier exact|lut|table] [--tile WxH] [--cache-mb M]
-//!              [--no-verify]
+//!              [--classifier exact|lut|table|quant|simd] [--tile WxH]
+//!              [--cache-mb M] [--no-verify]
 //!                              batched pipeline service workload
 //!                              (--tile splits images into tile jobs;
 //!                              --cache-mb attaches the result cache and
@@ -330,6 +330,29 @@ fn main() {
                     },
                 ));
             }
+            // ... and the quantized SIMD classifier (whose default-on
+            // verification doubles as the exactness-oracle check), even when
+            // the user did not pass --classifier.
+            let quantized = matches!(
+                seg_engine::ClassifierKind::from_flag(&args.classifier),
+                Ok(kind) if kind.is_quantized()
+            );
+            if !quantized {
+                all.push('\n');
+                all.push_str(&throughput::throughput_report(
+                    &engine,
+                    &ThroughputConfig {
+                        images: args.images.min(16),
+                        batch: args.batch.min(8),
+                        image_size: args.size.min(96),
+                        seed: args.seed,
+                        classifier: "simd".to_string(),
+                        tile: args.tile.clone(),
+                        cache_mb: 0,
+                        verify: args.verify,
+                    },
+                ));
+            }
             // ... and the cached per-request serving path (byte-identity
             // verified the same way), even when the user did not pass
             // --cache-mb.
@@ -350,8 +373,12 @@ fn main() {
             all
         }
         "" | "help" | "--help" | "-h" => {
+            // The classifier set comes from ClassifierKind::FLAG_HELP — the
+            // one place the workspace enumerates it — so this usage line can
+            // never drift from what `--classifier` actually accepts.
             eprintln!(
-                "usage: iqft-experiments <table1|table2|table3|fig1-3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|throughput|serve|loadgen|ping|all> [--out DIR] [--samples N] [--voc N] [--xview N] [--size S] [--seed S] [--backend serial|threads|rayon] [--threads N] [--images N] [--batch B] [--classifier exact|lut|table] [--tile WxH] [--cache-mb M] [--no-verify] [--addr A] [--addr-file PATH] [--clients C] [--workers W] [--repeat-ratio R] [--pipeline K] [--expect-cache-hits] [--retries N] [--shutdown]"
+                "usage: iqft-experiments <table1|table2|table3|fig1-3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|throughput|serve|loadgen|ping|all> [--out DIR] [--samples N] [--voc N] [--xview N] [--size S] [--seed S] [--backend serial|threads|rayon] [--threads N] [--images N] [--batch B] [--classifier {}] [--tile WxH] [--cache-mb M] [--no-verify] [--addr A] [--addr-file PATH] [--clients C] [--workers W] [--repeat-ratio R] [--pipeline K] [--expect-cache-hits] [--retries N] [--shutdown]",
+                seg_engine::ClassifierKind::FLAG_HELP
             );
             return;
         }

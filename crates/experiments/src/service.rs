@@ -25,7 +25,8 @@ use std::time::{Duration, Instant};
 pub struct ServeCliConfig {
     /// Listen address (`--addr`), e.g. `127.0.0.1:7870`.
     pub addr: String,
-    /// Classifier flag (`--classifier exact|lut|table`).
+    /// Classifier flag (`--classifier`), one of
+    /// [`seg_engine::ClassifierKind::FLAG_HELP`].
     pub classifier: String,
     /// Tiling flag (`--tile off|WxH`).
     pub tile: String,

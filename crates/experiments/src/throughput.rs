@@ -5,13 +5,19 @@
 //! `--images N` synthetic frames are pushed through a [`SegmentPipeline`] in
 //! batches of `--batch B`, label buffers are recycled between batches, and
 //! per-batch throughput/latency plus arena allocation counters are reported.
-//! Three classifier modes are exposed:
+//! Five classifier modes are exposed (the full
+//! [`ClassifierKind::FLAG_HELP`] set):
 //!
 //! * `exact` — the direct [`IqftRgbSegmenter`] (statevector-equivalent math
 //!   per pixel);
 //! * `lut` — the lazy per-colour memoising `LutRgbSegmenter`;
 //! * `table` — the eager `PhaseTable` fast path (three table lookups per
-//!   pixel; the steady-state winner).
+//!   pixel);
+//! * `quant` — the fixed-point quantized table pinned to its portable
+//!   scalar kernel;
+//! * `simd` — the quantized table with runtime-dispatched `std::arch`
+//!   kernels (the steady-state winner; both quantized modes stay
+//!   bit-identical to `exact` via their built-in f64 oracle).
 //!
 //! Strategy selection goes through one dispatch point: the flags are parsed
 //! into a [`SegmentPlan`] (`seg_engine::ClassifierKind` ×
@@ -27,7 +33,7 @@
 //! for every classifier × tiling × backend combination by construction).
 
 use datasets::{PascalVocLikeConfig, PascalVocLikeDataset};
-use imaging::{LabelMap, PixelClassifier, RgbImage, Segmenter};
+use imaging::{LabelMap, RgbImage, Segmenter};
 use iqft_pipeline::{CacheConfig, PipelineConfig, PipelineReport, SegmentPipeline};
 use iqft_seg::{IqftClassifier, IqftRgbSegmenter};
 use seg_engine::{ClassifierKind, SegmentEngine, SegmentPlan, Tiling};
@@ -44,8 +50,9 @@ pub struct ThroughputConfig {
     pub image_size: usize,
     /// Dataset seed (`--seed`).
     pub seed: u64,
-    /// Classifier mode: `exact`, `lut` or `table` (`--classifier`), parsed
-    /// by [`ClassifierKind::from_flag`].
+    /// Classifier mode (`--classifier`), one of
+    /// [`ClassifierKind::FLAG_HELP`], parsed by
+    /// [`ClassifierKind::from_flag`].
     pub classifier: String,
     /// Work decomposition: `off` for whole-image jobs or `WxH` for tile
     /// jobs (`--tile`), parsed by [`Tiling::from_flag`].
@@ -102,15 +109,15 @@ pub fn throughput_images(config: &ThroughputConfig) -> Vec<RgbImage> {
     .collect()
 }
 
-fn run_pipeline<C: PixelClassifier + Sync>(
+fn run_pipeline(
     engine: &SegmentEngine,
-    classifier: C,
+    classifier: IqftClassifier,
     images: &[RgbImage],
     batch: usize,
     tiling: Tiling,
     cache_mb: usize,
     cache_salt: &str,
-) -> (Vec<LabelMap>, PipelineReport) {
+) -> (Vec<LabelMap>, PipelineReport, u64) {
     let pipeline = SegmentPipeline::new(*engine, classifier)
         .with_config(PipelineConfig {
             tiling,
@@ -137,17 +144,21 @@ fn run_pipeline<C: PixelClassifier + Sync>(
         .into_iter()
         .map(|slot| slot.expect("pipeline visited every image"))
         .collect();
-    (outputs, report)
+    let quant_fallbacks = pipeline.classifier().quant_fallback_pixels();
+    (outputs, report, quant_fallbacks)
 }
 
-/// Runs the configured stream and returns `(labels, report)`.  The whole
-/// strategy — classifier kind, tiling, backend — is resolved here through a
-/// single [`SegmentPlan`]; errors on an unknown classifier or tile flag.
+/// Runs the configured stream and returns `(labels, report, quant
+/// fallbacks)` — the last is the number of pixels a quantized classifier
+/// routed through its f64 exactness oracle (0 for non-quantized kinds).
+/// The whole strategy — classifier kind, tiling, backend — is resolved here
+/// through a single [`SegmentPlan`]; errors on an unknown classifier or
+/// tile flag.
 pub fn throughput_run(
     engine: &SegmentEngine,
     config: &ThroughputConfig,
     images: &[RgbImage],
-) -> Result<(Vec<LabelMap>, PipelineReport), String> {
+) -> Result<(Vec<LabelMap>, PipelineReport, u64), String> {
     let plan = config.plan(engine)?;
     Ok(run_pipeline(
         engine,
@@ -163,10 +174,13 @@ pub fn throughput_run(
 /// Runs the whole subcommand and renders the human-readable report.
 pub fn throughput_report(engine: &SegmentEngine, config: &ThroughputConfig) -> String {
     let images = throughput_images(config);
-    let (labels, report) = match throughput_run(engine, config, &images) {
+    let (labels, report, quant_fallbacks) = match throughput_run(engine, config, &images) {
         Ok(result) => result,
         Err(message) => return message,
     };
+    let quantized = ClassifierKind::from_flag(&config.classifier)
+        .map(ClassifierKind::is_quantized)
+        .unwrap_or(false);
 
     let mut out = String::new();
     let _ = writeln!(
@@ -223,6 +237,19 @@ pub fn throughput_report(engine: &SegmentEngine, config: &ThroughputConfig) -> S
             report.cache_evictions,
             report.cache_entries,
             report.cache_bytes as f64 / (1 << 20) as f64,
+        );
+    }
+    if quantized {
+        let _ = writeln!(
+            out,
+            "  quant: {} of {} pixels resolved by the f64 exactness oracle ({:.4}%)",
+            quant_fallbacks,
+            report.pixels(),
+            if report.pixels() > 0 {
+                quant_fallbacks as f64 * 100.0 / report.pixels() as f64
+            } else {
+                0.0
+            },
         );
     }
 
@@ -282,14 +309,19 @@ mod tests {
                     .segment_rgb(img)
             })
             .collect();
-        for mode in ["exact", "lut", "table"] {
+        for kind in ClassifierKind::ALL {
+            let mode = kind.flag();
             for tile in ["off", "16x16", "13x7"] {
                 let mut config = small_config(mode);
                 config.tile = tile.to_string();
-                let (labels, report) = throughput_run(&engine, &config, &images).unwrap();
+                let (labels, report, fallbacks) =
+                    throughput_run(&engine, &config, &images).unwrap();
                 assert_eq!(labels, reference, "mode {mode} tile {tile}");
                 assert_eq!(report.images(), 6);
                 assert_eq!(report.batches.len(), 3);
+                if !kind.is_quantized() {
+                    assert_eq!(fallbacks, 0, "mode {mode} has no oracle path");
+                }
             }
         }
     }
@@ -308,7 +340,7 @@ mod tests {
                     .segment_rgb(img)
             })
             .collect();
-        let (labels, report) = throughput_run(&engine, &config, &images).unwrap();
+        let (labels, report, _) = throughput_run(&engine, &config, &images).unwrap();
         assert_eq!(labels, reference);
         // Distinct images: every request misses and is stored.
         assert_eq!(report.cache_misses, 6, "{report:?}");
@@ -362,11 +394,23 @@ mod tests {
         assert!(report.contains("batch   0"), "{report}");
         assert!(report.contains("byte-identical"), "{report}");
         assert!(report.contains("arena"), "{report}");
+        assert!(!report.contains("quant:"), "{report}");
         // --no-verify drops the verification pass.
         let mut config = small_config("table");
         config.verify = false;
         let silent = throughput_report(&engine, &config);
         assert!(!silent.contains("verify:"), "{silent}");
+    }
+
+    #[test]
+    fn quantized_report_surfaces_the_oracle_fallback_line() {
+        let engine = SegmentEngine::with_threads(2);
+        for mode in ["quant", "simd"] {
+            let report = throughput_report(&engine, &small_config(mode));
+            assert!(report.contains("quant:"), "{report}");
+            assert!(report.contains("exactness oracle"), "{report}");
+            assert!(report.contains("byte-identical"), "{report}");
+        }
     }
 
     #[test]

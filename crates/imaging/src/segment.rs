@@ -53,12 +53,61 @@ pub trait PixelClassifier {
         self.classify_rgb_pixel(Rgb::new(v, v, v))
     }
 
+    /// Classifies a contiguous run of RGB pixels into a matching label
+    /// slice — the batch-level hook every bulk execution path routes
+    /// through.
+    ///
+    /// The `SegmentEngine`'s chunk-parallel whole-image pass hands each
+    /// worker's chunk here, and the view/tile row loop
+    /// ([`PixelClassifier::classify_rgb_view_into`]) hands each contiguous
+    /// row here, so a classifier that can batch work — e.g. a SIMD kernel
+    /// over a row — overrides this one method and accelerates every
+    /// execution path (whole-image, tiled, pipelined, served) at once.
+    ///
+    /// The default is a per-pixel loop, byte-identical to calling
+    /// [`PixelClassifier::classify_rgb_pixel`] on each element; overrides
+    /// must preserve that equivalence so backends, tilings and batch sizes
+    /// stay interchangeable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pixels` and `out` differ in length.
+    fn classify_rgb_slice_into(&self, pixels: &[Rgb<u8>], out: &mut [u32]) {
+        assert_eq!(
+            pixels.len(),
+            out.len(),
+            "label slice does not match the pixel slice"
+        );
+        for (label, &pixel) in out.iter_mut().zip(pixels) {
+            *label = self.classify_rgb_pixel(pixel);
+        }
+    }
+
+    /// Grayscale counterpart of [`PixelClassifier::classify_rgb_slice_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pixels` and `out` differ in length.
+    fn classify_gray_slice_into(&self, pixels: &[Luma<u8>], out: &mut [u32]) {
+        assert_eq!(
+            pixels.len(),
+            out.len(),
+            "label slice does not match the pixel slice"
+        );
+        for (label, &pixel) in out.iter_mut().zip(pixels) {
+            *label = self.classify_gray_pixel(pixel);
+        }
+    }
+
     /// Classifies every pixel of an RGB view into a matching label view,
     /// row by row — the zero-copy tile work unit behind `segment_tiled`.
     ///
-    /// Because each label is a pure function of its own pixel, classifying a
-    /// tile this way writes exactly the labels a whole-image pass would, so
-    /// any tile decomposition reassembles byte-identically.
+    /// Each contiguous row goes through
+    /// [`PixelClassifier::classify_rgb_slice_into`], so a classifier with a
+    /// batched row kernel accelerates tiles for free.  Because each label is
+    /// a pure function of its own pixel, classifying a tile this way writes
+    /// exactly the labels a whole-image pass would, so any tile
+    /// decomposition reassembles byte-identically.
     ///
     /// # Panics
     ///
@@ -70,11 +119,7 @@ pub trait PixelClassifier {
             "label view does not match the pixel view"
         );
         for y in 0..view.height() {
-            let src = view.row(y);
-            let dst = out.row_mut(y);
-            for (label, &pixel) in dst.iter_mut().zip(src) {
-                *label = self.classify_rgb_pixel(pixel);
-            }
+            self.classify_rgb_slice_into(view.row(y), out.row_mut(y));
         }
     }
 
@@ -90,11 +135,7 @@ pub trait PixelClassifier {
             "label view does not match the pixel view"
         );
         for y in 0..view.height() {
-            let src = view.row(y);
-            let dst = out.row_mut(y);
-            for (label, &pixel) in dst.iter_mut().zip(src) {
-                *label = self.classify_gray_pixel(pixel);
-            }
+            self.classify_gray_slice_into(view.row(y), out.row_mut(y));
         }
     }
 }

@@ -2,13 +2,15 @@
 //!
 //! `seg-engine`'s [`SegmentPlan`] names classifier
 //! *families* without knowing any algorithm; this module materialises the
-//! paper's RGB algorithm for each family.  All three variants label every
-//! pixel identically (the LUT and phase-table paths are byte-identical to
-//! the exact path by construction), so a plan can switch kinds freely
-//! without changing a single output label — only throughput changes.
+//! paper's RGB algorithm for each family.  All variants label every
+//! pixel identically (the LUT, phase-table and quantized paths are
+//! byte-identical to the exact path by construction), so a plan can switch
+//! kinds freely without changing a single output label — only throughput
+//! changes.
 
 use crate::lut::LutRgbSegmenter;
 use crate::phase_table::PhaseTable;
+use crate::quant::{QuantizedPhaseTable, SimdLevel};
 use crate::rgb::IqftRgbSegmenter;
 use crate::theta::ThetaParams;
 use imaging::{LabelMap, Luma, PixelClassifier, Rgb, RgbImage, Segmenter};
@@ -43,6 +45,11 @@ pub enum IqftClassifier {
     Lut(LutRgbSegmenter),
     /// Eager precomputed phase table (three lookups per pixel).
     Table(PhaseTable),
+    /// Fixed-point quantized table pinned to the portable scalar kernel.
+    Quant(QuantizedPhaseTable),
+    /// Fixed-point quantized table with runtime-dispatched `std::arch`
+    /// SIMD kernels (scalar fallback off x86-64; `IQFT_SIMD` pins a level).
+    Simd(QuantizedPhaseTable),
 }
 
 impl IqftClassifier {
@@ -53,6 +60,12 @@ impl IqftClassifier {
             ClassifierKind::Exact => IqftClassifier::Exact(exact),
             ClassifierKind::Lut => IqftClassifier::Lut(LutRgbSegmenter::new(exact)),
             ClassifierKind::Table => IqftClassifier::Table(PhaseTable::from_segmenter(&exact)),
+            ClassifierKind::Quant => IqftClassifier::Quant(
+                QuantizedPhaseTable::from_segmenter(&exact).with_simd(SimdLevel::Scalar),
+            ),
+            ClassifierKind::Simd => {
+                IqftClassifier::Simd(QuantizedPhaseTable::from_segmenter(&exact))
+            }
         }
     }
 
@@ -74,6 +87,8 @@ impl IqftClassifier {
             IqftClassifier::Exact(_) => ClassifierKind::Exact,
             IqftClassifier::Lut(_) => ClassifierKind::Lut,
             IqftClassifier::Table(_) => ClassifierKind::Table,
+            IqftClassifier::Quant(_) => ClassifierKind::Quant,
+            IqftClassifier::Simd(_) => ClassifierKind::Simd,
         }
     }
 
@@ -83,15 +98,37 @@ impl IqftClassifier {
             IqftClassifier::Exact(seg) => seg.thetas(),
             IqftClassifier::Lut(seg) => seg.inner().thetas(),
             IqftClassifier::Table(table) => table.thetas(),
+            IqftClassifier::Quant(table) | IqftClassifier::Simd(table) => table.thetas(),
         }
     }
 
-    /// Classifies one pixel — identical across all three variants.
+    /// Total pixels the quantized variants routed through their f64
+    /// exactness oracle because the quantized arg-max was ambiguous
+    /// (see [`QuantizedPhaseTable::fallback_pixels`]).  Zero for the
+    /// non-quantized variants, which have no fallback path.
+    pub fn quant_fallback_pixels(&self) -> u64 {
+        match self {
+            IqftClassifier::Quant(table) | IqftClassifier::Simd(table) => table.fallback_pixels(),
+            _ => 0,
+        }
+    }
+
+    /// The SIMD kernel the quantized variants dispatch to (`None` for the
+    /// non-quantized variants).
+    pub fn simd_level(&self) -> Option<SimdLevel> {
+        match self {
+            IqftClassifier::Quant(table) | IqftClassifier::Simd(table) => Some(table.simd_level()),
+            _ => None,
+        }
+    }
+
+    /// Classifies one pixel — identical across all variants.
     pub fn classify(&self, pixel: Rgb<u8>) -> u32 {
         match self {
             IqftClassifier::Exact(seg) => seg.classify(pixel),
             IqftClassifier::Lut(seg) => seg.classify(pixel),
             IqftClassifier::Table(table) => table.classify(pixel),
+            IqftClassifier::Quant(table) | IqftClassifier::Simd(table) => table.classify(pixel),
         }
     }
 
@@ -101,6 +138,7 @@ impl IqftClassifier {
             IqftClassifier::Exact(seg) => seg.segment_rgb(img),
             IqftClassifier::Lut(seg) => seg.segment_rgb(img),
             IqftClassifier::Table(table) => table.segment_rgb(img),
+            IqftClassifier::Quant(table) | IqftClassifier::Simd(table) => table.segment_rgb(img),
         }
     }
 }
@@ -113,6 +151,26 @@ impl PixelClassifier for IqftClassifier {
     fn classify_gray_pixel(&self, pixel: Luma<u8>) -> u32 {
         let v = pixel.value();
         self.classify(Rgb::new(v, v, v))
+    }
+
+    fn classify_rgb_slice_into(&self, pixels: &[Rgb<u8>], out: &mut [u32]) {
+        match self {
+            // The quantized variants have a batched row kernel; forward so
+            // every bulk path (engine chunks, tile rows) picks it up.
+            IqftClassifier::Quant(table) | IqftClassifier::Simd(table) => {
+                table.classify_slice(pixels, out);
+            }
+            _ => {
+                assert_eq!(
+                    pixels.len(),
+                    out.len(),
+                    "label slice does not match the pixel slice"
+                );
+                for (label, &pixel) in out.iter_mut().zip(pixels) {
+                    *label = self.classify(pixel);
+                }
+            }
+        }
     }
 }
 
@@ -143,7 +201,12 @@ mod tests {
     fn all_kinds_classify_identically() {
         let thetas = ThetaParams::new(1.3, 2.9, 0.4);
         let exact = IqftClassifier::build(ClassifierKind::Exact, thetas);
-        for kind in [ClassifierKind::Lut, ClassifierKind::Table] {
+        for kind in [
+            ClassifierKind::Lut,
+            ClassifierKind::Table,
+            ClassifierKind::Quant,
+            ClassifierKind::Simd,
+        ] {
             let other = IqftClassifier::build(kind, thetas);
             for pixel in [
                 Rgb::new(0, 0, 0),
@@ -199,5 +262,29 @@ mod tests {
         let img = test_image();
         let labels = SegmentEngine::serial().segment_rgb(&IqftClassifier::for_plan(&plan), &img);
         assert_eq!(labels.dimensions(), img.dimensions());
+    }
+
+    #[test]
+    fn quant_pins_scalar_and_simd_dispatches() {
+        let quant = IqftClassifier::paper_default(ClassifierKind::Quant);
+        assert_eq!(quant.simd_level(), Some(SimdLevel::Scalar));
+        let simd = IqftClassifier::paper_default(ClassifierKind::Simd);
+        assert!(simd.simd_level().unwrap().is_supported());
+        let exact = IqftClassifier::paper_default(ClassifierKind::Exact);
+        assert_eq!(exact.simd_level(), None);
+        assert_eq!(exact.quant_fallback_pixels(), 0);
+    }
+
+    #[test]
+    fn fallback_counter_surfaces_through_the_enum() {
+        // White under θ = π ties states 3 and 5 exactly, so each white
+        // pixel consults the oracle — the counter must be visible through
+        // the enum accessor.
+        let quant = IqftClassifier::paper_default(ClassifierKind::Quant);
+        let white = Rgb::new(255, 255, 255);
+        let mut out = [0u32; 3];
+        quant.classify_rgb_slice_into(&[white; 3], &mut out);
+        assert_eq!(out, [3, 3, 3]);
+        assert_eq!(quant.quant_fallback_pixels(), 3);
     }
 }

@@ -23,6 +23,10 @@
 //! * [`phase_table`] — an *eager* 3 × 256-entry phase table precomputed per
 //!   [`ThetaParams`]: steady-state classification is three table lookups,
 //!   byte-identical to the exact path (the throughput pipeline's fast path).
+//! * [`quant`] — a fixed-point, log-space quantization of the phase table
+//!   with runtime-dispatched `std::arch` SIMD kernels (SSE2/SSE4.1/AVX2)
+//!   and a per-pixel f64 exactness oracle: still bit-identical to the exact
+//!   path, by construction (the fastest classifier in the workspace).
 //! * [`classifier`] — [`IqftClassifier`], the concrete classifier behind a
 //!   `seg_engine::ClassifierKind`: one enum that plan-driven callers build
 //!   from the `--classifier` flag (all variants label identically).
@@ -60,6 +64,7 @@ pub mod foreground;
 pub mod gray;
 pub mod lut;
 pub mod phase_table;
+pub mod quant;
 pub mod rgb;
 pub mod theta;
 
@@ -73,6 +78,7 @@ pub use foreground::{reduce_to_foreground, ForegroundPolicy};
 pub use gray::IqftGraySegmenter;
 pub use lut::LutRgbSegmenter;
 pub use phase_table::PhaseTable;
+pub use quant::{QuantizedPhaseTable, SimdLevel};
 pub use rgb::IqftRgbSegmenter;
 pub use seg_engine::SegmentEngine;
 pub use theta::ThetaParams;

@@ -157,9 +157,17 @@ impl PhaseTable {
         self.factors.len()
     }
 
-    /// The factor vector for register qubit `q` at channel value `v`.
-    fn factor(&self, q: usize, v: u8) -> &[f64; NUM_STATES] {
+    /// The factor vector for register qubit `q` at channel value `v` (also
+    /// the source data the quantized table in [`crate::quant`] is derived
+    /// from).
+    pub(crate) fn factor(&self, q: usize, v: u8) -> &[f64; NUM_STATES] {
         &self.factors[q * CHANNEL_VALUES + v as usize]
+    }
+
+    /// The register-position → RGB-channel mapping the table was built with
+    /// (shared with the quantized table so both index pixels identically).
+    pub(crate) fn channel_of_qubit(&self) -> [usize; 3] {
+        self.channel_of_qubit
     }
 
     /// The measurement probability of each basis state for `pixel` —

@@ -152,6 +152,7 @@ impl Shared {
             cache_entries: cache.entries,
             cache_bytes: cache.bytes,
             cache_capacity_bytes: cache.capacity_bytes,
+            quant_fallback_pixels: self.pipeline.classifier().quant_fallback_pixels(),
             conn_requests: conn.requests,
             conn_pixels: conn.pixels,
         }

@@ -142,6 +142,10 @@ pub struct StatsSnapshot {
     pub cache_bytes: usize,
     /// The result cache's configured byte budget (0 = caching disabled).
     pub cache_capacity_bytes: usize,
+    /// Pixels the quantized classifier routed through its f64 exactness
+    /// oracle because the fixed-point arg-max was ambiguous (0 for
+    /// non-quantized classifier kinds, which have no fallback path).
+    pub quant_fallback_pixels: u64,
     /// Frames handled on the connection that asked for this snapshot.
     pub conn_requests: usize,
     /// Pixels segmented on the connection that asked for this snapshot.
@@ -179,6 +183,10 @@ impl StatsSnapshot {
         push(
             "cache_capacity_bytes",
             self.cache_capacity_bytes.to_string(),
+        );
+        push(
+            "quant_fallback_pixels",
+            self.quant_fallback_pixels.to_string(),
         );
         push("conn_requests", self.conn_requests.to_string());
         push("conn_pixels", self.conn_pixels.to_string());
@@ -253,6 +261,9 @@ impl StatsSnapshot {
                 "cache_capacity_bytes" => {
                     snapshot.cache_capacity_bytes = value.parse().map_err(|_| bad("count"))?
                 }
+                "quant_fallback_pixels" => {
+                    snapshot.quant_fallback_pixels = value.parse().map_err(|_| bad("count"))?
+                }
                 "conn_requests" => {
                     snapshot.conn_requests = value.parse().map_err(|_| bad("count"))?
                 }
@@ -292,6 +303,7 @@ mod tests {
             cache_entries: 25,
             cache_bytes: 12_000_000,
             cache_capacity_bytes: 64 << 20,
+            quant_fallback_pixels: 17,
             conn_requests: 31,
             conn_pixels: 480_000,
         }

@@ -276,6 +276,72 @@ fn tiled_pipeline_batches_are_byte_identical_to_whole_image() {
     }
 }
 
+/// Acceptance criterion, quantized layer: the quantized scalar kernel, the
+/// runtime SIMD dispatch, and every supported `std::arch` kernel produce
+/// label maps byte-identical to the exact f64 classifier — whole-image and
+/// tiled (7×3 and 64×64 against a 53×37 image, so edge tiles are clamped
+/// and non-divisible), across every engine backend, through both the engine
+/// and the `SegmentPlan` dispatch point.
+#[test]
+fn quantized_and_simd_classifiers_are_byte_identical_to_exact() {
+    use iqft_seg::{QuantizedPhaseTable, SimdLevel};
+
+    let mut rng = ChaCha8Rng::seed_from_u64(6001);
+    let img = random_image(&mut rng, 53, 37);
+    let (w, h) = img.dimensions();
+    let exact = IqftClassifier::paper_default(ClassifierKind::Exact);
+    let whole = SegmentEngine::serial().segment_rgb(&exact, &img);
+    let tile_sizes = [(7usize, 3usize), (64, 64), (w, h)];
+
+    for kind in [ClassifierKind::Quant, ClassifierKind::Simd] {
+        let classifier = IqftClassifier::paper_default(kind);
+        for (name, engine) in all_engines() {
+            assert_eq!(
+                engine.segment_rgb(&classifier, &img),
+                whole,
+                "{kind} via {name}, whole image"
+            );
+            for (tw, th) in tile_sizes {
+                let plan = SegmentPlan::new(
+                    kind,
+                    Tiling::Tiles {
+                        width: tw,
+                        height: th,
+                    },
+                    engine.backend(),
+                );
+                assert_eq!(
+                    plan.segment_rgb(&classifier, &img),
+                    whole,
+                    "{kind} plan via {name}, tile {tw}x{th}"
+                );
+            }
+        }
+    }
+
+    // Every supported std::arch kernel agrees with the pinned scalar
+    // quantized kernel byte-for-byte — labels and oracle-fallback counts.
+    let scalar = QuantizedPhaseTable::paper_default().with_simd(SimdLevel::Scalar);
+    let scalar_labels = SegmentEngine::serial().segment_rgb(&scalar, &img);
+    assert_eq!(scalar_labels, whole, "scalar quantized vs exact");
+    for level in SimdLevel::ALL {
+        if !level.is_supported() {
+            continue;
+        }
+        let kernel = QuantizedPhaseTable::paper_default().with_simd(level);
+        assert_eq!(
+            SegmentEngine::serial().segment_rgb(&kernel, &img),
+            scalar_labels,
+            "kernel {level} vs scalar quantized"
+        );
+        assert_eq!(
+            kernel.fallback_pixels(),
+            scalar.fallback_pixels(),
+            "fallback count at {level}"
+        );
+    }
+}
+
 /// Acceptance criterion, harness layer: the full evaluation pipeline (the
 /// code path behind `iqft-experiments table3 --backend ...`) produces
 /// byte-identical label maps and scores when batched on `threads N` vs
