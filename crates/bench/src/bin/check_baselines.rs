@@ -213,6 +213,20 @@ fn rate_of(records: &[BTreeMap<String, Value>], needle: &str) -> Option<f64> {
     )
 }
 
+/// Extracts a record's `throughput_elems` when its `bench` id contains
+/// `needle`.  The serve-scaling baseline rides per-connection RSS bytes in
+/// this column.
+fn elems_of(records: &[BTreeMap<String, Value>], needle: &str) -> Option<f64> {
+    records.iter().find_map(
+        |record| match (record.get("bench"), record.get("throughput_elems")) {
+            (Some(Value::String(bench)), Some(Value::Number(elems))) if bench.contains(needle) => {
+                Some(*elems)
+            }
+            _ => None,
+        },
+    )
+}
+
 /// File-specific semantic checks on top of the generic schema: the cache
 /// baseline must demonstrate the cache's reason to exist — the hit path
 /// beating the uncached phase-table classifier on repeated traffic.
@@ -252,6 +266,37 @@ fn check_file_semantics(path: &Path, records: &[BTreeMap<String, Value>]) -> Res
             return Err(format!(
                 "quantized scalar kernel ({scalar:.0} elem/s) does not beat \
                  the f64 phase-table classifier ({table:.0} elem/s)"
+            ));
+        }
+    }
+    if name == "BENCH_serve_scaling.json" {
+        // The evented core's reason to exist: per-connection memory
+        // (recorded as RSS bytes per connection in the throughput column)
+        // must stay flat from 64 to 1024 held connections.  A
+        // thread-per-connection core faults in tens of kilobytes of stack
+        // per peer; the reactor's slab entry is a few hundred bytes.
+        let per_conn = |needle: &str| {
+            elems_of(records, needle)
+                .ok_or_else(|| format!("missing an '{needle}' record with a throughput pair"))
+        };
+        let small = per_conn("evented_64")?;
+        per_conn("evented_256")?;
+        let large = per_conn("evented_1024")?;
+        const PER_CONN_BYTES_CAP: f64 = 256.0 * 1024.0;
+        if large > PER_CONN_BYTES_CAP {
+            return Err(format!(
+                "per-connection memory at 1024 connections is {large:.0} bytes, \
+                 over the {PER_CONN_BYTES_CAP:.0}-byte cap"
+            ));
+        }
+        // Flat means the 1024-connection cost does not balloon relative to
+        // the 64-connection cost; the 4 KiB floor keeps page-granularity
+        // noise on tiny absolute deltas from tripping the ratio.
+        let floor = small.max(4096.0);
+        if large > 8.0 * floor {
+            return Err(format!(
+                "per-connection memory grows from {small:.0} bytes at 64 \
+                 connections to {large:.0} at 1024 — not flat"
             ));
         }
     }
@@ -452,6 +497,57 @@ mod tests {
             .contains("quant_scalar"));
         // Other baseline files carry no SIMD-specific requirements.
         assert!(check_file_semantics(Path::new("BENCH_tiling.json"), &incomplete).is_ok());
+    }
+
+    #[test]
+    fn serve_scaling_semantics_require_flat_per_connection_memory() {
+        // elems carries RSS bytes per connection in this baseline; mean_ns
+        // only has to keep the generic rate-consistency check happy.
+        let record = |bench: &str, per_conn_bytes: f64| {
+            let rate = per_conn_bytes / (1000.0 / 1e9);
+            parse_flat_object(&format!(
+                r#"{{"group":"ablation_serve_scaling","bench":"{bench}","mean_ns":1000.0,"min_ns":900.0,"iters":10,"throughput_elems":{per_conn_bytes},"elems_per_sec":{rate}}}"#
+            ))
+            .unwrap()
+        };
+        let path = Path::new("BENCH_serve_scaling.json");
+        let flat = vec![
+            record("connections/evented_64", 4800.0),
+            record("connections/evented_256", 1300.0),
+            record("connections/evented_1024", 500.0),
+        ];
+        assert!(check_file_semantics(path, &flat).is_ok());
+        // Ballooning per-connection memory at 1024 connections fails, both
+        // in absolute terms and relative to the 64-connection leg.
+        let over_cap = vec![
+            record("connections/evented_64", 4800.0),
+            record("connections/evented_256", 64.0 * 1024.0),
+            record("connections/evented_1024", 512.0 * 1024.0),
+        ];
+        assert!(check_file_semantics(path, &over_cap)
+            .unwrap_err()
+            .contains("cap"));
+        let not_flat = vec![
+            record("connections/evented_64", 4800.0),
+            record("connections/evented_256", 16.0 * 1024.0),
+            record("connections/evented_1024", 64.0 * 1024.0),
+        ];
+        assert!(check_file_semantics(path, &not_flat)
+            .unwrap_err()
+            .contains("not flat"));
+        // Page-granularity noise on tiny deltas stays under the 4 KiB floor.
+        let tiny = vec![
+            record("connections/evented_64", 1.0),
+            record("connections/evented_256", 1.0),
+            record("connections/evented_1024", 3000.0),
+        ];
+        assert!(check_file_semantics(path, &tiny).is_ok());
+        let incomplete = vec![record("connections/evented_1024", 500.0)];
+        assert!(check_file_semantics(path, &incomplete)
+            .unwrap_err()
+            .contains("evented_64"));
+        // Other baseline files carry no scaling-specific requirements.
+        assert!(check_file_semantics(Path::new("BENCH_cache2.json"), &incomplete).is_ok());
     }
 
     #[test]

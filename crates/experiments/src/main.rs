@@ -25,10 +25,13 @@
 //!                              --cache-mb attaches the result cache and
 //!                              runs the per-request serving path)
 //!   serve   [--addr A] [--classifier C] [--tile T] [--workers W]
-//!           [--cache-mb M] [--addr-file PATH]
+//!           [--serve-mode threads|evented] [--cache-mb M] [--addr-file PATH]
 //!                              boot the iqft-serve TCP daemon and block
 //!                              until a client sends Shutdown; --addr-file
-//!                              records the bound (possibly ephemeral) port
+//!                              records the bound (possibly ephemeral) port;
+//!                              --serve-mode picks the serving core (default
+//!                              evented: a nonblocking reactor loop that
+//!                              holds 1000+ pipelined connections)
 //!   loadgen [--addr A] [--clients C] [--images N] [--size S] [--seed S]
 //!           [--repeat-ratio R] [--pipeline K] [--expect-cache-hits]
 //!           [--no-verify] [--shutdown]
@@ -76,6 +79,7 @@ struct Args {
     addr: String,
     clients: usize,
     workers: usize,
+    serve_mode: String,
     shutdown: bool,
     cache_mb: usize,
     repeat_ratio: f64,
@@ -104,6 +108,7 @@ fn parse_args() -> Args {
         addr: "127.0.0.1:7870".to_string(),
         clients: 4,
         workers: 0,
+        serve_mode: "evented".to_string(),
         shutdown: false,
         cache_mb: 0,
         repeat_ratio: 0.0,
@@ -135,6 +140,7 @@ fn parse_args() -> Args {
             "--addr" => args.addr = value(),
             "--clients" => args.clients = value().parse().unwrap_or(args.clients),
             "--workers" => args.workers = value().parse().unwrap_or(args.workers),
+            "--serve-mode" => args.serve_mode = value(),
             "--shutdown" => args.shutdown = true,
             "--cache-mb" => args.cache_mb = value().parse().unwrap_or(args.cache_mb),
             "--repeat-ratio" => args.repeat_ratio = value().parse().unwrap_or(args.repeat_ratio),
@@ -191,6 +197,7 @@ fn main() {
                 backend: args.backend.clone(),
                 threads: args.threads,
                 workers: args.workers,
+                serve_mode: args.serve_mode.clone(),
                 cache_mb: args.cache_mb,
                 addr_file: args.addr_file.clone(),
             };
@@ -268,6 +275,7 @@ fn main() {
                 addr: args.addr.clone(),
                 clients: args.clients,
                 workers: args.workers,
+                serve_mode: args.serve_mode.clone(),
                 shutdown: args.shutdown,
                 cache_mb: args.cache_mb,
                 repeat_ratio: args.repeat_ratio,
@@ -377,7 +385,7 @@ fn main() {
             // one place the workspace enumerates it — so this usage line can
             // never drift from what `--classifier` actually accepts.
             eprintln!(
-                "usage: iqft-experiments <table1|table2|table3|fig1-3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|throughput|serve|loadgen|ping|all> [--out DIR] [--samples N] [--voc N] [--xview N] [--size S] [--seed S] [--backend serial|threads|rayon] [--threads N] [--images N] [--batch B] [--classifier {}] [--tile WxH] [--cache-mb M] [--no-verify] [--addr A] [--addr-file PATH] [--clients C] [--workers W] [--repeat-ratio R] [--pipeline K] [--expect-cache-hits] [--retries N] [--shutdown]",
+                "usage: iqft-experiments <table1|table2|table3|fig1-3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|throughput|serve|loadgen|ping|all> [--out DIR] [--samples N] [--voc N] [--xview N] [--size S] [--seed S] [--backend serial|threads|rayon] [--threads N] [--images N] [--batch B] [--classifier {}] [--tile WxH] [--cache-mb M] [--no-verify] [--addr A] [--addr-file PATH] [--clients C] [--workers W] [--serve-mode threads|evented] [--repeat-ratio R] [--pipeline K] [--expect-cache-hits] [--retries N] [--shutdown]",
                 seg_engine::ClassifierKind::FLAG_HELP
             );
             return;

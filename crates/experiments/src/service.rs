@@ -14,7 +14,7 @@ use crate::throughput::{throughput_images, ThroughputConfig};
 use imaging::{LabelMap, Segmenter};
 use iqft_pipeline::CacheConfig;
 use iqft_seg::IqftRgbSegmenter;
-use iqft_serve::{protocol, Client, Server, ServerConfig};
+use iqft_serve::{protocol, Client, ServeMode, Server, ServerConfig};
 use seg_engine::{SegmentEngine, SegmentPlan};
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -37,6 +37,10 @@ pub struct ServeCliConfig {
     /// Cap on concurrently-executing segment requests (`--workers`,
     /// 0 = the plan's effective thread count).
     pub workers: usize,
+    /// Serving core (`--serve-mode threads|evented`).  `evented` (the
+    /// default) multiplexes every connection over a small reactor set;
+    /// `threads` is the classic thread-per-connection core.
+    pub serve_mode: String,
     /// Byte budget of the content-addressed result cache in MiB
     /// (`--cache-mb`, 0 = caching disabled).
     pub cache_mb: usize,
@@ -55,6 +59,7 @@ impl Default for ServeCliConfig {
             backend: "threads".to_string(),
             threads: 0,
             workers: 0,
+            serve_mode: ServeMode::default().as_str().to_string(),
             cache_mb: 0,
             addr_file: None,
         }
@@ -73,12 +78,19 @@ pub fn serve_command(config: &ServeCliConfig) -> Result<String, String> {
         &config.backend,
         config.threads,
     )?;
+    let mode: ServeMode = config.serve_mode.parse()?;
+    // A thousand-connection sweep needs more descriptors than the common
+    // 1024 soft default; raise it best-effort before binding.
+    #[cfg(unix)]
+    iqft_serve::poll::raise_nofile_limit(8192);
     let server = Server::bind(
         config.addr.as_str(),
         ServerConfig {
             plan,
             max_inflight: config.workers,
             cache: CacheConfig::with_capacity_mb(config.cache_mb),
+            mode,
+            ..ServerConfig::default()
         },
     )
     .map_err(|e| format!("failed to bind {}: {e}", config.addr))?;
@@ -89,9 +101,10 @@ pub fn serve_command(config: &ServeCliConfig) -> Result<String, String> {
             .map_err(|e| format!("failed to write {}: {e}", path.display()))?;
     }
     println!(
-        "iqft-serve listening on {} ({}; max_inflight={}; cache={})",
+        "iqft-serve listening on {} ({}; mode={}; max_inflight={}; cache={})",
         server.local_addr(),
         plan.describe(),
+        server.mode().as_str(),
         server.max_inflight(),
         if config.cache_mb > 0 {
             format!("{}MiB", config.cache_mb)
@@ -187,6 +200,27 @@ impl Default for LoadgenConfig {
 
 const CONNECT_RETRY: Duration = Duration::from_millis(250);
 
+/// Per-dial connect timeout for loadgen workers: a thousand-way fan-out can
+/// momentarily overflow the listener's accept backlog, and a dropped SYN
+/// would otherwise sit in the OS default connect timeout for minutes.
+const CLIENT_CONNECT_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Dials one loadgen worker connection under a bounded timeout, retrying a
+/// few times so transient backlog overflow does not fail the whole run.
+fn connect_worker(addr: &str, client_idx: usize) -> Result<Client, String> {
+    let mut last = String::new();
+    for attempt in 0..3 {
+        if attempt > 0 {
+            std::thread::sleep(CONNECT_RETRY);
+        }
+        match Client::connect_timeout(addr, CLIENT_CONNECT_TIMEOUT) {
+            Ok(client) => return Ok(client),
+            Err(e) => last = e.to_string(),
+        }
+    }
+    Err(format!("client {client_idx}: connect failed: {last}"))
+}
+
 /// Connects with retries until `deadline_ms` elapses, so loadgen can be
 /// launched concurrently with a still-booting server (as the CI smoke job
 /// does).
@@ -259,6 +293,10 @@ fn request_sequence(n: usize, repeat_ratio: f64, seed: u64) -> Vec<usize> {
 /// fails loudly.
 pub fn loadgen_report(config: &LoadgenConfig) -> Result<String, String> {
     let clients = config.clients.max(1);
+    // Each client holds one socket (and the kernel a few more); a
+    // thousand-client run overruns the common 1024 soft descriptor limit.
+    #[cfg(unix)]
+    iqft_serve::poll::raise_nofile_limit((clients as u64).saturating_mul(2) + 512);
     let depth = config.pipeline_depth.clamp(1, protocol::MAX_PIPELINE_DEPTH);
     let images = throughput_images(&ThroughputConfig {
         images: config.images,
@@ -295,8 +333,7 @@ pub fn loadgen_report(config: &LoadgenConfig) -> Result<String, String> {
                 let addr = config.addr.as_str();
                 let verify = config.verify;
                 scope.spawn(move || -> Result<ClientOutcome, String> {
-                    let mut client = Client::connect(addr)
-                        .map_err(|e| format!("client {client_idx}: connect failed: {e}"))?;
+                    let mut client = connect_worker(addr, client_idx)?;
                     // This client's share of the request sequence, pipelined
                     // over one connection with up to `depth` in flight.
                     let mine: Vec<usize> = (0..sequence.len())
@@ -397,9 +434,14 @@ pub fn loadgen_report(config: &LoadgenConfig) -> Result<String, String> {
         .map_err(|e| format!("stats request failed: {e}"))?;
     let _ = writeln!(
         out,
-        "  server: plan [{}], {} conns ({} open), {} requests ({} segment), {:.3} Mpx, \
-         {:.2} Mpx/s since boot",
+        "  server: plan [{}], {} mode, {} conns ({} open), {} requests ({} segment), \
+         {:.3} Mpx, {:.2} Mpx/s since boot",
         stats.plan,
+        if stats.serve_mode.is_empty() {
+            "unknown"
+        } else {
+            stats.serve_mode.as_str()
+        },
         stats.connections_total,
         stats.connections_open,
         stats.requests_total,
@@ -468,6 +510,7 @@ mod tests {
                 plan,
                 max_inflight: 0,
                 cache: CacheConfig::with_capacity_mb(cache_mb),
+                ..ServerConfig::default()
             },
         )
         .expect("ephemeral bind")

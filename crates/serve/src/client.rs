@@ -99,6 +99,29 @@ impl Client {
         Ok(Client { stream, next_id: 1 })
     }
 
+    /// Connects with a per-address connect timeout.
+    ///
+    /// Under a large fan-out (the load generator dialing a thousand
+    /// connections) a plain [`Client::connect`] can sit in the OS default
+    /// connect timeout for minutes when a listener's accept backlog
+    /// overflows; this variant fails fast instead.  Every resolved address
+    /// is tried in order, each under its own `timeout`.
+    pub fn connect_timeout<A: ToSocketAddrs>(addr: A, timeout: Duration) -> io::Result<Client> {
+        let mut last_err = None;
+        for addr in addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&addr, timeout) {
+                Ok(stream) => {
+                    let _ = stream.set_nodelay(true);
+                    return Ok(Client { stream, next_id: 1 });
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "address resolved to nothing")
+        }))
+    }
+
     fn next_id(&mut self) -> u64 {
         let id = self.next_id;
         self.next_id = self.next_id.wrapping_add(1);

@@ -13,11 +13,20 @@
 //! * [`protocol`] — the wire format (version 2): 20-byte header (magic,
 //!   version, op, request id, payload length) + checked payload.  A
 //!   malformed frame can never allocate unbounded memory and never panics
-//!   the peer; a v1 frame gets a typed version error.
-//! * [`Server`] — acceptor thread + one thread per connection, all feeding
-//!   the shared pipeline; an opt-in content-addressed result cache
-//!   ([`ServerConfig::cache`]) answers repeated `SegmentCached` requests
-//!   with a memcpy; per-connection and aggregate [`ServerStats`]; graceful
+//!   the peer; a v1 frame gets a typed version error.  The incremental
+//!   sans-io core ([`FrameDecoder`] / [`FrameEncoder`]) does the same
+//!   parsing with no I/O inside, which is what both serve modes (and the
+//!   socket-free protocol test suite) are built on.
+//! * [`Server`] — one warm pipeline behind a choice of serving cores
+//!   ([`ServeMode`]): the classic thread-per-connection mode, or the
+//!   default *evented* mode — a nonblocking readiness loop over `poll(2)`
+//!   ([`poll`]) where a small fixed set of reactor threads owns every
+//!   connection and dispatches segment work to a bounded worker pool, so a
+//!   thousand-plus pipelined connections cost buffers, not threads.  Both
+//!   modes share an opt-in content-addressed result cache
+//!   ([`ServerConfig::cache`]) answering repeated `SegmentCached` requests
+//!   with a memcpy, per-connection and aggregate [`ServerStats`], per-frame
+//!   read deadlines ([`ServerConfig::frame_deadline`]) and graceful
 //!   drain-then-stop shutdown (in-flight requests are answered).
 //! * [`Client`] — the synchronous request/response side: `ping`, `segment`,
 //!   `segment_cached`, `segment_pipelined` (up to
@@ -53,12 +62,16 @@
 //! ```
 
 pub mod client;
+#[cfg(unix)]
+mod evented;
+#[cfg(unix)]
+pub mod poll;
 pub mod protocol;
 pub mod server;
 pub mod stats;
 
 pub use client::{Client, ServeError};
 pub use iqft_pipeline::CacheConfig;
-pub use protocol::{Message, Op, ProtocolError};
-pub use server::{Server, ServerConfig};
+pub use protocol::{Frame, FrameDecoder, FrameEncoder, Message, Op, ProtocolError};
+pub use server::{ServeMode, Server, ServerConfig};
 pub use stats::{ServerStats, StatsSnapshot};

@@ -48,6 +48,19 @@
 //! version/op, a length field that disagrees with the declared dimensions, or
 //! a payload larger than [`MAX_PAYLOAD_BYTES`] — yields a [`ProtocolError`]
 //! *before* any unbounded allocation, and never panics.
+//!
+//! # Sans-io core
+//!
+//! Frame decoding is a pure state machine with no I/O inside:
+//! [`FrameDecoder`] is fed byte chunks of any size (from a blocking read, a
+//! nonblocking read, or a test vector) and yields complete [`Frame`]s or one
+//! typed error; [`FrameEncoder`] mirrors it on the write side, queueing
+//! encoded replies and tracking partial writes.  The blocking helpers below
+//! ([`read_message`], [`write_message`]) and the evented server's readiness
+//! loop are both thin transports over the same `parse_header` /
+//! [`decode_body`] validation, so every path emits identical typed errors —
+//! which is what lets the protocol be property- and fuzz-tested with no
+//! sockets at all (`tests/protocol_sansio.rs`).
 
 use imaging::{LabelMap, Rgb, RgbImage};
 use std::io::{self, Read, Write};
@@ -620,6 +633,290 @@ pub fn decode_message(frame: &[u8]) -> Result<(u64, Message), ProtocolError> {
     let mut cursor = frame;
     let decoded = read_message(&mut cursor)?;
     Ok(decoded)
+}
+
+/// How much of a declared payload the decoder reserves up front.  The buffer
+/// grows with the bytes that actually arrive, so a peer declaring a 64 MiB
+/// frame and then stalling holds only what it sent, not what it promised.
+const INITIAL_PAYLOAD_RESERVE: usize = 64 << 10;
+
+/// One complete wire frame as produced by [`FrameDecoder`]: the validated
+/// header plus the raw payload bytes (exactly `header.payload_len` of them).
+///
+/// The payload is *not* yet decoded into a [`Message`] — header validation
+/// and body decoding fail differently (a bad header loses framing, a bad
+/// body does not), and the split keeps the decoder allocation-free beyond
+/// the frame buffer itself.  Call [`Frame::message`] to decode the body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// The validated frame header.
+    pub header: Header,
+    /// The raw payload (`header.payload_len` bytes).
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// Decodes the payload into a [`Message`] (same typed errors as
+    /// [`decode_body`], which the blocking stream path also uses).
+    pub fn message(&self) -> Result<Message, ProtocolError> {
+        decode_body(self.header.op, &self.payload)
+    }
+}
+
+enum DecodeState {
+    /// Accumulating the 20 header bytes.
+    Header { filled: usize },
+    /// Header validated; accumulating `header.payload_len` payload bytes.
+    Payload { header: Header },
+    /// A header failed validation: framing is lost and the decoder is done.
+    Failed,
+}
+
+/// Sans-io incremental frame decoder: feed it byte chunks of any size and
+/// take [`Frame`]s (or one typed [`ProtocolError`]) out.  It performs no I/O
+/// and allocates nothing beyond the frame buffer currently being filled.
+///
+/// The state machine mirrors the blocking stream path exactly —
+/// [`parse_header`] runs the moment the 20th header byte arrives, and
+/// payload buffering is bounded by the already-validated `payload_len` (so
+/// it can never buffer more than [`MAX_PAYLOAD_BYTES`] + [`HEADER_LEN`]
+/// bytes).  A header that fails validation poisons the decoder: framing is
+/// lost, so every later byte is refused (`feed` consumes nothing and returns
+/// no event) and the connection should be closed, exactly as the blocking
+/// server does.
+///
+/// Feeding loop (a chunk may contain many frames):
+///
+/// ```
+/// use iqft_serve::protocol::{encode_message, FrameDecoder, Message};
+/// let mut bytes = encode_message(7, &Message::Ping).unwrap();
+/// bytes.extend(encode_message(8, &Message::Stats).unwrap());
+/// let mut decoder = FrameDecoder::new();
+/// let mut frames = Vec::new();
+/// let mut offset = 0;
+/// while offset < bytes.len() {
+///     let (consumed, event) = decoder.feed(&bytes[offset..]);
+///     offset += consumed;
+///     match event {
+///         Some(Ok(frame)) => frames.push(frame),
+///         Some(Err(err)) => panic!("valid stream: {err}"),
+///         None if consumed == 0 => break, // poisoned decoder
+///         None => {}
+///     }
+/// }
+/// assert_eq!(frames.len(), 2);
+/// assert_eq!(frames[0].header.request_id, 7);
+/// assert_eq!(frames[1].header.request_id, 8);
+/// ```
+pub struct FrameDecoder {
+    state: DecodeState,
+    header_buf: [u8; HEADER_LEN],
+    payload: Vec<u8>,
+    frames_started: u64,
+    frames_decoded: u64,
+}
+
+impl Default for FrameDecoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FrameDecoder {
+    /// A fresh decoder at a frame boundary.
+    pub fn new() -> Self {
+        FrameDecoder {
+            state: DecodeState::Header { filled: 0 },
+            header_buf: [0u8; HEADER_LEN],
+            payload: Vec::new(),
+            frames_started: 0,
+            frames_decoded: 0,
+        }
+    }
+
+    /// Feeds one chunk.  Returns how many bytes were consumed and the event
+    /// (if any) that stopped consumption; call again with the unconsumed
+    /// remainder.  `(0, None)` on non-empty input means the decoder is
+    /// poisoned ([`FrameDecoder::is_failed`]).
+    pub fn feed(&mut self, chunk: &[u8]) -> (usize, Option<Result<Frame, ProtocolError>>) {
+        match &mut self.state {
+            DecodeState::Failed => (0, None),
+            DecodeState::Header { filled } => {
+                let take = (HEADER_LEN - *filled).min(chunk.len());
+                self.header_buf[*filled..*filled + take].copy_from_slice(&chunk[..take]);
+                *filled += take;
+                if *filled < HEADER_LEN {
+                    return (take, None);
+                }
+                // The header is complete: this is the same moment the
+                // blocking server's `read_exact` of the header returns, so
+                // frame accounting (`frames_started`) ticks here, before
+                // validation — malformed headers still count as requests.
+                self.frames_started += 1;
+                match parse_header(&self.header_buf) {
+                    Err(err) => {
+                        self.state = DecodeState::Failed;
+                        (take, Some(Err(err)))
+                    }
+                    Ok(header) if header.payload_len == 0 => {
+                        self.frames_decoded += 1;
+                        self.state = DecodeState::Header { filled: 0 };
+                        (
+                            take,
+                            Some(Ok(Frame {
+                                header,
+                                payload: Vec::new(),
+                            })),
+                        )
+                    }
+                    Ok(header) => {
+                        self.payload =
+                            Vec::with_capacity(header.payload_len.min(INITIAL_PAYLOAD_RESERVE));
+                        self.state = DecodeState::Payload { header };
+                        (take, None)
+                    }
+                }
+            }
+            DecodeState::Payload { header } => {
+                let need = header.payload_len - self.payload.len();
+                let take = need.min(chunk.len());
+                self.payload.extend_from_slice(&chunk[..take]);
+                if self.payload.len() < header.payload_len {
+                    return (take, None);
+                }
+                let frame = Frame {
+                    header: *header,
+                    payload: std::mem::take(&mut self.payload),
+                };
+                self.frames_decoded += 1;
+                self.state = DecodeState::Header { filled: 0 };
+                (take, Some(Ok(frame)))
+            }
+        }
+    }
+
+    /// Whether a header failed validation; the decoder refuses further input.
+    pub fn is_failed(&self) -> bool {
+        matches!(self.state, DecodeState::Failed)
+    }
+
+    /// Whether the decoder is mid-frame: some bytes of the next frame have
+    /// arrived but the frame is not complete.  This is what arms the
+    /// server's per-frame read deadline.
+    pub fn mid_frame(&self) -> bool {
+        match self.state {
+            DecodeState::Header { filled } => filled > 0,
+            DecodeState::Payload { .. } => true,
+            DecodeState::Failed => false,
+        }
+    }
+
+    /// Bytes currently buffered for the in-progress frame.  Bounded by
+    /// [`HEADER_LEN`] + [`MAX_PAYLOAD_BYTES`] by construction.
+    pub fn buffered_bytes(&self) -> usize {
+        let header = match self.state {
+            DecodeState::Header { filled } => filled,
+            _ => HEADER_LEN,
+        };
+        header + self.payload.len()
+    }
+
+    /// Frames whose 20-byte header has fully arrived (valid or not).  This
+    /// is the decoder-side analogue of the blocking server's "count a
+    /// request once the header is read" accounting.
+    pub fn frames_started(&self) -> u64 {
+        self.frames_started
+    }
+
+    /// Frames fully decoded and handed out.
+    pub fn frames_decoded(&self) -> u64 {
+        self.frames_decoded
+    }
+
+    /// Best-effort request id for an error reply after a header failed
+    /// validation: if the magic matched, the id field's offset is shared by
+    /// every protocol version, so echo it; otherwise the peer is not
+    /// speaking this protocol at all and the reply echoes 0.
+    pub fn error_request_id(&self) -> u64 {
+        if self.header_buf[0..4] == MAGIC {
+            u64::from_le_bytes(self.header_buf[8..16].try_into().expect("8-byte slice"))
+        } else {
+            0
+        }
+    }
+}
+
+impl std::fmt::Debug for FrameDecoder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FrameDecoder")
+            .field("mid_frame", &self.mid_frame())
+            .field("failed", &self.is_failed())
+            .field("buffered_bytes", &self.buffered_bytes())
+            .field("frames_started", &self.frames_started)
+            .field("frames_decoded", &self.frames_decoded)
+            .finish()
+    }
+}
+
+/// Sans-io mirror of [`FrameDecoder`] for the write side: enqueue reply
+/// frames, hand [`FrameEncoder::pending`] to whatever transport is ready to
+/// write, and report progress back with [`FrameEncoder::advance`].  Performs
+/// no I/O; partial writes leave the unsent tail queued.
+#[derive(Debug, Default)]
+pub struct FrameEncoder {
+    buf: Vec<u8>,
+    cursor: usize,
+}
+
+impl FrameEncoder {
+    /// A fresh, empty encoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Encodes `message` and queues the frame for writing.
+    pub fn enqueue(&mut self, request_id: u64, message: &Message) -> Result<(), ProtocolError> {
+        let frame = encode_message(request_id, message)?;
+        self.enqueue_frame(&frame);
+        Ok(())
+    }
+
+    /// Queues an already-encoded frame (the hot path: workers encode replies
+    /// off-thread and the reactor only copies bytes).
+    pub fn enqueue_frame(&mut self, frame: &[u8]) {
+        // Reclaim the already-written prefix before growing, so the buffer's
+        // footprint tracks *unsent* bytes, not all bytes ever queued.
+        if self.cursor > 0 {
+            self.buf.drain(..self.cursor);
+            self.cursor = 0;
+        }
+        self.buf.extend_from_slice(frame);
+    }
+
+    /// The bytes waiting to be written, in order.
+    pub fn pending(&self) -> &[u8] {
+        &self.buf[self.cursor..]
+    }
+
+    /// Number of bytes waiting to be written.
+    pub fn pending_len(&self) -> usize {
+        self.buf.len() - self.cursor
+    }
+
+    /// Whether everything queued has been written.
+    pub fn is_empty(&self) -> bool {
+        self.cursor == self.buf.len()
+    }
+
+    /// Records that `n` bytes of [`FrameEncoder::pending`] were written.
+    pub fn advance(&mut self, n: usize) {
+        self.cursor += n;
+        debug_assert!(self.cursor <= self.buf.len());
+        if self.cursor == self.buf.len() {
+            self.buf.clear();
+            self.cursor = 0;
+        }
+    }
 }
 
 #[cfg(test)]

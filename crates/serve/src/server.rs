@@ -1,26 +1,35 @@
 //! The TCP segmentation daemon.
 //!
-//! Thread model: one *acceptor* thread owns the listening socket and spawns
-//! one *connection* thread per client.  Each connection thread reads frames,
-//! executes them against the shared warm [`SegmentPipeline`] (so every
-//! connection benefits from the same phase-table classifier and
-//! [`iqft_pipeline::LabelArena`] recycling pool), and writes the reply before
-//! reading the next frame — requests on one connection are processed in
-//! order, while connections run concurrently.
+//! Two serving cores share one protocol, one warm [`SegmentPipeline`], and
+//! one statistics block, selected by [`ServerConfig::mode`]:
 //!
-//! Concurrency inside a request comes from the pipeline's engine (the plan's
-//! backend, plus tiled fan-out when the plan says so); concurrency *across*
-//! requests is bounded by [`ServerConfig::max_inflight`] via a small
-//! semaphore whose permit is taken *before* a `Segment` frame's payload is
-//! even read — so a burst of heavy frames cannot oversubscribe the host's
-//! CPU or its memory, no matter how many connections are open.
+//! * [`ServeMode::Threads`] — one *acceptor* thread owns the listening
+//!   socket and spawns one *connection* thread per client.  Each connection
+//!   thread reads frames, executes them against the shared pipeline, and
+//!   writes the reply before reading the next frame — requests on one
+//!   connection are processed in order, while connections run concurrently.
+//!   Concurrency across requests is bounded by
+//!   [`ServerConfig::max_inflight`] via a small semaphore whose permit is
+//!   taken only once a `Segment` frame has been fully read and decoded —
+//!   never across a read, so a stalled peer cannot pin an execution slot.
+//! * [`ServeMode::Evented`] (the default) — a small fixed set of reactor
+//!   threads owns *all* connections on nonblocking sockets behind a
+//!   `poll(2)` readiness loop (see the `evented` module), feeding complete
+//!   frames through the sans-io [`crate::protocol::FrameDecoder`] to a
+//!   worker pool of `max_inflight` threads, and queueing completion-order
+//!   replies back through per-connection write buffers.  Per-connection
+//!   cost is one buffered frame, not one OS thread — this is the mode that
+//!   holds a thousand pipelined connections with flat memory.
 //!
-//! Shutdown reuses the pipeline's drain-then-stop semantics: a `Shutdown`
-//! frame (or [`Server::shutdown_now`]) flips a flag, the acceptor stops
-//! accepting, and every connection finishes the frames already on the wire —
-//! a request whose bytes reached the server is always answered — then closes
-//! once its socket goes idle.  [`Server::join`] returns when the last
-//! connection has drained.
+//! Shutdown is identical in both modes: a `Shutdown` frame (or
+//! [`Server::shutdown_now`]) flips a flag, the server stops accepting, and
+//! every connection finishes the frames already on the wire — a request
+//! whose bytes reached the server is always answered — then closes once its
+//! socket goes idle.  [`Server::join`] returns when the last connection has
+//! drained.  Both modes also enforce the same per-frame read deadline
+//! ([`ServerConfig::frame_deadline`]): once a frame has started, the rest of
+//! it must arrive within the budget, so a client dripping bytes cannot pin
+//! a connection (or the drain) forever.
 
 use crate::protocol::{self, Header, Message, ProtocolError, HEADER_LEN};
 use crate::stats::{ServerStats, StatsSnapshot};
@@ -35,20 +44,65 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// How long an idle connection waits between checks of the shutdown flag.
-const POLL_INTERVAL: Duration = Duration::from_millis(100);
+pub(crate) const POLL_INTERVAL: Duration = Duration::from_millis(100);
 /// After shutdown is signalled, how long a connection keeps listening for
 /// frames already in flight before closing an idle socket.
-const SHUTDOWN_GRACE: Duration = Duration::from_millis(200);
+pub(crate) const SHUTDOWN_GRACE: Duration = Duration::from_millis(200);
 /// Once a frame's first byte has arrived, the *whole* rest of the frame must
 /// arrive within this wall-clock budget — enforced as an overall deadline,
 /// not a per-read timeout, so a client dripping one byte at a time cannot
-/// keep a connection thread (and thus the drain) alive forever.
-const FRAME_READ_DEADLINE: Duration = Duration::from_secs(10);
+/// keep a connection thread (and thus the drain) alive forever.  This is the
+/// default for [`ServerConfig::frame_deadline`].
+pub const FRAME_READ_DEADLINE: Duration = Duration::from_secs(10);
 /// Per-read poll granularity while a frame deadline is in force.
 const FRAME_POLL: Duration = Duration::from_millis(200);
 
-/// Tuning for a [`Server`].
+/// Which serving core a [`Server`] runs (see the module docs for the
+/// trade-off).  Both modes speak the same protocol, share the same pipeline
+/// and statistics, and reply byte-identically.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServeMode {
+    /// One OS thread per connection; `max_inflight` enforced by a semaphore.
+    Threads,
+    /// Nonblocking readiness loop on a fixed reactor-thread count, with a
+    /// `max_inflight`-sized worker pool.  On non-unix targets (no `poll(2)`)
+    /// this silently falls back to [`ServeMode::Threads`].
+    #[default]
+    Evented,
+}
+
+impl ServeMode {
+    /// The mode's CLI / stats spelling (`threads` | `evented`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ServeMode::Threads => "threads",
+            ServeMode::Evented => "evented",
+        }
+    }
+}
+
+impl std::fmt::Display for ServeMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for ServeMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "threads" => Ok(ServeMode::Threads),
+            "evented" => Ok(ServeMode::Evented),
+            other => Err(format!(
+                "unknown serve mode '{other}' (expected threads|evented)"
+            )),
+        }
+    }
+}
+
+/// Tuning for a [`Server`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServerConfig {
     /// The segmentation strategy (classifier × tiling × backend) the server
     /// materialises once and serves from.
@@ -60,6 +114,24 @@ pub struct ServerConfig {
     /// (default: disabled).  The cache key is salted with the plan spec, so
     /// a server never serves entries recorded under a different strategy.
     pub cache: CacheConfig,
+    /// Which serving core to run (default: [`ServeMode::Evented`]).
+    pub mode: ServeMode,
+    /// Wall-clock budget for the rest of a frame once its first byte has
+    /// arrived (default: [`FRAME_READ_DEADLINE`]).  Tests shrink this to
+    /// exercise slow-loris handling without ten-second waits.
+    pub frame_deadline: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            plan: SegmentPlan::default(),
+            max_inflight: 0,
+            cache: CacheConfig::default(),
+            mode: ServeMode::default(),
+            frame_deadline: FRAME_READ_DEADLINE,
+        }
+    }
 }
 
 /// A counting semaphore bounding concurrent segment requests (std-only).
@@ -102,25 +174,29 @@ impl Drop for GatePermit<'_> {
     }
 }
 
-/// State shared by the acceptor and every connection thread.
+/// State shared by every serving thread (acceptor + connection threads in
+/// threads mode; reactors + workers in evented mode).
 #[derive(Debug)]
-struct Shared {
-    pipeline: SegmentPipeline<IqftClassifier>,
+pub(crate) struct Shared {
+    pub(crate) pipeline: SegmentPipeline<IqftClassifier>,
     plan: SegmentPlan,
-    stats: ServerStats,
+    pub(crate) stats: ServerStats,
     gate: Gate,
-    max_inflight: usize,
+    pub(crate) max_inflight: usize,
     shutting_down: AtomicBool,
     started: Instant,
     addr: SocketAddr,
+    /// The mode actually running (after any platform fallback).
+    mode: ServeMode,
+    pub(crate) frame_deadline: Duration,
 }
 
 impl Shared {
-    fn shutting_down(&self) -> bool {
+    pub(crate) fn shutting_down(&self) -> bool {
         self.shutting_down.load(Ordering::SeqCst)
     }
 
-    fn snapshot(&self, conn: &ConnStats) -> StatsSnapshot {
+    pub(crate) fn snapshot(&self, conn: &ConnStats) -> StatsSnapshot {
         let uptime_secs = self.started.elapsed().as_secs_f64();
         let pixels_total = self.stats.pixels_total();
         let cache = self
@@ -130,6 +206,7 @@ impl Shared {
             .unwrap_or_default();
         StatsSnapshot {
             plan: self.plan.to_spec(),
+            serve_mode: self.mode.as_str().to_string(),
             uptime_secs,
             connections_total: self.stats.connections_total(),
             connections_open: self.stats.connections_open(),
@@ -160,7 +237,7 @@ impl Shared {
 
     /// Flips the shutdown flag and pokes the (possibly blocked) acceptor
     /// with a throwaway loopback connection so it observes the flag.
-    fn signal_shutdown(&self) {
+    pub(crate) fn signal_shutdown(&self) {
         self.shutting_down.store(true, Ordering::SeqCst);
         // A wildcard bind (0.0.0.0 / ::) is not itself connectable; poke
         // the loopback of the same family instead.  A failed poke just
@@ -178,9 +255,9 @@ impl Shared {
 
 /// Per-connection counters (folded into the Stats reply for that client).
 #[derive(Debug, Default)]
-struct ConnStats {
-    requests: usize,
-    pixels: u64,
+pub(crate) struct ConnStats {
+    pub(crate) requests: usize,
+    pub(crate) pixels: u64,
 }
 
 /// A running segmentation service bound to a TCP address.
@@ -208,6 +285,14 @@ impl Server {
         } else {
             config.max_inflight
         };
+        // `poll(2)` only exists on unix; elsewhere the evented request
+        // silently degrades to the thread-per-connection core, which speaks
+        // the identical protocol.
+        let mode = if cfg!(unix) {
+            config.mode
+        } else {
+            ServeMode::Threads
+        };
         let shared = Arc::new(Shared {
             pipeline,
             plan,
@@ -217,17 +302,29 @@ impl Server {
             shutting_down: AtomicBool::new(false),
             started: Instant::now(),
             addr,
+            mode,
+            frame_deadline: config.frame_deadline,
         });
-        let acceptor = {
-            let shared = Arc::clone(&shared);
-            std::thread::Builder::new()
-                .name("iqft-serve-acceptor".to_string())
-                .spawn(move || accept_loop(listener, shared))?
+        let acceptor = match mode {
+            ServeMode::Threads => {
+                let shared = Arc::clone(&shared);
+                Some(
+                    std::thread::Builder::new()
+                        .name("iqft-serve-acceptor".to_string())
+                        .spawn(move || accept_loop(listener, shared))?,
+                )
+            }
+            #[cfg(unix)]
+            ServeMode::Evented => Some(crate::evented::spawn(listener, Arc::clone(&shared))?),
+            #[cfg(not(unix))]
+            ServeMode::Evented => unreachable!("evented mode is gated to unix above"),
         };
-        Ok(Server {
-            shared,
-            acceptor: Some(acceptor),
-        })
+        Ok(Server { shared, acceptor })
+    }
+
+    /// The serving core actually running (after any platform fallback).
+    pub fn mode(&self) -> ServeMode {
+        self.shared.mode
     }
 
     /// The address the server actually bound (resolves ephemeral ports).
@@ -489,7 +586,7 @@ fn handle_frame(
     read_exact_deadline(
         stream,
         &mut header[1..],
-        Instant::now() + FRAME_READ_DEADLINE,
+        Instant::now() + shared.frame_deadline,
     )?;
     shared.stats.request();
     conn.requests += 1;
@@ -510,25 +607,9 @@ fn handle_frame(
             return Ok(false);
         }
     };
-    // For segment frames, take the execution permit *before* the payload is
-    // read: at most `max_inflight` request buffers (payload + decoded image)
-    // exist at once, so a burst of heavy frames cannot oversubscribe memory
-    // no matter how many connections are open.  The permit is held through
-    // execution and released when this function returns.
-    let _permit = if matches!(
-        header.op,
-        protocol::Op::Segment | protocol::Op::SegmentCached
-    ) {
-        Some(shared.gate.acquire())
-    } else {
-        None
-    };
-    // The payload deadline starts only now — time a request spends queued
-    // for a permit is not charged against its read budget, so a frame that
-    // waited behind heavy work is still read and answered.
     // (Allocation bounded by MAX_PAYLOAD_BYTES; parse_header checked.)
     let mut payload = vec![0u8; header.payload_len];
-    read_exact_deadline(stream, &mut payload, Instant::now() + FRAME_READ_DEADLINE)?;
+    read_exact_deadline(stream, &mut payload, Instant::now() + shared.frame_deadline)?;
     let message = match protocol::decode_body(header.op, &payload) {
         Ok(message) => message,
         Err(err) => {
@@ -536,6 +617,20 @@ fn handle_frame(
             reply_error(stream, header.request_id, &err);
             return Ok(false);
         }
+    };
+    // The execution permit is taken only once the whole frame has been
+    // buffered and decoded — never across a read.  A peer stalling
+    // mid-payload therefore burns its own frame deadline, not a
+    // `max_inflight` slot, and can never delay replies on healthy
+    // connections.  The permit is held through execution and released when
+    // this function returns.
+    let _permit = if matches!(
+        header.op,
+        protocol::Op::Segment | protocol::Op::SegmentCached
+    ) {
+        Some(shared.gate.acquire())
+    } else {
+        None
     };
     execute(stream, shared, conn, header, message)
 }
@@ -686,6 +781,7 @@ mod tests {
                 plan: SegmentPlan::default(),
                 max_inflight: 2,
                 cache: CacheConfig::with_capacity_mb(8),
+                ..ServerConfig::default()
             },
         )
         .unwrap();

@@ -38,13 +38,15 @@ fn main() {
             plan,
             max_inflight: 2,
             cache: CacheConfig::with_capacity_mb(64),
+            ..ServerConfig::default()
         },
     )
     .expect("bind loopback");
     println!(
-        "serving on {} with [{}]",
+        "serving on {} with [{}] ({} mode)",
         server.local_addr(),
-        plan.describe()
+        plan.describe(),
+        server.mode().as_str()
     );
 
     // 2. Get an image (one synthetic PASCAL-VOC-like scene).

@@ -5,14 +5,23 @@
 //! every classifier kind, under concurrent clients, and graceful shutdown
 //! drains in-flight requests — a request whose bytes reached the server is
 //! always answered.
+//!
+//! Every scenario runs against **both serving cores** ([`BOTH_MODES`]): the
+//! thread-per-connection mode and the evented readiness loop must produce
+//! byte-identical replies and the same statistics invariants for identical
+//! traffic.
 
 use imaging::{LabelMap, Rgb, RgbImage};
 use iqft_pipeline::CacheConfig;
 use iqft_seg::IqftClassifier;
-use iqft_serve::{protocol, Client, Message, Server, ServerConfig};
+use iqft_serve::{protocol, Client, Message, ServeMode, Server, ServerConfig};
 use seg_engine::{ClassifierKind, SegmentEngine, SegmentPlan, Tiling};
 use std::io::{Read as _, Write as _};
 use std::net::{TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Every test runs its server under both serving cores.
+const BOTH_MODES: [ServeMode; 2] = [ServeMode::Threads, ServeMode::Evented];
 
 fn test_images(count: usize) -> Vec<RgbImage> {
     (0..count)
@@ -42,61 +51,69 @@ fn reference_labels(images: &[RgbImage]) -> Vec<LabelMap> {
 fn concurrent_clients_get_byte_identical_labels_for_every_classifier() {
     let images = test_images(12);
     let reference = reference_labels(&images);
-    for kind in ClassifierKind::ALL {
-        for tiling in [
-            Tiling::Whole,
-            Tiling::Tiles {
-                width: 16,
-                height: 16,
-            },
-        ] {
-            let plan = SegmentPlan::default()
-                .with_classifier(kind)
-                .with_tiling(tiling);
-            let server = Server::bind(
-                "127.0.0.1:0",
-                ServerConfig {
-                    plan,
-                    max_inflight: 2,
-                    ..ServerConfig::default()
+    for mode in BOTH_MODES {
+        for kind in ClassifierKind::ALL {
+            for tiling in [
+                Tiling::Whole,
+                Tiling::Tiles {
+                    width: 16,
+                    height: 16,
                 },
-            )
-            .expect("ephemeral bind");
-            let addr = server.local_addr();
+            ] {
+                let plan = SegmentPlan::default()
+                    .with_classifier(kind)
+                    .with_tiling(tiling);
+                let server = Server::bind(
+                    "127.0.0.1:0",
+                    ServerConfig {
+                        plan,
+                        max_inflight: 2,
+                        mode,
+                        ..ServerConfig::default()
+                    },
+                )
+                .expect("ephemeral bind");
+                let addr = server.local_addr();
 
-            let clients = 3usize;
-            std::thread::scope(|scope| {
-                for client_idx in 0..clients {
-                    let images = &images;
-                    let reference = &reference;
-                    scope.spawn(move || {
-                        let mut client = Client::connect(addr).expect("connect");
-                        client.ping().expect("ping");
-                        for (idx, img) in images.iter().enumerate() {
-                            if idx % clients != client_idx {
-                                continue;
+                let clients = 3usize;
+                std::thread::scope(|scope| {
+                    for client_idx in 0..clients {
+                        let images = &images;
+                        let reference = &reference;
+                        scope.spawn(move || {
+                            let mut client = Client::connect(addr).expect("connect");
+                            client.ping().expect("ping");
+                            for (idx, img) in images.iter().enumerate() {
+                                if idx % clients != client_idx {
+                                    continue;
+                                }
+                                let labels = client.segment(img).expect("segment");
+                                assert_eq!(
+                                    labels, reference[idx],
+                                    "image {idx} via {kind} tile={tiling} ({mode})"
+                                );
                             }
-                            let labels = client.segment(img).expect("segment");
-                            assert_eq!(
-                                labels, reference[idx],
-                                "image {idx} via {kind} tile={tiling}"
-                            );
-                        }
-                    });
-                }
-            });
+                        });
+                    }
+                });
 
-            let mut probe = Client::connect(addr).expect("probe connect");
-            let stats = probe.stats().expect("stats");
-            assert_eq!(stats.segment_requests, images.len(), "{kind} {tiling}");
-            assert_eq!(
-                stats.pixels_total,
-                images.iter().map(|i| i.len() as u64).sum::<u64>()
-            );
-            assert_eq!(stats.plan, plan.to_spec());
-            assert_eq!(SegmentPlan::from_spec(&stats.plan).unwrap(), plan);
-            probe.shutdown().expect("shutdown ack");
-            server.join();
+                let mut probe = Client::connect(addr).expect("probe connect");
+                let stats = probe.stats().expect("stats");
+                assert_eq!(
+                    stats.segment_requests,
+                    images.len(),
+                    "{kind} {tiling} {mode}"
+                );
+                assert_eq!(
+                    stats.pixels_total,
+                    images.iter().map(|i| i.len() as u64).sum::<u64>()
+                );
+                assert_eq!(stats.plan, plan.to_spec());
+                assert_eq!(SegmentPlan::from_spec(&stats.plan).unwrap(), plan);
+                assert_eq!(stats.serve_mode, server.mode().as_str(), "{stats:?}");
+                probe.shutdown().expect("shutdown ack");
+                server.join();
+            }
         }
     }
 }
@@ -109,87 +126,101 @@ fn concurrent_clients_get_byte_identical_labels_for_every_classifier() {
 fn shutdown_drains_in_flight_requests_without_losing_replies() {
     let images = test_images(4);
     let reference = reference_labels(&images);
-    let server = Server::bind(
-        "127.0.0.1:0",
-        ServerConfig {
-            plan: SegmentPlan::default(),
-            max_inflight: 1, // serialise execution to keep requests queued longer
-            ..ServerConfig::default()
-        },
-    )
-    .expect("ephemeral bind");
-    let addr = server.local_addr();
+    for mode in BOTH_MODES {
+        let server = Server::bind(
+            "127.0.0.1:0",
+            ServerConfig {
+                plan: SegmentPlan::default(),
+                max_inflight: 1, // serialise execution to keep requests queued longer
+                mode,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("ephemeral bind");
+        let addr = server.local_addr();
 
-    // Write one frame per connection, do not read yet.
-    let mut streams: Vec<TcpStream> = Vec::new();
-    for (idx, img) in images.iter().enumerate() {
-        let mut stream = TcpStream::connect(addr).expect("connect");
-        let frame = protocol::encode_message(idx as u64, &Message::Segment { image: img.clone() })
-            .expect("encode");
-        stream.write_all(&frame).expect("write frame");
-        stream.flush().expect("flush");
-        streams.push(stream);
-    }
-
-    // Shut the server down while those requests are in flight.
-    let mut ctl = Client::connect(addr).expect("ctl connect");
-    ctl.shutdown().expect("shutdown ack");
-
-    // Every already-sent request still gets its reply before the drain ends.
-    for (idx, mut stream) in streams.into_iter().enumerate() {
-        let (id, reply) = protocol::read_message(&mut stream).expect("reply arrives");
-        assert_eq!(id, idx as u64);
-        match reply {
-            Message::SegmentReply { labels } => {
-                assert_eq!(labels, reference[idx], "in-flight image {idx}")
-            }
-            other => panic!("expected SegmentReply for image {idx}, got {other:?}"),
+        // Write one frame per connection, do not read yet.
+        let mut streams: Vec<TcpStream> = Vec::new();
+        for (idx, img) in images.iter().enumerate() {
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            let frame =
+                protocol::encode_message(idx as u64, &Message::Segment { image: img.clone() })
+                    .expect("encode");
+            stream.write_all(&frame).expect("write frame");
+            stream.flush().expect("flush");
+            streams.push(stream);
         }
-    }
-    server.join();
 
-    // The drained server is really gone: fresh traffic fails.
-    let refused = match Client::connect(addr) {
-        Err(_) => true,
-        Ok(mut client) => client.ping().is_err(),
-    };
-    assert!(refused, "server accepted traffic after draining");
+        // Shut the server down while those requests are in flight.
+        let mut ctl = Client::connect(addr).expect("ctl connect");
+        ctl.shutdown().expect("shutdown ack");
+
+        // Every already-sent request still gets its reply before the drain
+        // ends.
+        for (idx, mut stream) in streams.into_iter().enumerate() {
+            let (id, reply) = protocol::read_message(&mut stream).expect("reply arrives");
+            assert_eq!(id, idx as u64);
+            match reply {
+                Message::SegmentReply { labels } => {
+                    assert_eq!(labels, reference[idx], "in-flight image {idx} ({mode})")
+                }
+                other => panic!("expected SegmentReply for image {idx}, got {other:?}"),
+            }
+        }
+        server.join();
+
+        // The drained server is really gone: fresh traffic fails.
+        let refused = match Client::connect(addr) {
+            Err(_) => true,
+            Ok(mut client) => client.ping().is_err(),
+        };
+        assert!(refused, "server accepted traffic after draining ({mode})");
+    }
 }
 
 /// Protocol v2: a v1 client hitting a v2 server gets a *typed* version
 /// error frame — no panic, no hang, and the diagnostic names both versions.
 #[test]
 fn v1_client_gets_a_typed_version_error_not_a_hang() {
-    let server = Server::bind("127.0.0.1:0", ServerConfig::default()).expect("bind");
-    let addr = server.local_addr();
+    for mode in BOTH_MODES {
+        let server = Server::bind(
+            "127.0.0.1:0",
+            ServerConfig {
+                mode,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind");
+        let addr = server.local_addr();
 
-    // Hand-roll a v1 frame: a valid v2 Ping frame with the version field
-    // patched back to 1 — exactly the bytes a v1 client would send.
-    let mut frame = protocol::encode_message(77, &Message::Ping).expect("encode");
-    frame[4..6].copy_from_slice(&1u16.to_le_bytes());
-    let mut stream = TcpStream::connect(addr).expect("connect");
-    stream.write_all(&frame).expect("write v1 frame");
+        // Hand-roll a v1 frame: a valid v2 Ping frame with the version field
+        // patched back to 1 — exactly the bytes a v1 client would send.
+        let mut frame = protocol::encode_message(77, &Message::Ping).expect("encode");
+        frame[4..6].copy_from_slice(&1u16.to_le_bytes());
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(&frame).expect("write v1 frame");
 
-    let (id, reply) = protocol::read_message(&mut stream).expect("typed error reply");
-    assert_eq!(id, 77, "the version error echoes the v1 request id");
-    match reply {
-        Message::Error { message } => {
-            assert!(message.contains("version 1"), "{message}");
-            assert!(message.contains("expected 2"), "{message}");
+        let (id, reply) = protocol::read_message(&mut stream).expect("typed error reply");
+        assert_eq!(id, 77, "the version error echoes the v1 request id");
+        match reply {
+            Message::Error { message } => {
+                assert!(message.contains("version 1"), "{message}");
+                assert!(message.contains("expected 2"), "{message}");
+            }
+            other => panic!("expected a typed Error reply, got {other:?}"),
         }
-        other => panic!("expected a typed Error reply, got {other:?}"),
+        // The connection is closed after the error (framing may be lost)...
+        let mut rest = Vec::new();
+        stream.read_to_end(&mut rest).expect("clean close");
+        assert!(rest.is_empty());
+        // ...and the server keeps serving v2 clients.
+        let mut client = Client::connect(addr).expect("connect v2");
+        client.ping().expect("still alive");
+        let stats = client.stats().expect("stats");
+        assert_eq!(stats.protocol_errors, 1, "{mode}");
+        client.shutdown().expect("shutdown");
+        server.join();
     }
-    // The connection is closed after the error (framing may be lost)...
-    let mut rest = Vec::new();
-    stream.read_to_end(&mut rest).expect("clean close");
-    assert!(rest.is_empty());
-    // ...and the server keeps serving v2 clients.
-    let mut client = Client::connect(addr).expect("connect v2");
-    client.ping().expect("still alive");
-    let stats = client.stats().expect("stats");
-    assert_eq!(stats.protocol_errors, 1);
-    client.shutdown().expect("shutdown");
-    server.join();
 }
 
 /// Protocol v2 pipelining against a real server: a client streams all its
@@ -199,40 +230,46 @@ fn v1_client_gets_a_typed_version_error_not_a_hang() {
 fn pipelined_requests_round_trip_byte_identically() {
     let images = test_images(10);
     let reference = reference_labels(&images);
-    let server = Server::bind(
-        "127.0.0.1:0",
-        ServerConfig {
-            plan: SegmentPlan::default(),
-            max_inflight: 2,
-            cache: CacheConfig::with_capacity_mb(16),
-        },
-    )
-    .expect("bind");
-    let mut client = Client::connect(server.local_addr()).expect("connect");
+    for mode in BOTH_MODES {
+        let server = Server::bind(
+            "127.0.0.1:0",
+            ServerConfig {
+                plan: SegmentPlan::default(),
+                max_inflight: 2,
+                cache: CacheConfig::with_capacity_mb(16),
+                mode,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind");
+        let mut client = Client::connect(server.local_addr()).expect("connect");
 
-    // Repeated traffic: every image requested twice in one pipelined burst.
-    let refs: Vec<&RgbImage> = images.iter().chain(images.iter()).collect();
-    let replies = client
-        .segment_pipelined(&refs, 4, true)
-        .expect("pipelined segment");
-    assert_eq!(replies.len(), 20);
-    for (k, (labels, _cached)) in replies.iter().enumerate() {
-        assert_eq!(labels, &reference[k % images.len()], "request {k}");
-    }
-    // The second half repeats the first: the cache must have answered them.
-    let hits = replies.iter().filter(|(_, cached)| *cached).count();
-    assert_eq!(hits, 10, "every repeated image is a cache hit");
+        // Repeated traffic: every image requested twice in one pipelined
+        // burst.
+        let refs: Vec<&RgbImage> = images.iter().chain(images.iter()).collect();
+        let replies = client
+            .segment_pipelined(&refs, 4, true)
+            .expect("pipelined segment");
+        assert_eq!(replies.len(), 20);
+        for (k, (labels, _cached)) in replies.iter().enumerate() {
+            assert_eq!(labels, &reference[k % images.len()], "request {k} ({mode})");
+        }
+        // The second half repeats the first: the cache must have answered
+        // them.
+        let hits = replies.iter().filter(|(_, cached)| *cached).count();
+        assert_eq!(hits, 10, "every repeated image is a cache hit ({mode})");
 
-    // Plain (uncached) pipelining works over the same connection too.
-    let replies = client
-        .segment_pipelined(&refs[..6], 3, false)
-        .expect("uncached pipelined segment");
-    for (k, (labels, cached)) in replies.iter().enumerate() {
-        assert_eq!(labels, &reference[k % images.len()]);
-        assert!(!cached, "plain Segment never reports a cache hit");
+        // Plain (uncached) pipelining works over the same connection too.
+        let replies = client
+            .segment_pipelined(&refs[..6], 3, false)
+            .expect("uncached pipelined segment");
+        for (k, (labels, cached)) in replies.iter().enumerate() {
+            assert_eq!(labels, &reference[k % images.len()]);
+            assert!(!cached, "plain Segment never reports a cache hit");
+        }
+        client.shutdown().expect("shutdown");
+        server.join();
     }
-    client.shutdown().expect("shutdown");
-    server.join();
 }
 
 /// Deadlock safety: a deep pipelined burst of frames far larger than any
@@ -245,32 +282,36 @@ fn deep_pipelined_burst_of_large_frames_does_not_deadlock() {
     let image = RgbImage::from_fn(1000, 700, |x, y| {
         Rgb::new((x / 4) as u8, (y / 3) as u8, ((x + y) / 7) as u8)
     });
-    let server = Server::bind(
-        "127.0.0.1:0",
-        ServerConfig {
-            plan: SegmentPlan::default(),
-            max_inflight: 2,
-            cache: CacheConfig::with_capacity_mb(64),
-        },
-    )
-    .expect("bind");
-    let mut client = Client::connect(server.local_addr()).expect("connect");
-    let refs: Vec<&RgbImage> = (0..16).map(|_| &image).collect();
-    let replies = client
-        .segment_pipelined(&refs, protocol::MAX_PIPELINE_DEPTH, true)
-        .expect("deep burst completes");
-    assert_eq!(replies.len(), 16);
     let expected = SegmentEngine::serial().segment_rgb(
         &IqftClassifier::paper_default(ClassifierKind::Table),
         &image,
     );
-    for (k, (labels, _)) in replies.iter().enumerate() {
-        assert_eq!(labels, &expected, "request {k}");
+    for mode in BOTH_MODES {
+        let server = Server::bind(
+            "127.0.0.1:0",
+            ServerConfig {
+                plan: SegmentPlan::default(),
+                max_inflight: 2,
+                cache: CacheConfig::with_capacity_mb(64),
+                mode,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind");
+        let mut client = Client::connect(server.local_addr()).expect("connect");
+        let refs: Vec<&RgbImage> = (0..16).map(|_| &image).collect();
+        let replies = client
+            .segment_pipelined(&refs, protocol::MAX_PIPELINE_DEPTH, true)
+            .expect("deep burst completes");
+        assert_eq!(replies.len(), 16);
+        for (k, (labels, _)) in replies.iter().enumerate() {
+            assert_eq!(labels, &expected, "request {k} ({mode})");
+        }
+        let hits = replies.iter().filter(|(_, cached)| *cached).count();
+        assert_eq!(hits, 15, "all repeats served from the cache ({mode})");
+        client.shutdown().expect("shutdown");
+        server.join();
     }
-    let hits = replies.iter().filter(|(_, cached)| *cached).count();
-    assert_eq!(hits, 15, "all repeats served from the cache");
-    client.shutdown().expect("shutdown");
-    server.join();
 }
 
 /// The client's pipelined reader must not rely on reply order: a mock
@@ -343,87 +384,223 @@ fn concurrent_cached_clients_get_hit_and_miss_replies_byte_identical_to_fresh() 
     let reference = reference_labels(&images);
     // A budget that holds only a few entries forces constant eviction.
     let entry_bytes = images[0].len() * 4 + 96;
-    let server = Server::bind(
-        "127.0.0.1:0",
-        ServerConfig {
-            plan: SegmentPlan::default(),
-            max_inflight: 3,
-            cache: CacheConfig {
-                capacity_bytes: entry_bytes * 6,
-                shards: 2,
+    for mode in BOTH_MODES {
+        let server = Server::bind(
+            "127.0.0.1:0",
+            ServerConfig {
+                plan: SegmentPlan::default(),
+                max_inflight: 3,
+                cache: CacheConfig {
+                    capacity_bytes: entry_bytes * 6,
+                    shards: 2,
+                },
+                mode,
+                ..ServerConfig::default()
             },
-        },
-    )
-    .expect("bind");
-    let addr = server.local_addr();
+        )
+        .expect("bind");
+        let addr = server.local_addr();
 
-    std::thread::scope(|scope| {
-        for client_idx in 0..3usize {
-            let images = &images;
-            let reference = &reference;
-            scope.spawn(move || {
-                let mut client = Client::connect(addr).expect("connect");
-                for round in 0..4 {
-                    for step in 0..images.len() {
-                        // Stagger the orders so clients race on the same keys.
-                        let idx = (step + client_idx * 3 + round) % images.len();
-                        let (labels, _cached) = client
-                            .segment_cached(&images[idx], false)
-                            .expect("cached segment");
-                        assert_eq!(labels, reference[idx], "client {client_idx} image {idx}");
+        std::thread::scope(|scope| {
+            for client_idx in 0..3usize {
+                let images = &images;
+                let reference = &reference;
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    for round in 0..4 {
+                        for step in 0..images.len() {
+                            // Stagger the orders so clients race on the same
+                            // keys.
+                            let idx = (step + client_idx * 3 + round) % images.len();
+                            let (labels, _cached) = client
+                                .segment_cached(&images[idx], false)
+                                .expect("cached segment");
+                            assert_eq!(
+                                labels, reference[idx],
+                                "client {client_idx} image {idx} ({mode})"
+                            );
+                        }
                     }
-                }
-            });
-        }
-    });
+                });
+            }
+        });
 
-    let mut probe = Client::connect(addr).expect("probe");
-    let stats = probe.stats().expect("stats");
-    assert!(stats.cache_hits > 0, "repeated traffic must hit: {stats:?}");
-    assert!(stats.cache_misses > 0, "cold keys must miss: {stats:?}");
-    assert!(
-        stats.cache_bytes <= entry_bytes * 6,
-        "budget respected: {stats:?}"
-    );
-    probe.shutdown().expect("shutdown");
-    server.join();
+        let mut probe = Client::connect(addr).expect("probe");
+        let stats = probe.stats().expect("stats");
+        assert!(stats.cache_hits > 0, "repeated traffic must hit: {stats:?}");
+        assert!(stats.cache_misses > 0, "cold keys must miss: {stats:?}");
+        assert!(
+            stats.cache_bytes <= entry_bytes * 6,
+            "budget respected: {stats:?}"
+        );
+        probe.shutdown().expect("shutdown");
+        server.join();
+    }
 }
 
 /// `segment` on an empty (0×0) image round-trips; malformed dimensions are
 /// answered with a protocol error frame, not a dead connection.
 #[test]
 fn degenerate_and_malformed_requests_are_handled_cleanly() {
-    let server = Server::bind("127.0.0.1:0", ServerConfig::default()).expect("bind");
-    let addr = server.local_addr();
+    for mode in BOTH_MODES {
+        let server = Server::bind(
+            "127.0.0.1:0",
+            ServerConfig {
+                mode,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind");
+        let addr = server.local_addr();
 
-    let empty = RgbImage::from_fn(0, 0, |_, _| Rgb::new(0, 0, 0));
-    let mut client = Client::connect(addr).expect("connect");
-    let labels = client.segment(&empty).expect("empty segment");
-    assert_eq!(labels.len(), 0);
+        let empty = RgbImage::from_fn(0, 0, |_, _| Rgb::new(0, 0, 0));
+        let mut client = Client::connect(addr).expect("connect");
+        let labels = client.segment(&empty).expect("empty segment");
+        assert_eq!(labels.len(), 0);
 
-    // A Segment frame whose payload length disagrees with its dimensions.
-    let mut stream = TcpStream::connect(addr).expect("connect raw");
-    let mut frame = protocol::encode_message(
-        9,
-        &Message::Segment {
-            image: RgbImage::from_fn(4, 4, |_, _| Rgb::new(1, 2, 3)),
-        },
-    )
-    .expect("encode");
-    // Corrupt the declared width (payload starts after the 20-byte header).
-    frame[protocol::HEADER_LEN..protocol::HEADER_LEN + 4].copy_from_slice(&100u32.to_le_bytes());
-    stream.write_all(&frame).expect("write");
-    let (id, reply) = protocol::read_message(&mut stream).expect("error reply");
-    assert_eq!(id, 9);
-    assert!(
-        matches!(reply, Message::Error { ref message } if message.contains("payload")),
-        "{reply:?}"
-    );
+        // A Segment frame whose payload length disagrees with its
+        // dimensions.
+        let mut stream = TcpStream::connect(addr).expect("connect raw");
+        let mut frame = protocol::encode_message(
+            9,
+            &Message::Segment {
+                image: RgbImage::from_fn(4, 4, |_, _| Rgb::new(1, 2, 3)),
+            },
+        )
+        .expect("encode");
+        // Corrupt the declared width (payload starts after the 20-byte
+        // header).
+        frame[protocol::HEADER_LEN..protocol::HEADER_LEN + 4]
+            .copy_from_slice(&100u32.to_le_bytes());
+        stream.write_all(&frame).expect("write");
+        let (id, reply) = protocol::read_message(&mut stream).expect("error reply");
+        assert_eq!(id, 9);
+        assert!(
+            matches!(reply, Message::Error { ref message } if message.contains("payload")),
+            "{reply:?}"
+        );
 
-    // The server survived the malformed frame.
-    client.ping().expect("still alive");
-    let stats = client.stats().expect("stats");
-    assert_eq!(stats.protocol_errors, 1);
-    client.shutdown().expect("shutdown");
-    server.join();
+        // The server survived the malformed frame.
+        client.ping().expect("still alive");
+        let stats = client.stats().expect("stats");
+        assert_eq!(stats.protocol_errors, 1, "{mode}");
+        client.shutdown().expect("shutdown");
+        server.join();
+    }
+}
+
+/// Slow-loris resilience, in both modes: a client that drips half a frame
+/// and then stalls is closed once the per-frame deadline expires, while a
+/// healthy client's traffic keeps flowing the whole time.
+#[test]
+fn slow_loris_connection_is_deadlined_while_healthy_clients_keep_flowing() {
+    let images = test_images(3);
+    let reference = reference_labels(&images);
+    for mode in BOTH_MODES {
+        let server = Server::bind(
+            "127.0.0.1:0",
+            ServerConfig {
+                plan: SegmentPlan::default(),
+                max_inflight: 2,
+                frame_deadline: Duration::from_millis(300),
+                mode,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind");
+        let addr = server.local_addr();
+
+        // The loris: half a Ping frame, then silence.
+        let frame = protocol::encode_message(1, &Message::Ping).expect("encode");
+        let mut loris = TcpStream::connect(addr).expect("connect loris");
+        loris.write_all(&frame[..frame.len() / 2]).expect("drip");
+        loris.flush().expect("flush");
+
+        // Healthy traffic is served while the loris stalls mid-frame.
+        let mut client = Client::connect(addr).expect("connect healthy");
+        for (idx, img) in images.iter().enumerate() {
+            let labels = client.segment(img).expect("segment");
+            assert_eq!(labels, reference[idx], "image {idx} ({mode})");
+        }
+
+        // The loris is closed once its frame deadline expires; it never got
+        // (and never earns) a reply for its unfinished frame.
+        loris
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .expect("read timeout");
+        let mut rest = Vec::new();
+        match loris.read_to_end(&mut rest) {
+            Ok(_) => assert!(rest.is_empty(), "unfinished frame must not be answered"),
+            Err(e) => assert!(
+                matches!(e.kind(), std::io::ErrorKind::ConnectionReset),
+                "expected EOF or reset, got {e:?} ({mode})"
+            ),
+        }
+
+        // The server is unaffected and keeps serving.
+        client.ping().expect("alive after the deadline");
+        client.shutdown().expect("shutdown");
+        server.join();
+    }
+}
+
+/// Regression for the reactor's deadline bookkeeping: one connection stalled
+/// mid-frame must not delay replies on another.  The healthy client's whole
+/// burst has to complete well before the stalled connection's deadline even
+/// expires — proof that nothing about the stall sits on the serving path.
+#[test]
+fn a_stalled_connection_does_not_delay_replies_on_healthy_connections() {
+    let images = test_images(6);
+    let reference = reference_labels(&images);
+    for mode in BOTH_MODES {
+        let deadline = Duration::from_secs(10);
+        let server = Server::bind(
+            "127.0.0.1:0",
+            ServerConfig {
+                plan: SegmentPlan::default(),
+                max_inflight: 2,
+                frame_deadline: deadline,
+                mode,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind");
+        let addr = server.local_addr();
+
+        // Stall several connections mid-frame (header-only, and mid-payload)
+        // to keep the poll set busy with unready fds.
+        let seg = protocol::encode_message(
+            3,
+            &Message::Segment {
+                image: images[0].clone(),
+            },
+        )
+        .expect("encode");
+        let mut stalled: Vec<TcpStream> = Vec::new();
+        for cut in [7, protocol::HEADER_LEN + 5, seg.len() - 3] {
+            let mut stream = TcpStream::connect(addr).expect("connect stalled");
+            stream.write_all(&seg[..cut]).expect("partial write");
+            stream.flush().expect("flush");
+            stalled.push(stream);
+        }
+
+        let started = Instant::now();
+        let mut client = Client::connect(addr).expect("connect healthy");
+        let refs: Vec<&RgbImage> = images.iter().collect();
+        let replies = client
+            .segment_pipelined(&refs, 4, false)
+            .expect("pipelined burst");
+        let elapsed = started.elapsed();
+        for (idx, (labels, _)) in replies.iter().enumerate() {
+            assert_eq!(labels, &reference[idx], "image {idx} ({mode})");
+        }
+        assert!(
+            elapsed < deadline,
+            "healthy burst waited on a stalled peer: {elapsed:?} ({mode})"
+        );
+
+        drop(stalled);
+        client.shutdown().expect("shutdown");
+        server.join();
+    }
 }
