@@ -300,6 +300,38 @@ fn check_file_semantics(path: &Path, records: &[BTreeMap<String, Value>]) -> Res
             ));
         }
     }
+    if name == "BENCH_video.json" {
+        // The per-tile delta path's reason to exist: on a streaming-video
+        // workload where only part of each frame changes, stitching cached
+        // label tiles must beat both re-classifying every frame and the
+        // whole-image result cache (which misses on every changed frame).
+        let low = rate_of(records, "delta_cr5")
+            .ok_or("missing a 'delta_cr5' record with a throughput pair")?;
+        let quarter = rate_of(records, "delta_cr25")
+            .ok_or("missing a 'delta_cr25' record with a throughput pair")?;
+        let uncached = rate_of(records, "uncached")
+            .ok_or("missing an 'uncached' record with a throughput pair")?;
+        let whole = rate_of(records, "whole_cache")
+            .ok_or("missing a 'whole_cache' record with a throughput pair")?;
+        if low <= uncached {
+            return Err(format!(
+                "delta path at 5% change ({low:.0} elem/s) does not beat the \
+                 uncached classifier ({uncached:.0} elem/s)"
+            ));
+        }
+        if quarter <= uncached {
+            return Err(format!(
+                "delta path at 25% change ({quarter:.0} elem/s) does not beat \
+                 the uncached classifier ({uncached:.0} elem/s)"
+            ));
+        }
+        if quarter <= whole {
+            return Err(format!(
+                "delta path at 25% change ({quarter:.0} elem/s) does not beat \
+                 the whole-image cache path ({whole:.0} elem/s)"
+            ));
+        }
+    }
     Ok(())
 }
 
@@ -548,6 +580,52 @@ mod tests {
             .contains("evented_64"));
         // Other baseline files carry no scaling-specific requirements.
         assert!(check_file_semantics(Path::new("BENCH_cache2.json"), &incomplete).is_ok());
+    }
+
+    #[test]
+    fn video_baseline_semantics_require_the_delta_path_to_win() {
+        let record = |bench: &str, rate: f64| {
+            parse_flat_object(&format!(
+                r#"{{"group":"ablation_video","bench":"{bench}","mean_ns":1000.0,"min_ns":900.0,"iters":10,"throughput_elems":1000,"elems_per_sec":{rate}}}"#
+            ))
+            .unwrap()
+        };
+        let path = Path::new("BENCH_video.json");
+        let good = vec![
+            record("video8_256px/delta_cr5", 2.5e8),
+            record("video8_256px/delta_cr25", 1.4e8),
+            record("video8_256px/uncached", 9e7),
+            record("video8_256px/whole_cache", 8.7e7),
+        ];
+        assert!(check_file_semantics(path, &good).is_ok());
+        // The delta path losing to the uncached classifier at a partial
+        // change rate defeats its purpose.
+        let slow_delta = vec![
+            record("video8_256px/delta_cr5", 2.5e8),
+            record("video8_256px/delta_cr25", 8e7),
+            record("video8_256px/uncached", 9e7),
+            record("video8_256px/whole_cache", 8.7e7),
+        ];
+        assert!(check_file_semantics(path, &slow_delta)
+            .unwrap_err()
+            .contains("uncached classifier"));
+        // ... as does losing to the whole-image cache on the same stream.
+        let slow_vs_whole = vec![
+            record("video8_256px/delta_cr5", 2.5e8),
+            record("video8_256px/delta_cr25", 1e8),
+            record("video8_256px/uncached", 9e7),
+            record("video8_256px/whole_cache", 1.2e8),
+        ];
+        assert!(check_file_semantics(path, &slow_vs_whole)
+            .unwrap_err()
+            .contains("whole-image cache"));
+        let incomplete = vec![record("video8_256px/delta_cr25", 1.4e8)];
+        assert!(check_file_semantics(path, &incomplete)
+            .unwrap_err()
+            .contains("delta_cr5"));
+        // Other baseline files carry no video-specific requirements.
+        assert!(check_file_semantics(Path::new("BENCH_cache.json"), &incomplete).is_err());
+        assert!(check_file_semantics(Path::new("BENCH_tiling.json"), &incomplete).is_ok());
     }
 
     #[test]

@@ -19,6 +19,8 @@
 //!   class imbalance of the real tiles.
 //! * [`balls`] — the multi-band "coloured balls" scene of the paper's Fig. 4,
 //!   used to demonstrate single-parameter multiple thresholding.
+//! * [`video`] — deterministic streaming-video frames with a controllable
+//!   per-frame change rate, for the per-tile delta-cache workload.
 //! * [`loader`] — loads a directory of PPM images + PGM masks for users who
 //!   have the real datasets on disk.
 //!
@@ -49,9 +51,11 @@ pub mod balls;
 pub mod loader;
 pub mod pascal;
 pub mod sample;
+pub mod video;
 pub mod xview;
 
 pub use balls::balls_scene;
 pub use pascal::{PascalVocLikeConfig, PascalVocLikeDataset};
 pub use sample::LabeledImage;
+pub use video::{synthetic_video, VideoConfig};
 pub use xview::{XViewLikeConfig, XViewLikeDataset};

@@ -153,6 +153,22 @@ impl Tiling {
             Tiling::Tiles { width, height } => Some((width, height)),
         }
     }
+
+    /// Default tile edge for the per-tile delta cache when the plan does not
+    /// pick one (i.e. [`Tiling::Whole`]): 64 pixels balances hash overhead
+    /// against change-granularity for video-sized frames.
+    pub const DEFAULT_DELTA_TILE: usize = 64;
+
+    /// The tile shape the per-tile delta-cache path uses.  A tiled plan
+    /// deltas at its own tile shape; a whole-image plan still needs *some*
+    /// tile granularity to delta at, so it falls back to
+    /// [`Tiling::DEFAULT_DELTA_TILE`]-square tiles.
+    pub fn delta_shape(self) -> (usize, usize) {
+        match self {
+            Tiling::Whole => (Self::DEFAULT_DELTA_TILE, Self::DEFAULT_DELTA_TILE),
+            Tiling::Tiles { width, height } => (width, height),
+        }
+    }
 }
 
 impl std::fmt::Display for Tiling {
@@ -393,6 +409,12 @@ mod tests {
         assert_eq!(Tiling::from_flag(&tiled.flag()).unwrap(), tiled);
         assert_eq!(tiled.shape(), Some((7, 3)));
         assert_eq!(Tiling::Whole.shape(), None);
+        assert_eq!(tiled.delta_shape(), (7, 3));
+        assert_eq!(
+            Tiling::Whole.delta_shape(),
+            (Tiling::DEFAULT_DELTA_TILE, Tiling::DEFAULT_DELTA_TILE),
+            "whole-image plans delta at the default square tile"
+        );
         assert_eq!(Tiling::Whole.flag(), "off");
         for bad in ["64", "0x4", "4x0", "axb", "4x4x4"] {
             assert!(Tiling::from_flag(bad).is_err(), "{bad}");

@@ -19,11 +19,14 @@
 //!   fig10                      per-image θ adjustment
 //!   throughput [--images N] [--batch B] [--size S] [--seed S]
 //!              [--classifier exact|lut|table|quant|simd] [--tile WxH]
-//!              [--cache-mb M] [--no-verify]
+//!              [--cache-mb M] [--video] [--change-rate R] [--no-verify]
 //!                              batched pipeline service workload
 //!                              (--tile splits images into tile jobs;
 //!                              --cache-mb attaches the result cache and
-//!                              runs the per-request serving path)
+//!                              runs the per-request serving path; --video
+//!                              streams synthetic video through the
+//!                              per-tile delta path, mutating a fraction
+//!                              --change-rate of each frame's blocks)
 //!   serve   [--addr A] [--classifier C] [--tile T] [--workers W]
 //!           [--serve-mode threads|evented] [--cache-mb M] [--addr-file PATH]
 //!                              boot the iqft-serve TCP daemon and block
@@ -34,12 +37,14 @@
 //!                              holds 1000+ pipelined connections)
 //!   loadgen [--addr A] [--clients C] [--images N] [--size S] [--seed S]
 //!           [--repeat-ratio R] [--pipeline K] [--expect-cache-hits]
-//!           [--no-verify] [--shutdown]
+//!           [--video] [--change-rate R] [--no-verify] [--shutdown]
 //!                              drive concurrent clients against a running
 //!                              daemon (byte-identity verified by default;
 //!                              --repeat-ratio generates Zipf-ish repeated
 //!                              traffic, --pipeline keeps K requests in
-//!                              flight per connection)
+//!                              flight per connection; --video streams each
+//!                              client's own synthetic video through the
+//!                              per-tile delta op)
 //!   ping    [--addr A] [--retries N]
 //!                              readiness probe with bounded retries
 //!   all     [--out DIR]        everything above with reduced sizes
@@ -85,6 +90,8 @@ struct Args {
     repeat_ratio: f64,
     pipeline: usize,
     expect_cache_hits: bool,
+    video: bool,
+    change_rate: f64,
     addr_file: Option<PathBuf>,
     retries: usize,
 }
@@ -114,6 +121,8 @@ fn parse_args() -> Args {
         repeat_ratio: 0.0,
         pipeline: 1,
         expect_cache_hits: false,
+        video: false,
+        change_rate: 0.1,
         addr_file: None,
         retries: 40,
     };
@@ -146,6 +155,8 @@ fn parse_args() -> Args {
             "--repeat-ratio" => args.repeat_ratio = value().parse().unwrap_or(args.repeat_ratio),
             "--pipeline" => args.pipeline = value().parse().unwrap_or(args.pipeline),
             "--expect-cache-hits" => args.expect_cache_hits = true,
+            "--video" => args.video = true,
+            "--change-rate" => args.change_rate = value().parse().unwrap_or(args.change_rate),
             "--addr-file" => args.addr_file = Some(PathBuf::from(value())),
             "--retries" => args.retries = value().parse().unwrap_or(args.retries),
             other => eprintln!("ignoring unknown flag {other}"),
@@ -221,6 +232,8 @@ fn main() {
                 repeat_ratio: args.repeat_ratio,
                 pipeline_depth: args.pipeline,
                 expect_cache_hits: args.expect_cache_hits,
+                video: args.video,
+                change_rate: args.change_rate,
                 ..LoadgenConfig::default()
             };
             match service::loadgen_report(&config) {
@@ -249,6 +262,8 @@ fn main() {
                 tile: args.tile.clone(),
                 cache_mb: args.cache_mb,
                 verify: args.verify,
+                video: args.video,
+                change_rate: args.change_rate,
             },
         ),
         "all" => {
@@ -281,6 +296,8 @@ fn main() {
                 repeat_ratio: args.repeat_ratio,
                 pipeline: args.pipeline,
                 expect_cache_hits: args.expect_cache_hits,
+                video: args.video,
+                change_rate: args.change_rate,
                 addr_file: args.addr_file.clone(),
                 retries: args.retries,
             };
@@ -313,6 +330,7 @@ fn main() {
                     tile: args.tile.clone(),
                     cache_mb: 0,
                     verify: args.verify,
+                    ..ThroughputConfig::default()
                 },
             ));
             let untiled = matches!(
@@ -335,6 +353,7 @@ fn main() {
                         tile: "48x48".to_string(),
                         cache_mb: 0,
                         verify: args.verify,
+                        ..ThroughputConfig::default()
                     },
                 ));
             }
@@ -358,6 +377,7 @@ fn main() {
                         tile: args.tile.clone(),
                         cache_mb: 0,
                         verify: args.verify,
+                        ..ThroughputConfig::default()
                     },
                 ));
             }
@@ -376,6 +396,25 @@ fn main() {
                     tile: args.tile.clone(),
                     cache_mb: if args.cache_mb > 0 { args.cache_mb } else { 32 },
                     verify: args.verify,
+                    ..ThroughputConfig::default()
+                },
+            ));
+            // ... and the streaming-video per-tile delta path (stitched
+            // byte-identity verified the same way).
+            all.push('\n');
+            all.push_str(&throughput::throughput_report(
+                &engine,
+                &ThroughputConfig {
+                    images: args.images.min(8),
+                    batch: args.batch.min(4),
+                    image_size: args.size.min(128),
+                    seed: args.seed,
+                    classifier: args.classifier.clone(),
+                    tile: "32x32".to_string(),
+                    cache_mb: if args.cache_mb > 0 { args.cache_mb } else { 32 },
+                    verify: args.verify,
+                    video: true,
+                    change_rate: 0.25,
                 },
             ));
             all
@@ -385,7 +424,7 @@ fn main() {
             // one place the workspace enumerates it — so this usage line can
             // never drift from what `--classifier` actually accepts.
             eprintln!(
-                "usage: iqft-experiments <table1|table2|table3|fig1-3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|throughput|serve|loadgen|ping|all> [--out DIR] [--samples N] [--voc N] [--xview N] [--size S] [--seed S] [--backend serial|threads|rayon] [--threads N] [--images N] [--batch B] [--classifier {}] [--tile WxH] [--cache-mb M] [--no-verify] [--addr A] [--addr-file PATH] [--clients C] [--workers W] [--serve-mode threads|evented] [--repeat-ratio R] [--pipeline K] [--expect-cache-hits] [--retries N] [--shutdown]",
+                "usage: iqft-experiments <table1|table2|table3|fig1-3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|throughput|serve|loadgen|ping|all> [--out DIR] [--samples N] [--voc N] [--xview N] [--size S] [--seed S] [--backend serial|threads|rayon] [--threads N] [--images N] [--batch B] [--classifier {}] [--tile WxH] [--cache-mb M] [--no-verify] [--addr A] [--addr-file PATH] [--clients C] [--workers W] [--serve-mode threads|evented] [--repeat-ratio R] [--pipeline K] [--expect-cache-hits] [--video] [--change-rate R] [--retries N] [--shutdown]",
                 seg_engine::ClassifierKind::FLAG_HELP
             );
             return;

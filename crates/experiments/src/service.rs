@@ -172,8 +172,17 @@ pub struct LoadgenConfig {
     pub pipeline_depth: usize,
     /// Fail loudly unless the server's final stats snapshot reports at
     /// least one cache hit (`--expect-cache-hits`) — the CI cache leg's
-    /// assertion.
+    /// assertion.  In `--video` mode the assertion counts delta *tile* hits
+    /// instead of whole-image hits.
     pub expect_cache_hits: bool,
+    /// Stream synthetic video instead of independent images (`--video`):
+    /// each client plays its own deterministic frame stream through the
+    /// per-tile delta op (`SegmentDelta`), so consecutive frames share most
+    /// of their tiles and the server's delta cache can prove itself.
+    pub video: bool,
+    /// Fraction of each frame's blocks mutated per frame in `--video` mode
+    /// (`--change-rate`, 0.0–1.0).
+    pub change_rate: f64,
     /// How long the initial connection keeps retrying (milliseconds), so
     /// loadgen can be launched concurrently with a booting server.  No CLI
     /// flag; tests shrink it.
@@ -193,6 +202,8 @@ impl Default for LoadgenConfig {
             repeat_ratio: 0.0,
             pipeline_depth: 1,
             expect_cache_hits: false,
+            video: false,
+            change_rate: 0.1,
             connect_deadline_ms: 15_000,
         }
     }
@@ -245,6 +256,8 @@ struct ClientOutcome {
     pixels: u64,
     mismatches: usize,
     cache_hits: usize,
+    tiles_hit: u64,
+    tiles_recomputed: u64,
     elapsed_secs: f64,
 }
 
@@ -292,6 +305,9 @@ fn request_sequence(n: usize, repeat_ratio: f64, seed: u64) -> Vec<usize> {
 /// byte-identical to the local serial reference, so a supervising script
 /// fails loudly.
 pub fn loadgen_report(config: &LoadgenConfig) -> Result<String, String> {
+    if config.video {
+        return loadgen_video_report(config);
+    }
     let clients = config.clients.max(1);
     // Each client holds one socket (and the kernel a few more); a
     // thousand-client run overruns the common 1024 soft descriptor limit.
@@ -429,6 +445,19 @@ pub fn loadgen_report(config: &LoadgenConfig) -> Result<String, String> {
         );
     }
 
+    finish_report(&mut out, &mut probe, config)?;
+    Ok(out)
+}
+
+/// The shared report tail: fetches the server's statistics snapshot, renders
+/// it, enforces `--expect-cache-hits` (whole-image hits in the default mode,
+/// delta *tile* hits in `--video` mode), and sends the shutdown frame when
+/// asked.
+fn finish_report(
+    out: &mut String,
+    probe: &mut Client,
+    config: &LoadgenConfig,
+) -> Result<(), String> {
     let stats = probe
         .stats()
         .map_err(|e| format!("stats request failed: {e}"))?;
@@ -473,16 +502,41 @@ pub fn loadgen_report(config: &LoadgenConfig) -> Result<String, String> {
     } else {
         let _ = writeln!(out, "  server cache: off");
     }
-    if config.expect_cache_hits && stats.cache_hits == 0 {
-        return Err(format!(
-            "expected cache hits, but the server reports none (cache {}; {} misses)",
-            if stats.cache_capacity_bytes > 0 {
-                "enabled"
-            } else {
-                "DISABLED"
-            },
-            stats.cache_misses,
-        ));
+    let delta_total = stats.delta_tiles_hit + stats.delta_tiles_recomputed;
+    if delta_total > 0 {
+        let _ = writeln!(
+            out,
+            "  server delta: {} tiles hit, {} recomputed ({:.1}% tile hit ratio)",
+            stats.delta_tiles_hit,
+            stats.delta_tiles_recomputed,
+            stats.delta_tiles_hit as f64 * 100.0 / delta_total as f64,
+        );
+    }
+    if config.expect_cache_hits {
+        if config.video {
+            if stats.delta_tiles_hit == 0 {
+                return Err(format!(
+                    "expected delta tile hits, but the server reports none (cache {}; {} tiles \
+                     recomputed)",
+                    if stats.cache_capacity_bytes > 0 {
+                        "enabled"
+                    } else {
+                        "DISABLED"
+                    },
+                    stats.delta_tiles_recomputed,
+                ));
+            }
+        } else if stats.cache_hits == 0 {
+            return Err(format!(
+                "expected cache hits, but the server reports none (cache {}; {} misses)",
+                if stats.cache_capacity_bytes > 0 {
+                    "enabled"
+                } else {
+                    "DISABLED"
+                },
+                stats.cache_misses,
+            ));
+        }
     }
 
     if config.shutdown {
@@ -491,6 +545,137 @@ pub fn loadgen_report(config: &LoadgenConfig) -> Result<String, String> {
             .map_err(|e| format!("shutdown request failed: {e}"))?;
         let _ = writeln!(out, "  shutdown: acknowledged, server is draining");
     }
+    Ok(())
+}
+
+/// The `--video` traffic shape: each client plays its own deterministic
+/// synthetic video stream ([`datasets::synthetic_video`]) through the
+/// per-tile delta op in lockstep, so consecutive frames share most of their
+/// tiles and the server's delta cache answers the unchanged ones.  Every
+/// stitched reply is cross-checked byte-for-byte against a local serial pass
+/// (unless `--no-verify`).
+fn loadgen_video_report(config: &LoadgenConfig) -> Result<String, String> {
+    let clients = config.clients.max(1);
+    #[cfg(unix)]
+    iqft_serve::poll::raise_nofile_limit((clients as u64).saturating_mul(2) + 512);
+    let frames_per_client = config.images.div_ceil(clients).max(2);
+    let width = config.image_size;
+    let height = config.image_size * 3 / 4;
+
+    let mut probe = connect_with_retry(&config.addr, config.connect_deadline_ms)?;
+    probe.ping().map_err(|e| format!("ping failed: {e}"))?;
+
+    let started = Instant::now();
+    let outcomes: Vec<Result<ClientOutcome, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|client_idx| {
+                let addr = config.addr.as_str();
+                let verify = config.verify;
+                let change_rate = config.change_rate;
+                let seed = config.seed;
+                scope.spawn(move || -> Result<ClientOutcome, String> {
+                    // Each client is its own camera: a distinct seed gives it
+                    // a distinct (still deterministic) scene and motion.
+                    let frames = datasets::synthetic_video(&datasets::VideoConfig {
+                        frames: frames_per_client,
+                        width,
+                        height,
+                        change_rate,
+                        block: 0,
+                        seed: seed ^ ((client_idx as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                    });
+                    let serial =
+                        IqftRgbSegmenter::paper_default().with_engine(SegmentEngine::serial());
+                    let mut client = connect_worker(addr, client_idx)?;
+                    let started = Instant::now();
+                    let mut outcome = ClientOutcome::default();
+                    for frame in &frames {
+                        let (labels, hit, recomputed) =
+                            client.segment_delta(frame).map_err(|e| {
+                                format!("client {client_idx}: delta segment failed: {e}")
+                            })?;
+                        outcome.requests += 1;
+                        outcome.pixels += labels.len() as u64;
+                        outcome.tiles_hit += u64::from(hit);
+                        outcome.tiles_recomputed += u64::from(recomputed);
+                        if verify && labels != serial.segment_rgb(frame) {
+                            outcome.mismatches += 1;
+                        }
+                    }
+                    outcome.elapsed_secs = started.elapsed().as_secs_f64();
+                    Ok(outcome)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|_| Err("client panicked".into())))
+            .collect()
+    });
+    let wall_secs = started.elapsed().as_secs_f64();
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Loadgen (video): {} clients x {} frames ({}x{}, change rate {:.0}%) against {}",
+        clients,
+        frames_per_client,
+        width,
+        height,
+        config.change_rate * 100.0,
+        config.addr,
+    );
+    let mut total = ClientOutcome::default();
+    for (idx, outcome) in outcomes.iter().enumerate() {
+        let outcome = outcome.as_ref().map_err(|e| e.clone())?;
+        let _ = writeln!(
+            out,
+            "  client {idx}: {:>4} frames  {:>5} tiles hit  {:>5} recomputed  {:>8.3} Mpx  \
+             {:>7.2} Mpx/s",
+            outcome.requests,
+            outcome.tiles_hit,
+            outcome.tiles_recomputed,
+            outcome.pixels as f64 / 1e6,
+            outcome.pixels as f64 / 1e6 / outcome.elapsed_secs.max(1e-9),
+        );
+        total.requests += outcome.requests;
+        total.pixels += outcome.pixels;
+        total.mismatches += outcome.mismatches;
+        total.tiles_hit += outcome.tiles_hit;
+        total.tiles_recomputed += outcome.tiles_recomputed;
+    }
+    let tile_total = total.tiles_hit + total.tiles_recomputed;
+    let _ = writeln!(
+        out,
+        "  total: {} frames, {} of {} tiles from cache ({:.1}% tile hit ratio), {:.3} Mpx in \
+         {:.2} ms -> {:.2} Mpx/s over the wire",
+        total.requests,
+        total.tiles_hit,
+        tile_total,
+        if tile_total > 0 {
+            total.tiles_hit as f64 * 100.0 / tile_total as f64
+        } else {
+            0.0
+        },
+        total.pixels as f64 / 1e6,
+        wall_secs * 1e3,
+        total.pixels as f64 / 1e6 / wall_secs.max(1e-9),
+    );
+    if config.verify {
+        if total.mismatches > 0 {
+            return Err(format!(
+                "verify: FAILED — {} of {} stitched replies differ from the local serial \
+                 reference",
+                total.mismatches, total.requests
+            ));
+        }
+        let _ = writeln!(
+            out,
+            "  verify: all {} stitched replies byte-identical to the local serial reference",
+            total.requests
+        );
+    }
+    finish_report(&mut out, &mut probe, config)?;
     Ok(out)
 }
 
@@ -578,6 +763,44 @@ mod tests {
         let err = loadgen_report(&config).unwrap_err();
         assert!(err.contains("expected cache hits"), "{err}");
         assert!(err.contains("DISABLED"), "{err}");
+        server.shutdown_now();
+        server.join();
+    }
+
+    #[test]
+    fn video_loadgen_hits_the_delta_cache_and_verifies_stitched_replies() {
+        let plan = SegmentPlan::default().with_tiling(Tiling::Tiles {
+            width: 48,
+            height: 48,
+        });
+        let server = boot_with_cache(plan, 64);
+        let mut config = small_loadgen(server.local_addr().to_string());
+        config.video = true;
+        config.change_rate = 0.2;
+        config.clients = 2;
+        config.images = 6; // 3 frames per client
+        config.image_size = 160; // 160x120 frames: 12 tiles of 48x48
+        config.expect_cache_hits = true;
+        let report = loadgen_report(&config).unwrap();
+        assert!(report.contains("Loadgen (video)"), "{report}");
+        assert!(
+            report.contains("stitched replies byte-identical"),
+            "{report}"
+        );
+        assert!(report.contains("server delta:"), "{report}");
+        assert!(report.contains("tile hit ratio"), "{report}");
+        server.join();
+    }
+
+    #[test]
+    fn video_loadgen_without_a_cache_fails_the_hit_expectation() {
+        let server = boot(SegmentPlan::default());
+        let mut config = small_loadgen(server.local_addr().to_string());
+        config.video = true;
+        config.shutdown = false;
+        config.expect_cache_hits = true;
+        let err = loadgen_report(&config).unwrap_err();
+        assert!(err.contains("expected delta tile hits"), "{err}");
         server.shutdown_now();
         server.join();
     }

@@ -32,7 +32,7 @@
 //! — byte-identity is an acceptance criterion, not an option (and it holds
 //! for every classifier × tiling × backend combination by construction).
 
-use datasets::{PascalVocLikeConfig, PascalVocLikeDataset};
+use datasets::{synthetic_video, PascalVocLikeConfig, PascalVocLikeDataset, VideoConfig};
 use imaging::{LabelMap, RgbImage, Segmenter};
 use iqft_pipeline::{CacheConfig, PipelineConfig, PipelineReport, SegmentPipeline};
 use iqft_seg::{IqftClassifier, IqftRgbSegmenter};
@@ -64,6 +64,15 @@ pub struct ThroughputConfig {
     pub cache_mb: usize,
     /// Skip the byte-identity cross-check (`--no-verify`); the default runs it.
     pub verify: bool,
+    /// Stream synthetic video instead of independent images (`--video`):
+    /// consecutive frames share most of their pixels, and the stream runs
+    /// through the per-tile delta path
+    /// ([`SegmentPipeline::run_stream_deltas`]) so unchanged tiles are
+    /// stitched from the cache instead of re-classified.
+    pub video: bool,
+    /// Fraction of each frame's blocks mutated per frame in `--video` mode
+    /// (`--change-rate`, 0.0–1.0).
+    pub change_rate: f64,
 }
 
 impl Default for ThroughputConfig {
@@ -77,6 +86,8 @@ impl Default for ThroughputConfig {
             tile: Tiling::default().flag(),
             cache_mb: 0,
             verify: true,
+            video: false,
+            change_rate: 0.1,
         }
     }
 }
@@ -97,6 +108,16 @@ impl ThroughputConfig {
 /// Generates the synthetic image stream for a throughput run (the VOC-like
 /// generator's images, deterministic in `seed`).
 pub fn throughput_images(config: &ThroughputConfig) -> Vec<RgbImage> {
+    if config.video {
+        return synthetic_video(&VideoConfig {
+            frames: config.images,
+            width: config.image_size,
+            height: config.image_size * 3 / 4,
+            change_rate: config.change_rate,
+            block: 0,
+            seed: config.seed,
+        });
+    }
     PascalVocLikeDataset::new(PascalVocLikeConfig {
         len: config.images,
         width: config.image_size,
@@ -109,15 +130,28 @@ pub fn throughput_images(config: &ThroughputConfig) -> Vec<RgbImage> {
     .collect()
 }
 
+/// The serving-path shape of one run: how frames decompose into work, how
+/// big the result cache is (0 = none), and whether the stream takes the
+/// per-tile delta path.
+struct StreamShape {
+    tiling: Tiling,
+    cache_mb: usize,
+    delta: bool,
+}
+
 fn run_pipeline(
     engine: &SegmentEngine,
     classifier: IqftClassifier,
     images: &[RgbImage],
     batch: usize,
-    tiling: Tiling,
-    cache_mb: usize,
+    shape: StreamShape,
     cache_salt: &str,
 ) -> (Vec<LabelMap>, PipelineReport, u64) {
+    let StreamShape {
+        tiling,
+        cache_mb,
+        delta,
+    } = shape;
     let pipeline = SegmentPipeline::new(*engine, classifier)
         .with_config(PipelineConfig {
             tiling,
@@ -132,7 +166,14 @@ fn run_pipeline(
         outputs[idx] = Some(labels.clone());
         pipeline.recycle(labels);
     };
-    let report = if cache_mb > 0 {
+    let report = if delta {
+        // Video streams run the per-tile delta path: unchanged tiles are
+        // stitched from the cache, changed tiles are re-classified.
+        let mut sink = sink;
+        pipeline.run_stream_deltas(images, batch, |idx, labels, _hit, _recomputed| {
+            sink(idx, labels)
+        })
+    } else if cache_mb > 0 {
         // Cached streams run the per-request serving path so repeated
         // images are answered from the cache.
         let mut sink = sink;
@@ -165,8 +206,11 @@ pub fn throughput_run(
         IqftClassifier::for_plan(&plan),
         images,
         config.batch,
-        plan.tiling(),
-        config.cache_mb,
+        StreamShape {
+            tiling: plan.tiling(),
+            cache_mb: config.cache_mb,
+            delta: config.video,
+        },
         &plan.to_spec(),
     ))
 }
@@ -200,6 +244,13 @@ pub fn throughput_report(engine: &SegmentEngine, config: &ThroughputConfig) -> S
             "off".to_string()
         },
     );
+    if config.video {
+        let _ = writeln!(
+            out,
+            "  video: delta path, change rate {:.0}% of blocks per frame",
+            config.change_rate * 100.0,
+        );
+    }
     for b in &report.batches {
         let _ = writeln!(
             out,
@@ -237,6 +288,16 @@ pub fn throughput_report(engine: &SegmentEngine, config: &ThroughputConfig) -> S
             report.cache_evictions,
             report.cache_entries,
             report.cache_bytes as f64 / (1 << 20) as f64,
+        );
+    }
+    let delta_total = report.delta_tiles_hit + report.delta_tiles_recomputed;
+    if delta_total > 0 {
+        let _ = writeln!(
+            out,
+            "  delta: {} tiles hit, {} recomputed ({:.1}% tile hit ratio)",
+            report.delta_tiles_hit,
+            report.delta_tiles_recomputed,
+            report.delta_tile_hit_ratio() * 100.0,
         );
     }
     if quantized {
@@ -293,7 +354,39 @@ mod tests {
             tile: "off".to_string(),
             cache_mb: 0,
             verify: true,
+            video: false,
+            change_rate: 0.1,
         }
+    }
+
+    #[test]
+    fn video_streams_run_the_delta_path_and_stay_byte_identical() {
+        let engine = SegmentEngine::with_threads(2);
+        let mut config = small_config("table");
+        config.video = true;
+        config.change_rate = 0.25;
+        config.cache_mb = 8;
+        config.tile = "32x32".to_string();
+        config.images = 5;
+        config.image_size = 128; // 128x96 frames: 4 mutation blocks, 12 tiles
+        let images = throughput_images(&config);
+        assert_eq!(images.len(), 5);
+        let reference: Vec<LabelMap> = images
+            .iter()
+            .map(|img| {
+                IqftRgbSegmenter::paper_default()
+                    .with_engine(SegmentEngine::serial())
+                    .segment_rgb(img)
+            })
+            .collect();
+        let (labels, report, _) = throughput_run(&engine, &config, &images).unwrap();
+        assert_eq!(labels, reference, "stitched deltas match serial reference");
+        assert!(report.delta_tiles_hit > 0, "{report:?}");
+        assert!(report.delta_tiles_recomputed > 0, "{report:?}");
+        let rendered = throughput_report(&engine, &config);
+        assert!(rendered.contains("video: delta path"), "{rendered}");
+        assert!(rendered.contains("tile hit ratio"), "{rendered}");
+        assert!(rendered.contains("byte-identical"), "{rendered}");
     }
 
     #[test]

@@ -33,8 +33,9 @@
 //! enforce the identity end to end.
 
 use crate::arena::LabelArena;
-use imaging::{LabelMap, RgbImage};
+use imaging::{ImageView, LabelMap, LabelViewMut, Rgb, RgbImage};
 use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// Default shard count when [`CacheConfig::shards`] is 0.
@@ -169,6 +170,67 @@ fn hash_image(img: &RgbImage, seed_lo: u64, seed_hi: u64) -> CacheKey {
     }
 }
 
+/// Streaming variant of the packing loop in [`hash_image`]: pixels are
+/// pushed one logical row at a time, packed 8-at-a-time into three 64-bit
+/// words exactly as the whole-image hasher does, with any short tail mixed
+/// pixel-by-pixel at `finish`.  Because it consumes *logical* pixels, the
+/// result depends only on the pixel sequence — never on the view's offset
+/// into (or the stride of) its parent buffer.
+struct PixelHasher {
+    lo: u64,
+    hi: u64,
+    buf: [u8; 24],
+    filled: usize,
+}
+
+impl PixelHasher {
+    fn new(seed_lo: u64, seed_hi: u64) -> Self {
+        Self {
+            lo: seed_lo,
+            hi: seed_hi,
+            buf: [0u8; 24],
+            filled: 0,
+        }
+    }
+
+    #[inline]
+    fn mix_word(&mut self, word: u64) {
+        self.lo = mix(self.lo, word);
+        self.hi = mix(self.hi, word.rotate_left(32));
+    }
+
+    #[inline]
+    fn push(&mut self, px: Rgb<u8>) {
+        self.buf[self.filled] = px.r();
+        self.buf[self.filled + 1] = px.g();
+        self.buf[self.filled + 2] = px.b();
+        self.filled += 3;
+        if self.filled == 24 {
+            for i in 0..3 {
+                let word = u64::from_le_bytes(
+                    self.buf[i * 8..(i + 1) * 8]
+                        .try_into()
+                        .expect("8-byte chunk"),
+                );
+                self.mix_word(word);
+            }
+            self.filled = 0;
+        }
+    }
+
+    fn finish(mut self) -> CacheKey {
+        let tail = std::mem::take(&mut self.buf);
+        for chunk in tail[..self.filled].chunks_exact(3) {
+            let word = chunk[0] as u64 | (chunk[1] as u64) << 8 | (chunk[2] as u64) << 16;
+            self.mix_word(word);
+        }
+        CacheKey {
+            lo: finish(self.lo),
+            hi: finish(self.hi),
+        }
+    }
+}
+
 /// One cached segmentation.
 #[derive(Debug)]
 struct Entry {
@@ -202,6 +264,11 @@ pub struct CacheStats {
     pub bytes: usize,
     /// The configured total byte budget.
     pub capacity_bytes: usize,
+    /// Delta-path tiles answered from the cache (whole-cache figure; not
+    /// counted into [`CacheStats::hits`], which tracks whole-image lookups).
+    pub tile_hits: usize,
+    /// Delta-path tiles that missed and were re-classified.
+    pub tile_recomputed: usize,
 }
 
 impl CacheStats {
@@ -212,6 +279,8 @@ impl CacheStats {
         self.evictions += other.evictions;
         self.entries += other.entries;
         self.bytes += other.bytes;
+        self.tile_hits += other.tile_hits;
+        self.tile_recomputed += other.tile_recomputed;
     }
 }
 
@@ -267,7 +336,7 @@ impl Shard {
             evictions: self.evictions,
             entries: self.entries.len(),
             bytes: self.bytes,
-            capacity_bytes: 0,
+            ..CacheStats::default()
         }
     }
 }
@@ -284,6 +353,12 @@ pub struct SegmentCache {
     capacity_bytes: usize,
     seed_lo: u64,
     seed_hi: u64,
+    /// Delta-path tiles served from cache.  Kept outside the shard counters
+    /// (and outside `hits`/`misses`) so tile traffic and whole-image traffic
+    /// stay separately attributable in every report.
+    tile_hits: AtomicU64,
+    /// Delta-path tiles that missed and were re-classified.
+    tile_recomputed: AtomicU64,
 }
 
 impl SegmentCache {
@@ -304,12 +379,127 @@ impl SegmentCache {
             capacity_bytes: config.capacity_bytes,
             seed_lo: SEED_LO ^ salt_hash,
             seed_hi: SEED_HI ^ salt_hash.rotate_left(32),
+            tile_hits: AtomicU64::new(0),
+            tile_recomputed: AtomicU64::new(0),
         }
     }
 
     /// The content address of `img` under this cache's salt.
     pub fn key_for(&self, img: &RgbImage) -> CacheKey {
         hash_image(img, self.seed_lo, self.seed_hi)
+    }
+
+    /// The content address of one tile of an image under this cache's salt,
+    /// for the per-tile delta path.
+    ///
+    /// `tile_w`/`tile_h` are the plan's *configured* tile geometry (edge
+    /// tiles are smaller than this); the geometry is mixed into the seeds
+    /// before any pixel, so tile keys from different tilings — and tile keys
+    /// vs whole-image keys — can never alias even on identical pixel bytes.
+    /// The view's own (clamped) dimensions are hashed next, then the pixels
+    /// row by row, so the key depends only on the logical pixel sequence:
+    /// the same tile content hashes identically wherever the view sits in
+    /// its parent buffer and whatever that parent's stride is.  The tile's
+    /// *position* is deliberately not part of the key — classification is
+    /// per-pixel, so identical content segments identically anywhere in the
+    /// frame, and content-only keys let a panning scene reuse tiles across
+    /// positions.
+    pub fn key_for_tile(
+        &self,
+        view: &ImageView<'_, Rgb<u8>>,
+        tile_w: usize,
+        tile_h: usize,
+    ) -> CacheKey {
+        let geometry = ((tile_w as u64) << 32) | tile_h as u64;
+        let mut hasher = PixelHasher::new(mix(self.seed_lo, geometry), mix(self.seed_hi, geometry));
+        let (width, height) = view.dimensions();
+        hasher.mix_word(((width as u64) << 32) | height as u64);
+        for row in view.rows() {
+            for px in row {
+                hasher.push(*px);
+            }
+        }
+        hasher.finish()
+    }
+
+    /// Looks a tile key up and, on a hit, copies the cached labels straight
+    /// into `dest` (a tile-shaped window over the caller's stitch buffer).
+    /// Returns whether the copy happened.  An entry whose dimensions do not
+    /// match `dest` is treated as a miss — the 128-bit key makes that
+    /// practically impossible, but a dimension check costs nothing and keeps
+    /// a collision from ever mis-stitching a frame.
+    ///
+    /// Counts into the cache-wide `tile_hits`/`tile_recomputed` figures, not
+    /// the shard `hits`/`misses` (those track whole-image lookups).
+    pub fn lookup_tile_into(&self, key: CacheKey, dest: &mut LabelViewMut<'_>) -> bool {
+        let mut shard = self.shards[key.shard(self.shards.len())]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let hit = match shard.entries.get(&key) {
+            Some(entry) if (entry.width, entry.height) == dest.dimensions() => {
+                let width = entry.width;
+                for y in 0..entry.height {
+                    dest.row_mut(y)
+                        .copy_from_slice(&entry.labels[y * width..(y + 1) * width]);
+                }
+                true
+            }
+            _ => false,
+        };
+        if hit {
+            shard.touch(key);
+        }
+        drop(shard);
+        if hit {
+            self.tile_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.tile_recomputed.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    /// Stores one re-classified tile's labels (row-major, `width × height`)
+    /// under `key`.  Same byte-budget and arena rules as
+    /// [`SegmentCache::insert`].
+    pub fn insert_tile(
+        &self,
+        key: CacheKey,
+        labels: &[u32],
+        width: usize,
+        height: usize,
+        arena: &LabelArena,
+    ) {
+        debug_assert_eq!(labels.len(), width * height);
+        let charged = labels.len() * 4 + ENTRY_OVERHEAD_BYTES;
+        if charged > self.shard_budget {
+            return;
+        }
+        let mut buf = arena.take();
+        buf.clear();
+        buf.extend_from_slice(labels);
+        let mut shard = self.shards[key.shard(self.shards.len())]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        if let Some(existing) = shard.entries.remove(&key) {
+            shard.recency.remove(&existing.stamp);
+            shard.bytes -= existing.charged_bytes();
+            arena.put(existing.labels);
+        }
+        shard.evict_for(charged, self.shard_budget, arena);
+        let stamp = shard.next_stamp;
+        shard.next_stamp += 1;
+        shard.recency.insert(stamp, key);
+        shard.bytes += charged;
+        shard.insertions += 1;
+        shard.entries.insert(
+            key,
+            Entry {
+                labels: buf,
+                width,
+                height,
+                stamp,
+            },
+        );
     }
 
     /// Number of shards.
@@ -391,6 +581,8 @@ impl SegmentCache {
     pub fn stats(&self) -> CacheStats {
         let mut total = CacheStats {
             capacity_bytes: self.capacity_bytes,
+            tile_hits: self.tile_hits.load(Ordering::Relaxed) as usize,
+            tile_recomputed: self.tile_recomputed.load(Ordering::Relaxed) as usize,
             ..CacheStats::default()
         };
         for stats in self.shard_stats() {
@@ -606,6 +798,109 @@ mod tests {
             "tiny budget must have evicted: {stats:?}"
         );
         assert!(stats.bytes <= entry_bytes * 4);
+    }
+
+    #[test]
+    fn tile_keys_depend_only_on_logical_pixel_content() {
+        use imaging::TileRect;
+        let cache = small_cache(1 << 20, 4);
+        // The same 6x4 pixel content planted at two different offsets in two
+        // differently-sized parents (different strides).
+        let content = |x: usize, y: usize| Rgb::new((x * 11) as u8, (y * 13) as u8, (x ^ y) as u8);
+        let a = RgbImage::from_fn(40, 30, |x, y| {
+            if (3..9).contains(&x) && (5..9).contains(&y) {
+                content(x - 3, y - 5)
+            } else {
+                Rgb::new(255, 255, 255)
+            }
+        });
+        let b = RgbImage::from_fn(17, 21, |x, y| {
+            if (10..16).contains(&x) && (2..6).contains(&y) {
+                content(x - 10, y - 2)
+            } else {
+                Rgb::new(0, 0, 0)
+            }
+        });
+        let va = a.view(TileRect::new(3, 5, 6, 4)).unwrap();
+        let vb = b.view(TileRect::new(10, 2, 6, 4)).unwrap();
+        let key = cache.key_for_tile(&va, 8, 8);
+        assert_eq!(
+            key,
+            cache.key_for_tile(&vb, 8, 8),
+            "same content, different offset/stride → same key"
+        );
+        // A one-pixel difference changes the key.
+        let mut c = a.clone();
+        c.set(4, 6, Rgb::new(99, 99, 99));
+        let vc = c.view(TileRect::new(3, 5, 6, 4)).unwrap();
+        assert_ne!(key, cache.key_for_tile(&vc, 8, 8));
+        // Distinct configured tile geometry → distinct key for identical
+        // content, and a tile key never aliases the whole-image key.
+        assert_ne!(key, cache.key_for_tile(&va, 16, 16));
+        assert_ne!(key, cache.key_for_tile(&va, 8, 16));
+        let tile_img = RgbImage::from_fn(6, 4, content);
+        let whole_view = tile_img.view(TileRect::new(0, 0, 6, 4)).unwrap();
+        assert_eq!(key, cache.key_for_tile(&whole_view, 8, 8));
+        assert_ne!(
+            cache.key_for(&tile_img),
+            key,
+            "geometry salt separates tile keys from whole-image keys"
+        );
+        // Distinct plan salt → distinct tile key.
+        let other_salt = small_cache(1 << 20, 4);
+        let other_plan = SegmentCache::new(
+            CacheConfig {
+                capacity_bytes: 1 << 20,
+                shards: 4,
+            },
+            "classifier=simd;tile=off;backend=serial",
+        );
+        assert_eq!(key, other_salt.key_for_tile(&va, 8, 8));
+        assert_ne!(key, other_plan.key_for_tile(&va, 8, 8));
+    }
+
+    #[test]
+    fn tile_lookup_stitches_into_a_window_and_counts_separately() {
+        use imaging::TileRect;
+        let arena = LabelArena::new();
+        let cache = small_cache(1 << 20, 2);
+        let img = image(7, 20, 10);
+        let rect = TileRect::new(8, 4, 6, 5);
+        let view = img.view(rect).unwrap();
+        let key = cache.key_for_tile(&view, 8, 8);
+        let tile_labels: Vec<u32> = (0..30).collect();
+
+        let mut stitch = vec![u32::MAX; img.len()];
+        let mut dest = LabelViewMut::new(&mut stitch, img.width(), rect).unwrap();
+        assert!(!cache.lookup_tile_into(key, &mut dest), "cold tile misses");
+        cache.insert_tile(key, &tile_labels, 6, 5, &arena);
+        let mut dest = LabelViewMut::new(&mut stitch, img.width(), rect).unwrap();
+        assert!(cache.lookup_tile_into(key, &mut dest), "warm tile hits");
+        // The copy landed exactly inside the window.
+        for y in 0..5 {
+            for x in 0..6 {
+                assert_eq!(stitch[(4 + y) * img.width() + 8 + x], (y * 6 + x) as u32);
+            }
+        }
+        assert_eq!(
+            stitch.iter().filter(|&&l| l == u32::MAX).count(),
+            img.len() - 30,
+            "labels outside the window untouched"
+        );
+        let stats = cache.stats();
+        assert_eq!((stats.tile_hits, stats.tile_recomputed), (1, 1));
+        assert_eq!(
+            (stats.hits, stats.misses),
+            (0, 0),
+            "tile traffic stays out of the whole-image counters"
+        );
+        assert_eq!(stats.insertions, 1);
+
+        // A dimension mismatch is a (counted) miss, never a mis-stitch.
+        let mut wrong = vec![0u32; 36];
+        let mut wrong_dest = LabelViewMut::contiguous(&mut wrong, 6, 6).unwrap();
+        assert!(!cache.lookup_tile_into(key, &mut wrong_dest));
+        assert_eq!(cache.stats().tile_recomputed, 2);
     }
 
     #[test]

@@ -271,6 +271,124 @@ impl<C: PixelClassifier + Sync> SegmentPipeline<C> {
         (labels, false)
     }
 
+    /// Per-tile delta variant of [`SegmentPipeline::segment_request_cached`]
+    /// for video-like streams: instead of content-addressing the whole frame
+    /// (where one changed pixel forfeits the entire cached result), the frame
+    /// is split into tiles — the plan's own tile shape, or
+    /// [`Tiling::DEFAULT_DELTA_TILE`]-square tiles for a whole-image plan —
+    /// and each tile is content-addressed independently.  Unchanged tiles are
+    /// answered by copying their cached labels straight into the stitch
+    /// buffer; only tiles whose hash changed are re-classified (and stored
+    /// for the next frame).  Frame cost therefore scales with how much of
+    /// the frame changed, not with its area.
+    ///
+    /// Returns `(labels, tiles_hit, tiles_recomputed)`.  Without an attached
+    /// cache every tile counts as recomputed and the call is equivalent to
+    /// [`SegmentPipeline::segment_request`].
+    ///
+    /// The stitched output is byte-identical to fresh whole-image
+    /// segmentation by construction: each label depends only on its own
+    /// pixel (classification is per-pixel), cached tiles hold exactly the
+    /// bytes a fresh classification of identical pixel content produces, and
+    /// the 128-bit content hash plus the entry dimension check make a
+    /// cross-content collision practically impossible.  This is the same
+    /// argument that makes tiled execution byte-identical to whole-image
+    /// execution, composed with the cache's "only ever stores the pipeline's
+    /// own output" invariant.
+    pub fn segment_request_delta(&self, img: &RgbImage) -> (LabelMap, u32, u32) {
+        let (tile_w, tile_h) = self.config.tiling.delta_shape();
+        let Some(cache) = &self.cache else {
+            let total = img.tile_rects(tile_w, tile_h).count() as u32;
+            return (self.segment_request(img), 0, total);
+        };
+        let mut hit_tiles = 0u32;
+        let mut recomputed_tiles = 0u32;
+        let mut scratch: Option<Vec<u32>> = None;
+        let labels = self.segment_with(img, |buf| {
+            buf.clear();
+            buf.resize(img.len(), 0);
+            for rect in img.tile_rects(tile_w, tile_h) {
+                let view = img.view(rect).expect("tile rects lie inside their image");
+                let key = cache.key_for_tile(&view, tile_w, tile_h);
+                let mut dest = LabelViewMut::new(buf, img.width(), rect)
+                    .expect("tile rects lie inside the label buffer");
+                if cache.lookup_tile_into(key, &mut dest) {
+                    hit_tiles += 1;
+                    continue;
+                }
+                recomputed_tiles += 1;
+                let tile_buf = scratch.get_or_insert_with(|| self.arena.take());
+                tile_buf.clear();
+                tile_buf.resize(rect.area(), 0);
+                let mut out = LabelViewMut::contiguous(tile_buf, rect.width, rect.height)
+                    .expect("tile buffer matches tile area");
+                self.classifier.classify_rgb_view_into(&view, &mut out);
+                LabelViewMut::new(buf, img.width(), rect)
+                    .expect("tile rects lie inside the label buffer")
+                    .copy_from_tile(tile_buf);
+                cache.insert_tile(key, tile_buf, rect.width, rect.height, &self.arena);
+            }
+        });
+        if let Some(tile_buf) = scratch {
+            self.arena.put(tile_buf);
+        }
+        (labels, hit_tiles, recomputed_tiles)
+    }
+
+    /// Streams a video-like sequence of `frames` through the per-tile delta
+    /// path ([`SegmentPipeline::segment_request_delta`]), batching
+    /// `batch_size` consecutive frames per [`BatchStats`] entry so throughput
+    /// is comparable with the other stream runners.  The sink receives
+    /// `(index, labels, tiles_hit, tiles_recomputed)` and should recycle the
+    /// labels.  The returned report carries per-run cache/arena deltas plus
+    /// the delta-tile counters.
+    pub fn run_stream_deltas<F>(
+        &self,
+        frames: &[RgbImage],
+        batch_size: usize,
+        mut sink: F,
+    ) -> PipelineReport
+    where
+        F: FnMut(usize, LabelMap, u32, u32),
+    {
+        let batch_size = batch_size.max(1);
+        let allocations_before = self.arena.allocations();
+        let reuses_before = self.arena.reuses();
+        let cache_before = self.cache.as_ref().map(|c| c.stats()).unwrap_or_default();
+        let mut report = PipelineReport {
+            workers: self.workers(),
+            ..PipelineReport::default()
+        };
+        for (batch_idx, chunk) in frames.chunks(batch_size).enumerate() {
+            let offset = batch_idx * batch_size;
+            let started = std::time::Instant::now();
+            for (i, img) in chunk.iter().enumerate() {
+                let (labels, hit, recomputed) = self.segment_request_delta(img);
+                report.delta_tiles_hit += hit as usize;
+                report.delta_tiles_recomputed += recomputed as usize;
+                sink(offset + i, labels, hit, recomputed);
+            }
+            report.batches.push(BatchStats {
+                batch: batch_idx,
+                images: chunk.len(),
+                pixels: chunk.iter().map(|img| img.len()).sum(),
+                elapsed_secs: started.elapsed().as_secs_f64(),
+            });
+        }
+        report.arena_allocations = self.arena.allocations() - allocations_before;
+        report.arena_reuses = self.arena.reuses() - reuses_before;
+        report.arena_pooled = self.arena.pooled();
+        if let Some(cache) = &self.cache {
+            let now = cache.stats();
+            report.cache_hits = now.hits - cache_before.hits;
+            report.cache_misses = now.misses - cache_before.misses;
+            report.cache_evictions = now.evictions - cache_before.evictions;
+            report.cache_entries = now.entries;
+            report.cache_bytes = now.bytes;
+        }
+        report
+    }
+
     /// Segments one batch of images through the bounded queue on the
     /// pipeline's worker threads.
     ///
@@ -881,6 +999,117 @@ mod tests {
         });
         assert_eq!(second.cache_hits, 9, "{second:?}");
         assert_eq!(second.cache_misses, 0, "{second:?}");
+        assert_eq!(second.arena_allocations, 0, "warm arena: {second:?}");
+    }
+
+    #[test]
+    fn delta_requests_are_byte_identical_and_reuse_unchanged_tiles() {
+        let base = RgbImage::from_fn(53, 37, |x, y| {
+            Rgb::new((x * 3) as u8, (y * 5) as u8, ((x ^ y) * 7) as u8)
+        });
+        // Frame 2 differs from frame 1 in a single pixel.
+        let mut changed = base.clone();
+        changed.set(40, 30, Rgb::new(200, 10, 10));
+        let exact = IqftRgbSegmenter::paper_default();
+        for tiling in [
+            seg_engine::Tiling::Whole,
+            seg_engine::Tiling::Tiles {
+                width: 16,
+                height: 16,
+            },
+            seg_engine::Tiling::Tiles {
+                width: 53,
+                height: 37,
+            },
+        ] {
+            let pipeline =
+                SegmentPipeline::new(SegmentEngine::serial(), PhaseTable::paper_default())
+                    .with_config(PipelineConfig {
+                        tiling,
+                        ..PipelineConfig::default()
+                    })
+                    .with_cache(CacheConfig::with_capacity_mb(4), "delta-test");
+            let (tw, th) = tiling.delta_shape();
+            let total = base.tile_rects(tw, th).count() as u32;
+            let (labels, hit, recomputed) = pipeline.segment_request_delta(&base);
+            assert_eq!(
+                labels,
+                SegmentEngine::serial().segment_rgb(&exact, &base),
+                "{tiling:?} cold frame"
+            );
+            assert_eq!((hit, recomputed), (0, total), "{tiling:?} cold frame");
+            pipeline.recycle(labels);
+            // The identical frame again: every tile hits.
+            let (labels, hit, recomputed) = pipeline.segment_request_delta(&base);
+            assert_eq!(labels, SegmentEngine::serial().segment_rgb(&exact, &base));
+            assert_eq!((hit, recomputed), (total, 0), "{tiling:?} repeat frame");
+            pipeline.recycle(labels);
+            // One changed pixel: exactly one tile recomputes, the rest stitch
+            // from cache, and the output is still byte-identical to fresh.
+            let (labels, hit, recomputed) = pipeline.segment_request_delta(&changed);
+            assert_eq!(
+                labels,
+                SegmentEngine::serial().segment_rgb(&exact, &changed),
+                "{tiling:?} delta frame"
+            );
+            assert_eq!((hit, recomputed), (total - 1, 1), "{tiling:?} delta frame");
+            pipeline.recycle(labels);
+        }
+    }
+
+    #[test]
+    fn delta_without_a_cache_recomputes_everything_but_stays_correct() {
+        let img = &test_images(1)[0];
+        let pipeline = SegmentPipeline::new(SegmentEngine::serial(), PhaseTable::paper_default());
+        let (labels, hit, recomputed) = pipeline.segment_request_delta(img);
+        assert_eq!(labels, pipeline.segment_request(img));
+        assert_eq!(hit, 0);
+        let (tw, th) = pipeline.tiling().delta_shape();
+        assert_eq!(recomputed as usize, img.tile_rects(tw, th).count());
+    }
+
+    #[test]
+    fn delta_streams_report_tile_counters_and_recycle_buffers() {
+        // A 3-frame "video": frame 0, an identical frame, then one changed
+        // tile.
+        let base = RgbImage::from_fn(64, 48, |x, y| Rgb::new(x as u8, y as u8, 0));
+        let mut moved = base.clone();
+        moved.set(5, 5, Rgb::new(255, 255, 255));
+        let frames = vec![base.clone(), base.clone(), moved];
+        let pipeline = SegmentPipeline::new(SegmentEngine::serial(), PhaseTable::paper_default())
+            .with_config(PipelineConfig {
+                tiling: seg_engine::Tiling::Tiles {
+                    width: 16,
+                    height: 16,
+                },
+                ..PipelineConfig::default()
+            })
+            .with_cache(CacheConfig::with_capacity_mb(4), "delta-stream-test");
+        let tiles_per_frame = base.tile_rects(16, 16).count();
+        let report = pipeline.run_stream_deltas(&frames, 2, |_, labels, _, _| {
+            pipeline.recycle(labels);
+        });
+        assert_eq!(report.images(), 3);
+        assert_eq!(
+            report.delta_tiles_hit + report.delta_tiles_recomputed,
+            tiles_per_frame * 3
+        );
+        assert_eq!(
+            report.delta_tiles_recomputed,
+            tiles_per_frame + 1,
+            "first frame recomputes all, third frame exactly one: {report:?}"
+        );
+        assert!(report.delta_tile_hit_ratio() > 0.5, "{report:?}");
+        assert_eq!(
+            (report.cache_hits, report.cache_misses),
+            (0, 0),
+            "tile traffic stays out of the whole-image counters: {report:?}"
+        );
+        // A second pass over the same frames is all hits and allocation-free.
+        let second = pipeline.run_stream_deltas(&frames, 2, |_, labels, _, _| {
+            pipeline.recycle(labels);
+        });
+        assert_eq!(second.delta_tiles_recomputed, 0, "{second:?}");
         assert_eq!(second.arena_allocations, 0, "warm arena: {second:?}");
     }
 

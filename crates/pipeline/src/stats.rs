@@ -75,6 +75,11 @@ pub struct PipelineReport {
     pub cache_entries: usize,
     /// Bytes charged against the result cache's budget when the run finished.
     pub cache_bytes: usize,
+    /// Delta-path tiles answered from the cache during this run (0 when no
+    /// cache is attached or the delta path was not used).
+    pub delta_tiles_hit: usize,
+    /// Delta-path tiles re-classified during this run.
+    pub delta_tiles_recomputed: usize,
 }
 
 impl PipelineReport {
@@ -110,6 +115,17 @@ impl PipelineReport {
             0.0
         } else {
             self.pixels() as f64 / secs / 1e6
+        }
+    }
+
+    /// Fraction of delta-path tiles answered from the cache (0.0 when the
+    /// delta path saw no tiles).
+    pub fn delta_tile_hit_ratio(&self) -> f64 {
+        let total = self.delta_tiles_hit + self.delta_tiles_recomputed;
+        if total == 0 {
+            0.0
+        } else {
+            self.delta_tiles_hit as f64 / total as f64
         }
     }
 
@@ -157,6 +173,17 @@ mod tests {
         assert_eq!(b.images_per_sec(), 0.0);
         assert_eq!(b.mpixels_per_sec(), 0.0);
         assert_eq!(b.mean_latency_ms(), 0.0);
+    }
+
+    #[test]
+    fn delta_tile_hit_ratio_handles_empty_and_mixed_runs() {
+        assert_eq!(PipelineReport::default().delta_tile_hit_ratio(), 0.0);
+        let report = PipelineReport {
+            delta_tiles_hit: 3,
+            delta_tiles_recomputed: 1,
+            ..PipelineReport::default()
+        };
+        assert!((report.delta_tile_hit_ratio() - 0.75).abs() < 1e-9);
     }
 
     #[test]

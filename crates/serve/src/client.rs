@@ -221,6 +221,42 @@ impl Client {
         }
     }
 
+    /// Segments `image` through the server's per-tile delta cache (protocol
+    /// v2's `SegmentDelta` op).  Returns the labels plus
+    /// `(tiles_hit, tiles_recomputed)` — how many of the frame's tiles the
+    /// server stitched from cached label tiles versus re-classified.  The
+    /// stitched result is byte-identical to [`Client::segment`]; only the
+    /// cost differs, scaling with how much of the frame changed since the
+    /// tiles were last seen.
+    pub fn segment_delta(&mut self, image: &RgbImage) -> Result<(LabelMap, u32, u32), ServeError> {
+        let sent = self.next_id();
+        let frame = protocol::encode_segment_delta(sent, image)?;
+        {
+            use std::io::Write as _;
+            self.stream.write_all(&frame)?;
+            self.stream.flush()?;
+        }
+        match self.read_reply(sent)? {
+            Message::SegmentDeltaReply {
+                labels,
+                tiles_hit,
+                tiles_recomputed,
+            } => {
+                if labels.dimensions() != image.dimensions() {
+                    return Err(ServeError::Unexpected {
+                        expected: "SegmentDeltaReply with matching dimensions",
+                        got: "SegmentDeltaReply with different dimensions",
+                    });
+                }
+                Ok((labels, tiles_hit, tiles_recomputed))
+            }
+            other => Err(ServeError::Unexpected {
+                expected: "SegmentDeltaReply",
+                got: other.name(),
+            }),
+        }
+    }
+
     /// Segments a whole slice of images with up to `depth` requests in
     /// flight on this one connection (protocol v2 pipelining) — the client
     /// no longer pays one network round-trip per image.

@@ -26,7 +26,7 @@
 //! Work split: each connection's complete frames are processed strictly in
 //! arrival order.  `Ping`/`Stats`/`Shutdown` and all protocol errors are
 //! answered inline on the reactor (they are O(µs)); `Segment`/
-//! `SegmentCached` are dispatched to a worker pool of `max_inflight`
+//! `SegmentCached`/`SegmentDelta` are dispatched to a worker pool of `max_inflight`
 //! threads that shares the same warm pipeline the threaded mode uses — at
 //! most one job per connection at a time, so per-connection execution is
 //! serial exactly like a thread-per-connection server (same cache-hit
@@ -582,7 +582,9 @@ impl Reactor {
                 }
             };
             match message {
-                message @ (Message::Segment { .. } | Message::SegmentCached { .. }) => {
+                message @ (Message::Segment { .. }
+                | Message::SegmentCached { .. }
+                | Message::SegmentDelta { .. }) => {
                     let job = Job {
                         reactor: self.index,
                         conn: idx,
@@ -656,6 +658,17 @@ fn execute_job(shared: &Shared, request_id: u64, message: Message, pixels: &Atom
             pixels.fetch_add(labels.len() as u64, Ordering::Relaxed);
             Message::SegmentCachedReply { labels, cached }
         }
+        Message::SegmentDelta { image } => {
+            let (labels, tiles_hit, tiles_recomputed) =
+                shared.pipeline.segment_request_delta(&image);
+            shared.stats.segmented(labels.len());
+            pixels.fetch_add(labels.len() as u64, Ordering::Relaxed);
+            Message::SegmentDeltaReply {
+                labels,
+                tiles_hit,
+                tiles_recomputed,
+            }
+        }
         // Reactors only dispatch segment ops; anything else is a bug we
         // answer with a diagnostic rather than a panic.
         other => Message::Error {
@@ -673,7 +686,9 @@ fn execute_job(shared: &Shared, request_id: u64, message: Message, pixels: &Atom
     });
     // Reply bytes are encoded; the label buffer can go back to the arena.
     match reply {
-        Message::SegmentReply { labels } | Message::SegmentCachedReply { labels, .. } => {
+        Message::SegmentReply { labels }
+        | Message::SegmentCachedReply { labels, .. }
+        | Message::SegmentDeltaReply { labels, .. } => {
             shared.pipeline.recycle(labels);
         }
         _ => {}

@@ -26,6 +26,13 @@
 //!   content-addressed result cache, or explicitly around it.
 //! * [`Message::SegmentCachedReply`] (v2) — `flags: u32` (bit 0 =
 //!   [`FLAG_CACHE_HIT`]), then the `SegmentReply` layout.
+//! * [`Message::SegmentDelta`] (v2) — `flags: u32` (no flags defined yet;
+//!   must be zero), then the `Segment` layout.  Routes the frame through the
+//!   server's *per-tile* delta cache: unchanged tiles are stitched from
+//!   cache, only changed tiles are re-classified.
+//! * [`Message::SegmentDeltaReply`] (v2) — `flags: u32` (must be zero),
+//!   `tiles_hit: u32`, `tiles_recomputed: u32`, then the `SegmentReply`
+//!   layout.
 //! * [`Message::StatsReply`] / [`Message::Error`] — UTF-8 text.
 //! * Everything else — empty (a non-empty payload is a protocol error).
 //!
@@ -106,6 +113,10 @@ pub enum Op {
     /// Segment the enclosed RGB image through the server's result cache
     /// (v2; carries a cache-control flags word).
     SegmentCached = 0x05,
+    /// Segment the enclosed RGB image through the server's *per-tile* delta
+    /// cache (v2): unchanged tiles stitch from cache, changed tiles
+    /// re-classify.
+    SegmentDelta = 0x06,
     /// Reply to [`Op::Segment`]: the label map.
     SegmentReply = 0x81,
     /// Reply to [`Op::Ping`].
@@ -116,6 +127,9 @@ pub enum Op {
     ShutdownReply = 0x84,
     /// Reply to [`Op::SegmentCached`]: the label map plus a hit/miss flag.
     SegmentCachedReply = 0x85,
+    /// Reply to [`Op::SegmentDelta`]: the label map plus per-tile hit and
+    /// recompute counts for the frame.
+    SegmentDeltaReply = 0x86,
     /// Reply to any malformed or failed request: a UTF-8 diagnostic.
     Error = 0xFF,
 }
@@ -128,11 +142,13 @@ impl Op {
             0x03 => Ok(Op::Stats),
             0x04 => Ok(Op::Shutdown),
             0x05 => Ok(Op::SegmentCached),
+            0x06 => Ok(Op::SegmentDelta),
             0x81 => Ok(Op::SegmentReply),
             0x82 => Ok(Op::Pong),
             0x83 => Ok(Op::StatsReply),
             0x84 => Ok(Op::ShutdownReply),
             0x85 => Ok(Op::SegmentCachedReply),
+            0x86 => Ok(Op::SegmentDeltaReply),
             0xFF => Ok(Op::Error),
             other => Err(ProtocolError::UnknownOp(other)),
         }
@@ -166,6 +182,21 @@ pub enum Message {
         /// Whether the labels came from the cache ([`FLAG_CACHE_HIT`]).
         cached: bool,
     },
+    /// Segment this image through the server's per-tile delta cache (v2
+    /// request).
+    SegmentDelta {
+        /// The RGB image to segment.
+        image: RgbImage,
+    },
+    /// The delta-segmentation result (v2 reply).
+    SegmentDeltaReply {
+        /// One label per pixel, same dimensions as the request image.
+        labels: LabelMap,
+        /// Tiles of this frame stitched from the cache.
+        tiles_hit: u32,
+        /// Tiles of this frame that were re-classified.
+        tiles_recomputed: u32,
+    },
     /// Liveness probe (request).
     Ping,
     /// Liveness acknowledgement (reply).
@@ -196,6 +227,8 @@ impl Message {
             Message::SegmentReply { .. } => Op::SegmentReply,
             Message::SegmentCached { .. } => Op::SegmentCached,
             Message::SegmentCachedReply { .. } => Op::SegmentCachedReply,
+            Message::SegmentDelta { .. } => Op::SegmentDelta,
+            Message::SegmentDeltaReply { .. } => Op::SegmentDeltaReply,
             Message::Ping => Op::Ping,
             Message::Pong => Op::Pong,
             Message::Stats => Op::Stats,
@@ -213,6 +246,8 @@ impl Message {
             Message::SegmentReply { .. } => "SegmentReply",
             Message::SegmentCached { .. } => "SegmentCached",
             Message::SegmentCachedReply { .. } => "SegmentCachedReply",
+            Message::SegmentDelta { .. } => "SegmentDelta",
+            Message::SegmentDeltaReply { .. } => "SegmentDeltaReply",
             Message::Ping => "Ping",
             Message::Pong => "Pong",
             Message::Stats => "Stats",
@@ -391,7 +426,7 @@ fn expect_len(op: Op, payload: &[u8], expected: usize) -> Result<(), ProtocolErr
 /// Splits a leading `flags: u32` word off a v2 payload and rejects any bits
 /// outside `allowed` — undefined flags are a protocol error, not silently
 /// ignored, so a future flag cannot be half-understood.
-fn read_flags(op: Op, payload: &[u8]) -> Result<(u32, &[u8]), ProtocolError> {
+fn read_flags(op: Op, payload: &[u8], allowed: u32) -> Result<(u32, &[u8]), ProtocolError> {
     if payload.len() < 4 {
         return Err(ProtocolError::BadLength {
             op,
@@ -400,8 +435,7 @@ fn read_flags(op: Op, payload: &[u8]) -> Result<(u32, &[u8]), ProtocolError> {
         });
     }
     let flags = u32::from_le_bytes(payload[0..4].try_into().expect("4-byte slice"));
-    // Both cached ops currently define exactly bit 0.
-    if flags & !1 != 0 {
+    if flags & !allowed != 0 {
         return Err(ProtocolError::BadFlags { op, flags });
     }
     Ok((flags, &payload[4..]))
@@ -443,17 +477,42 @@ pub fn decode_body(op: Op, payload: &[u8]) -> Result<Message, ProtocolError> {
             labels: decode_labels(op, payload)?,
         }),
         Op::SegmentCached => {
-            let (flags, rest) = read_flags(op, payload)?;
+            // The cached ops define exactly bit 0.
+            let (flags, rest) = read_flags(op, payload, FLAG_BYPASS_CACHE)?;
             Ok(Message::SegmentCached {
                 image: decode_image(op, rest)?,
                 bypass: flags & FLAG_BYPASS_CACHE != 0,
             })
         }
         Op::SegmentCachedReply => {
-            let (flags, rest) = read_flags(op, payload)?;
+            let (flags, rest) = read_flags(op, payload, FLAG_CACHE_HIT)?;
             Ok(Message::SegmentCachedReply {
                 labels: decode_labels(op, rest)?,
                 cached: flags & FLAG_CACHE_HIT != 0,
+            })
+        }
+        Op::SegmentDelta => {
+            // The delta ops define no flags yet; the word must be zero.
+            let (_flags, rest) = read_flags(op, payload, 0)?;
+            Ok(Message::SegmentDelta {
+                image: decode_image(op, rest)?,
+            })
+        }
+        Op::SegmentDeltaReply => {
+            let (_flags, rest) = read_flags(op, payload, 0)?;
+            if rest.len() < 8 {
+                return Err(ProtocolError::BadLength {
+                    op,
+                    expected: None,
+                    got: payload.len(),
+                });
+            }
+            let tiles_hit = u32::from_le_bytes(rest[0..4].try_into().expect("4-byte slice"));
+            let tiles_recomputed = u32::from_le_bytes(rest[4..8].try_into().expect("4-byte slice"));
+            Ok(Message::SegmentDeltaReply {
+                labels: decode_labels(op, &rest[8..])?,
+                tiles_hit,
+                tiles_recomputed,
             })
         }
         Op::StatsReply | Op::Error => {
@@ -533,7 +592,7 @@ pub fn encode_message(request_id: u64, message: &Message) -> Result<Vec<u8>, Pro
             checked_pixels(image.width(), image.height())?;
             8 + image.len() * 3
         }
-        Message::SegmentCached { image, .. } => {
+        Message::SegmentCached { image, .. } | Message::SegmentDelta { image } => {
             checked_pixels(image.width(), image.height())?;
             12 + image.len() * 3
         }
@@ -544,6 +603,10 @@ pub fn encode_message(request_id: u64, message: &Message) -> Result<Vec<u8>, Pro
         Message::SegmentCachedReply { labels, .. } => {
             checked_pixels(labels.width(), labels.height())?;
             12 + labels.len() * 4
+        }
+        Message::SegmentDeltaReply { labels, .. } => {
+            checked_pixels(labels.width(), labels.height())?;
+            20 + labels.len() * 4
         }
         Message::StatsReply { text } => text.len(),
         Message::Error { message } => message.len(),
@@ -561,6 +624,20 @@ pub fn encode_message(request_id: u64, message: &Message) -> Result<Vec<u8>, Pro
         Message::SegmentCachedReply { labels, cached } => {
             let flags = if *cached { FLAG_CACHE_HIT } else { 0 };
             frame.extend_from_slice(&flags.to_le_bytes());
+            append_labels_payload(&mut frame, labels);
+        }
+        Message::SegmentDelta { image } => {
+            frame.extend_from_slice(&0u32.to_le_bytes());
+            append_segment_payload(&mut frame, image);
+        }
+        Message::SegmentDeltaReply {
+            labels,
+            tiles_hit,
+            tiles_recomputed,
+        } => {
+            frame.extend_from_slice(&0u32.to_le_bytes());
+            frame.extend_from_slice(&tiles_hit.to_le_bytes());
+            frame.extend_from_slice(&tiles_recomputed.to_le_bytes());
             append_labels_payload(&mut frame, labels);
         }
         Message::StatsReply { text } => frame.extend_from_slice(text.as_bytes()),
@@ -591,6 +668,16 @@ pub fn encode_segment_cached(
     let mut frame = begin_frame(request_id, Op::SegmentCached, 12 + image.len() * 3);
     let flags = if bypass { FLAG_BYPASS_CACHE } else { 0 };
     frame.extend_from_slice(&flags.to_le_bytes());
+    append_segment_payload(&mut frame, image);
+    finish_frame(frame)
+}
+
+/// Borrowed-image encoder for [`Message::SegmentDelta`] — byte-identical to
+/// `encode_message`, without cloning the pixels into a message first.
+pub fn encode_segment_delta(request_id: u64, image: &RgbImage) -> Result<Vec<u8>, ProtocolError> {
+    checked_pixels(image.width(), image.height())?;
+    let mut frame = begin_frame(request_id, Op::SegmentDelta, 12 + image.len() * 3);
+    frame.extend_from_slice(&0u32.to_le_bytes());
     append_segment_payload(&mut frame, image);
     finish_frame(frame)
 }
@@ -951,6 +1038,14 @@ mod tests {
                 labels: LabelMap::from_vec(5, 3, (15..30).collect()).unwrap(),
                 cached: false,
             },
+            Message::SegmentDelta {
+                image: sample_image(),
+            },
+            Message::SegmentDeltaReply {
+                labels: LabelMap::from_vec(5, 3, (30..45).collect()).unwrap(),
+                tiles_hit: 7,
+                tiles_recomputed: 2,
+            },
             Message::Ping,
             Message::Pong,
             Message::Stats,
@@ -1175,6 +1270,58 @@ mod tests {
         // A payload too short even for the flags word is a length error.
         assert!(matches!(
             decode_body(Op::SegmentCachedReply, &[0, 0]).unwrap_err(),
+            ProtocolError::BadLength { expected: None, .. }
+        ));
+    }
+
+    #[test]
+    fn delta_ops_round_trip_counters_and_reject_any_flag_bit() {
+        let image = sample_image();
+        let frame = encode_segment_delta(21, &image).unwrap();
+        let via_message = encode_message(
+            21,
+            &Message::SegmentDelta {
+                image: image.clone(),
+            },
+        )
+        .unwrap();
+        assert_eq!(frame, via_message);
+        let (id, got) = decode_message(&frame).unwrap();
+        assert_eq!(id, 21);
+        assert_eq!(got, Message::SegmentDelta { image });
+
+        // The delta ops define no flags at all: even bit 0 (legal on the
+        // cached ops) is a typed error here.
+        let mut bad = frame.clone();
+        bad[HEADER_LEN] |= 0x01;
+        assert!(matches!(
+            decode_message(&bad).unwrap_err(),
+            ProtocolError::BadFlags {
+                op: Op::SegmentDelta,
+                flags: 0x01,
+            }
+        ));
+
+        let reply = Message::SegmentDeltaReply {
+            labels: LabelMap::from_vec(5, 3, (0..15).collect()).unwrap(),
+            tiles_hit: u32::MAX,
+            tiles_recomputed: 0,
+        };
+        let frame = encode_message(22, &reply).unwrap();
+        let (_, got) = decode_message(&frame).unwrap();
+        assert_eq!(got, reply);
+        let mut bad = frame;
+        bad[HEADER_LEN] |= 0x01;
+        assert!(matches!(
+            decode_message(&bad).unwrap_err(),
+            ProtocolError::BadFlags {
+                op: Op::SegmentDeltaReply,
+                flags: 0x01,
+            }
+        ));
+        // A reply payload too short for the tile counters is a length error.
+        assert!(matches!(
+            decode_body(Op::SegmentDeltaReply, &[0, 0, 0, 0, 1, 2]).unwrap_err(),
             ProtocolError::BadLength { expected: None, .. }
         ));
     }

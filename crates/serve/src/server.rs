@@ -229,6 +229,8 @@ impl Shared {
             cache_entries: cache.entries,
             cache_bytes: cache.bytes,
             cache_capacity_bytes: cache.capacity_bytes,
+            delta_tiles_hit: cache.tile_hits,
+            delta_tiles_recomputed: cache.tile_recomputed,
             quant_fallback_pixels: self.pipeline.classifier().quant_fallback_pixels(),
             conn_requests: conn.requests,
             conn_pixels: conn.pixels,
@@ -626,7 +628,7 @@ fn handle_frame(
     // this function returns.
     let _permit = if matches!(
         header.op,
-        protocol::Op::Segment | protocol::Op::SegmentCached
+        protocol::Op::Segment | protocol::Op::SegmentCached | protocol::Op::SegmentDelta
     ) {
         Some(shared.gate.acquire())
     } else {
@@ -679,6 +681,25 @@ fn execute(
             let reply = Message::SegmentCachedReply { labels, cached };
             let result = protocol::write_message(stream, header.request_id, &reply);
             if let Message::SegmentCachedReply { labels, .. } = reply {
+                shared.pipeline.recycle(labels);
+            }
+            result?;
+            Ok(true)
+        }
+        Message::SegmentDelta { image } => {
+            // Per-tile variant of SegmentCached: unchanged tiles are stitched
+            // from cached label tiles, changed tiles are re-classified.
+            let (labels, tiles_hit, tiles_recomputed) =
+                shared.pipeline.segment_request_delta(&image);
+            shared.stats.segmented(labels.len());
+            conn.pixels += labels.len() as u64;
+            let reply = Message::SegmentDeltaReply {
+                labels,
+                tiles_hit,
+                tiles_recomputed,
+            };
+            let result = protocol::write_message(stream, header.request_id, &reply);
+            if let Message::SegmentDeltaReply { labels, .. } = reply {
                 shared.pipeline.recycle(labels);
             }
             result?;

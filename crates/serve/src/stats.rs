@@ -145,6 +145,11 @@ pub struct StatsSnapshot {
     pub cache_bytes: usize,
     /// The result cache's configured byte budget (0 = caching disabled).
     pub cache_capacity_bytes: usize,
+    /// Delta-path tiles answered from the result cache (0 when disabled or
+    /// when no `SegmentDelta` request has been served).
+    pub delta_tiles_hit: usize,
+    /// Delta-path tiles re-classified because their content hash missed.
+    pub delta_tiles_recomputed: usize,
     /// Pixels the quantized classifier routed through its f64 exactness
     /// oracle because the fixed-point arg-max was ambiguous (0 for
     /// non-quantized classifier kinds, which have no fallback path).
@@ -187,6 +192,11 @@ impl StatsSnapshot {
         push(
             "cache_capacity_bytes",
             self.cache_capacity_bytes.to_string(),
+        );
+        push("delta_tiles_hit", self.delta_tiles_hit.to_string());
+        push(
+            "delta_tiles_recomputed",
+            self.delta_tiles_recomputed.to_string(),
         );
         push(
             "quant_fallback_pixels",
@@ -266,6 +276,12 @@ impl StatsSnapshot {
                 "cache_capacity_bytes" => {
                     snapshot.cache_capacity_bytes = value.parse().map_err(|_| bad("count"))?
                 }
+                "delta_tiles_hit" => {
+                    snapshot.delta_tiles_hit = value.parse().map_err(|_| bad("count"))?
+                }
+                "delta_tiles_recomputed" => {
+                    snapshot.delta_tiles_recomputed = value.parse().map_err(|_| bad("count"))?
+                }
                 "quant_fallback_pixels" => {
                     snapshot.quant_fallback_pixels = value.parse().map_err(|_| bad("count"))?
                 }
@@ -309,6 +325,8 @@ mod tests {
             cache_entries: 25,
             cache_bytes: 12_000_000,
             cache_capacity_bytes: 64 << 20,
+            delta_tiles_hit: 44,
+            delta_tiles_recomputed: 11,
             quant_fallback_pixels: 17,
             conn_requests: 31,
             conn_pixels: 480_000,

@@ -489,6 +489,173 @@ fn degenerate_and_malformed_requests_are_handled_cleanly() {
     }
 }
 
+/// The streaming-video delta path through the wire: stitched
+/// `SegmentDelta` replies must be byte-identical to a fresh serial pass for
+/// every tile shape (including one that does not divide the frame), every
+/// fast-path classifier, and change rates from a static scene to a full
+/// rewrite — and the per-reply tile counters must account for every tile.
+#[test]
+fn video_delta_replies_are_byte_identical_across_tilings_classifiers_and_change_rates() {
+    let exact = IqftClassifier::paper_default(ClassifierKind::Exact);
+    let (width, height) = (80usize, 60usize);
+    for mode in BOTH_MODES {
+        for kind in [
+            ClassifierKind::Table,
+            ClassifierKind::Quant,
+            ClassifierKind::Simd,
+        ] {
+            for tiling in [
+                Tiling::Whole,
+                Tiling::Tiles {
+                    width: 16,
+                    height: 16,
+                },
+                // Deliberately not dividing 80x60: ragged edge tiles.
+                Tiling::Tiles {
+                    width: 53,
+                    height: 37,
+                },
+            ] {
+                let plan = SegmentPlan::default()
+                    .with_classifier(kind)
+                    .with_tiling(tiling);
+                let (tile_w, tile_h) = tiling.delta_shape();
+                let tiles_per_frame = (width.div_ceil(tile_w) * height.div_ceil(tile_h)) as u64;
+                let server = Server::bind(
+                    "127.0.0.1:0",
+                    ServerConfig {
+                        plan,
+                        max_inflight: 2,
+                        cache: CacheConfig::with_capacity_mb(16),
+                        mode,
+                        ..ServerConfig::default()
+                    },
+                )
+                .expect("bind");
+                let mut client = Client::connect(server.local_addr()).expect("connect");
+
+                for change_rate in [0.0, 0.5, 1.0] {
+                    let frames = datasets::synthetic_video(&datasets::VideoConfig {
+                        frames: 4,
+                        width,
+                        height,
+                        change_rate,
+                        block: 32,
+                        seed: 42,
+                    });
+                    for (idx, frame) in frames.iter().enumerate() {
+                        let (labels, hit, recomputed) =
+                            client.segment_delta(frame).expect("segment delta");
+                        let fresh = SegmentEngine::serial().segment_rgb(&exact, frame);
+                        assert_eq!(
+                            labels, fresh,
+                            "frame {idx} cr={change_rate} {kind} {tiling} ({mode})"
+                        );
+                        assert_eq!(
+                            u64::from(hit) + u64::from(recomputed),
+                            tiles_per_frame,
+                            "tile accounting, frame {idx} cr={change_rate} {tiling} ({mode})"
+                        );
+                        // A static scene after the first frame is pure hits.
+                        if change_rate == 0.0 && idx > 0 {
+                            assert_eq!(
+                                recomputed, 0,
+                                "static frame {idx} recomputed tiles ({tiling}, {mode})"
+                            );
+                        }
+                    }
+                }
+
+                let stats = client.stats().expect("stats");
+                assert!(
+                    stats.delta_tiles_hit > 0,
+                    "{kind} {tiling} {mode}: {stats:?}"
+                );
+                assert!(
+                    stats.delta_tiles_recomputed > 0,
+                    "{kind} {tiling} {mode}: {stats:?}"
+                );
+                client.shutdown().expect("shutdown");
+                server.join();
+            }
+        }
+    }
+}
+
+/// Delta correctness under concurrency and eviction churn: several clients
+/// stream *different* videos through one server whose tile cache holds only
+/// a fraction of the working set, so tiles race in and out of the cache the
+/// whole time.  Every stitched reply must still match a fresh serial pass.
+#[test]
+fn concurrent_video_clients_stay_byte_identical_under_forced_tile_eviction() {
+    let (width, height) = (64usize, 48usize);
+    // 16x16 tiles -> 12 tiles/frame at 1 KiB of labels each; a budget of
+    // eight entries cannot hold even one frame, forcing constant eviction.
+    let tile_entry_bytes = 16 * 16 * 4 + 96;
+    for mode in BOTH_MODES {
+        let plan = SegmentPlan::default().with_tiling(Tiling::Tiles {
+            width: 16,
+            height: 16,
+        });
+        let server = Server::bind(
+            "127.0.0.1:0",
+            ServerConfig {
+                plan,
+                max_inflight: 3,
+                cache: CacheConfig {
+                    capacity_bytes: tile_entry_bytes * 8,
+                    shards: 2,
+                },
+                mode,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind");
+        let addr = server.local_addr();
+
+        std::thread::scope(|scope| {
+            for client_idx in 0..3u64 {
+                scope.spawn(move || {
+                    let frames = datasets::synthetic_video(&datasets::VideoConfig {
+                        frames: 6,
+                        width,
+                        height,
+                        change_rate: 0.5,
+                        block: 16,
+                        seed: 1000 + client_idx,
+                    });
+                    let exact = IqftClassifier::paper_default(ClassifierKind::Exact);
+                    let mut client = Client::connect(addr).expect("connect");
+                    for (idx, frame) in frames.iter().enumerate() {
+                        let (labels, hit, recomputed) =
+                            client.segment_delta(frame).expect("segment delta");
+                        let fresh = SegmentEngine::serial().segment_rgb(&exact, frame);
+                        assert_eq!(labels, fresh, "client {client_idx} frame {idx} ({mode})");
+                        assert_eq!(hit + recomputed, 12, "client {client_idx} frame {idx}");
+                    }
+                });
+            }
+        });
+
+        let mut probe = Client::connect(addr).expect("probe");
+        let stats = probe.stats().expect("stats");
+        assert!(
+            stats.delta_tiles_recomputed > 0,
+            "churn must recompute: {stats:?}"
+        );
+        assert!(
+            stats.delta_tiles_hit + stats.delta_tiles_recomputed == 3 * 6 * 12,
+            "tile accounting across clients: {stats:?}"
+        );
+        assert!(
+            stats.cache_bytes <= tile_entry_bytes * 8,
+            "budget respected: {stats:?}"
+        );
+        probe.shutdown().expect("shutdown");
+        server.join();
+    }
+}
+
 /// Slow-loris resilience, in both modes: a client that drips half a frame
 /// and then stalls is closed once the per-frame deadline expires, while a
 /// healthy client's traffic keeps flowing the whole time.
