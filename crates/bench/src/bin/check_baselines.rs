@@ -300,6 +300,44 @@ fn check_file_semantics(path: &Path, records: &[BTreeMap<String, Value>]) -> Res
             ));
         }
     }
+    if name == "BENCH_calibration.json" {
+        // Startup calibration's reason to exist: the plan the probe sweep
+        // picks must not lose to the fixed default plan on the same frame
+        // stream.  Calibration probes the default plan first, so by
+        // construction the winner is at least as fast as the default on the
+        // probe frame; the 0.9 factor leaves room for bench noise between
+        // the probe frame and the recorded stream without ever accepting a
+        // plan that actually regresses.
+        let fixed = rate_of(records, "fixed_default")
+            .ok_or("missing a 'fixed_default' record with a throughput pair")?;
+        let calibrated = rate_of(records, "calibrated[")
+            .ok_or("missing a 'calibrated[<spec>]' record with a throughput pair")?;
+        if calibrated < 0.9 * fixed {
+            return Err(format!(
+                "calibrated plan ({calibrated:.0} elem/s) loses to the fixed \
+                 default plan ({fixed:.0} elem/s)"
+            ));
+        }
+        // The winning spec is embedded in the bench id
+        // (`.../calibrated[classifier=...;tile=...;backend=...]`) and must
+        // parse back through the unified `PlanSpec` vocabulary, so the
+        // recorded choice is auditable and never drifts from the real
+        // plan grammar.
+        let bench_id = records
+            .iter()
+            .find_map(|record| match record.get("bench") {
+                Some(Value::String(bench)) if bench.contains("calibrated[") => Some(bench.clone()),
+                _ => None,
+            })
+            .expect("checked above");
+        let spec = bench_id
+            .split_once("calibrated[")
+            .and_then(|(_, rest)| rest.strip_suffix(']'))
+            .ok_or_else(|| format!("bench id '{bench_id}' does not end its plan spec with ']'"))?;
+        spec.parse::<seg_engine::SegmentPlan>().map_err(|err| {
+            format!("bench id '{bench_id}' carries an unparsable plan spec: {err}")
+        })?;
+    }
     if name == "BENCH_video.json" {
         // The per-tile delta path's reason to exist: on a streaming-video
         // workload where only part of each frame changes, stitching cached
@@ -625,6 +663,57 @@ mod tests {
             .contains("delta_cr5"));
         // Other baseline files carry no video-specific requirements.
         assert!(check_file_semantics(Path::new("BENCH_cache.json"), &incomplete).is_err());
+        assert!(check_file_semantics(Path::new("BENCH_tiling.json"), &incomplete).is_ok());
+    }
+
+    #[test]
+    fn calibration_baseline_semantics_require_the_probed_plan_to_hold_up() {
+        let record = |bench: &str, rate: f64| {
+            parse_flat_object(&format!(
+                r#"{{"group":"ablation_calibration","bench":"{bench}","mean_ns":1000.0,"min_ns":900.0,"iters":10,"throughput_elems":1000,"elems_per_sec":{rate}}}"#
+            ))
+            .unwrap()
+        };
+        let path = Path::new("BENCH_calibration.json");
+        let spec = "calibrated[classifier=simd;tile=32x32;backend=threads:4]";
+        let good = vec![
+            record("stream8_192px/fixed_default", 1e8),
+            record(&format!("stream8_192px/{spec}"), 3e8),
+        ];
+        assert!(check_file_semantics(path, &good).is_ok());
+        // Within the 0.9 noise band is fine; a real regression is not.
+        let noisy = vec![
+            record("stream8_192px/fixed_default", 1e8),
+            record(&format!("stream8_192px/{spec}"), 9.5e7),
+        ];
+        assert!(check_file_semantics(path, &noisy).is_ok());
+        let regressed = vec![
+            record("stream8_192px/fixed_default", 1e8),
+            record(&format!("stream8_192px/{spec}"), 5e7),
+        ];
+        assert!(check_file_semantics(path, &regressed)
+            .unwrap_err()
+            .contains("loses to"));
+        // The embedded spec must parse through the real plan grammar.
+        let junk_spec = vec![
+            record("stream8_192px/fixed_default", 1e8),
+            record("stream8_192px/calibrated[classifier=warp]", 3e8),
+        ];
+        assert!(check_file_semantics(path, &junk_spec)
+            .unwrap_err()
+            .contains("unparsable plan spec"));
+        let unterminated = vec![
+            record("stream8_192px/fixed_default", 1e8),
+            record("stream8_192px/calibrated[classifier=table", 3e8),
+        ];
+        assert!(check_file_semantics(path, &unterminated)
+            .unwrap_err()
+            .contains("']'"));
+        let incomplete = vec![record(&format!("stream8_192px/{spec}"), 3e8)];
+        assert!(check_file_semantics(path, &incomplete)
+            .unwrap_err()
+            .contains("fixed_default"));
+        // Other baseline files carry no calibration-specific requirements.
         assert!(check_file_semantics(Path::new("BENCH_tiling.json"), &incomplete).is_ok());
     }
 

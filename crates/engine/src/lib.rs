@@ -50,9 +50,11 @@
 //! assert_eq!(serial, parallel); // byte-identical on every backend
 //! ```
 
+pub mod calibrate;
 pub mod plan;
 
-pub use plan::{ClassifierKind, SegmentPlan, Tiling};
+pub use calibrate::{CalibrationConfig, CalibrationReport, ProbeResult};
+pub use plan::{ClassifierKind, PlanSpec, SegmentPlan, Tiling};
 
 use imaging::view::{LabelViewMut, TileRect};
 use imaging::{GrayImage, LabelMap, PixelClassifier, RgbImage};

@@ -177,11 +177,90 @@ impl std::fmt::Display for Tiling {
     }
 }
 
+/// The parse/display form of a [`SegmentPlan`]: the same three strategy
+/// axes as public fields, round-tripping through the canonical
+/// `classifier=…;tile=…;backend=…` spec string.
+///
+/// This is the single owner of plan serialization.  [`SegmentPlan`]'s
+/// `FromStr`/`Display` impls (and the older `to_spec`/`from_spec` methods)
+/// all delegate here, so every CLI flag, Stats reply, and baseline record
+/// speaks exactly one vocabulary.
+///
+/// # Example
+///
+/// ```
+/// use seg_engine::{PlanSpec, SegmentPlan};
+///
+/// let spec: PlanSpec = "classifier=simd;tile=48x48;backend=threads:4".parse().unwrap();
+/// let plan = SegmentPlan::from(spec);
+/// assert_eq!(plan.to_string().parse::<SegmentPlan>().unwrap(), plan);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlanSpec {
+    /// Classifier family (`classifier=` key).
+    pub classifier: ClassifierKind,
+    /// Work decomposition (`tile=` key).
+    pub tiling: Tiling,
+    /// Execution backend (`backend=` key).
+    pub backend: Backend,
+}
+
+impl std::str::FromStr for PlanSpec {
+    type Err = String;
+
+    /// Parses a spec such as `classifier=table;tile=48x48;backend=threads:4`.
+    /// Keys may appear in any order; missing keys keep their defaults;
+    /// unknown keys error.
+    fn from_str(spec: &str) -> Result<Self, String> {
+        let mut parsed = PlanSpec::default();
+        for part in spec.split(';').filter(|p| !p.is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("plan spec part '{part}' has no '='"))?;
+            match key {
+                "classifier" => parsed.classifier = ClassifierKind::from_flag(value)?,
+                "tile" => parsed.tiling = Tiling::from_flag(value)?,
+                "backend" => parsed.backend = SegmentPlan::backend_from_spec(value)?,
+                other => return Err(format!("unknown plan spec key '{other}'")),
+            }
+        }
+        Ok(parsed)
+    }
+}
+
+impl std::fmt::Display for PlanSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "classifier={};tile={};backend={}",
+            self.classifier.flag(),
+            self.tiling.flag(),
+            SegmentPlan::backend_spec(self.backend)
+        )
+    }
+}
+
+impl From<SegmentPlan> for PlanSpec {
+    fn from(plan: SegmentPlan) -> Self {
+        PlanSpec {
+            classifier: plan.classifier,
+            tiling: plan.tiling,
+            backend: plan.backend,
+        }
+    }
+}
+
+impl From<PlanSpec> for SegmentPlan {
+    fn from(spec: PlanSpec) -> Self {
+        SegmentPlan::new(spec.classifier, spec.tiling, spec.backend)
+    }
+}
+
 /// A complete segmentation strategy: classifier family × work decomposition
 /// × execution backend.
 ///
 /// Every consumer — the experiments CLI, the throughput pipeline, the bench
-/// targets — builds one of these (usually via [`SegmentPlan::from_flags`])
+/// targets — builds one of these (usually by parsing a [`PlanSpec`] string)
 /// and executes through it, so strategy choice has a single owner.  Whatever
 /// the plan, the resulting labels are byte-identical: classifier kinds agree
 /// exactly by construction, and tiling/backends only reschedule independent
@@ -193,7 +272,9 @@ impl std::fmt::Display for Tiling {
 /// use imaging::{Rgb, RgbImage};
 /// use seg_engine::{SegmentPlan, Tiling};
 ///
-/// let plan = SegmentPlan::from_flags("table", "32x32", "threads", 2).unwrap();
+/// let plan: SegmentPlan = "classifier=table;tile=32x32;backend=threads:2"
+///     .parse()
+///     .unwrap();
 /// assert_eq!(plan.tiling(), Tiling::Tiles { width: 32, height: 32 });
 ///
 /// // The plan executes any per-pixel rule; tiled and whole-image plans
@@ -223,6 +304,9 @@ impl SegmentPlan {
     /// Parses the harness flags `--classifier exact|lut|table`,
     /// `--tile off|WxH`, and `--backend serial|threads|rayon --threads N`
     /// into a plan.
+    #[deprecated(
+        note = "parse a PlanSpec string instead (`\"classifier=…;tile=…;backend=…\".parse()`)"
+    )]
     pub fn from_flags(
         classifier: &str,
         tile: &str,
@@ -318,32 +402,18 @@ impl SegmentPlan {
     ///
     /// This is the form the `iqft-serve` Stats reply carries, so a remote
     /// client can reconstruct the exact strategy a server runs with
-    /// [`SegmentPlan::from_spec`].  Round-trips losslessly.
+    /// [`SegmentPlan::from_spec`].  Round-trips losslessly.  Equivalent to
+    /// the plan's `Display` impl (which delegates to [`PlanSpec`]).
     pub fn to_spec(&self) -> String {
-        format!(
-            "classifier={};tile={};backend={}",
-            self.classifier.flag(),
-            self.tiling.flag(),
-            Self::backend_spec(self.backend)
-        )
+        self.to_string()
     }
 
     /// Parses a spec produced by [`SegmentPlan::to_spec`].  Keys may appear
     /// in any order; missing keys keep their defaults; unknown keys error.
+    /// Equivalent to the plan's `FromStr` impl (which delegates to
+    /// [`PlanSpec`]).
     pub fn from_spec(spec: &str) -> Result<Self, String> {
-        let mut plan = SegmentPlan::default();
-        for part in spec.split(';').filter(|p| !p.is_empty()) {
-            let (key, value) = part
-                .split_once('=')
-                .ok_or_else(|| format!("plan spec part '{part}' has no '='"))?;
-            match key {
-                "classifier" => plan.classifier = ClassifierKind::from_flag(value)?,
-                "tile" => plan.tiling = Tiling::from_flag(value)?,
-                "backend" => plan.backend = Self::backend_from_spec(value)?,
-                other => return Err(format!("unknown plan spec key '{other}'")),
-            }
-        }
-        Ok(plan)
+        spec.parse()
     }
 
     /// Segments `img` with `classifier` according to the plan's tiling on
@@ -372,6 +442,20 @@ impl SegmentPlan {
                 .engine()
                 .segment_tiled_into(classifier, img, width, height, labels),
         }
+    }
+}
+
+impl std::str::FromStr for SegmentPlan {
+    type Err = String;
+
+    fn from_str(spec: &str) -> Result<Self, String> {
+        spec.parse::<PlanSpec>().map(Self::from)
+    }
+}
+
+impl std::fmt::Display for SegmentPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        PlanSpec::from(*self).fmt(f)
     }
 }
 
@@ -422,6 +506,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn plan_flags_compose_the_three_axes() {
         let plan = SegmentPlan::from_flags("lut", "16x8", "threads", 3).unwrap();
         assert_eq!(plan.classifier(), ClassifierKind::Lut);
@@ -474,6 +559,32 @@ mod tests {
         )
         .to_spec();
         assert_eq!(spec, "classifier=table;tile=48x48;backend=threads:4");
+    }
+
+    #[test]
+    fn plan_spec_type_round_trips_and_converts_both_ways() {
+        let spec = PlanSpec {
+            classifier: ClassifierKind::Simd,
+            tiling: Tiling::Tiles {
+                width: 48,
+                height: 32,
+            },
+            backend: Backend::Threads(4),
+        };
+        let rendered = spec.to_string();
+        assert_eq!(rendered, "classifier=simd;tile=48x32;backend=threads:4");
+        assert_eq!(rendered.parse::<PlanSpec>().unwrap(), spec);
+        // SegmentPlan's FromStr/Display delegate through PlanSpec.
+        let plan = SegmentPlan::from(spec);
+        assert_eq!(plan.to_string(), rendered);
+        assert_eq!(rendered.parse::<SegmentPlan>().unwrap(), plan);
+        assert_eq!(PlanSpec::from(plan), spec);
+        assert_eq!(
+            "".parse::<PlanSpec>().unwrap(),
+            PlanSpec::default(),
+            "missing keys keep their defaults"
+        );
+        assert!("flavour=mint".parse::<SegmentPlan>().is_err());
     }
 
     #[test]

@@ -17,6 +17,9 @@
 //!   `iqft-serve` TCP daemon and `iqft-experiments loadgen` drives
 //!   concurrent clients against it, with the same default-on byte-identity
 //!   verification.
+//! * [`plans`] — the shared `--plan` flag: an explicit
+//!   [`seg_engine::PlanSpec`] string, `auto` (probe the host and take the
+//!   fastest measured plan), or empty to fall back to the per-axis flags.
 //!
 //! The `iqft-experiments` binary exposes one subcommand per experiment; every
 //! experiment is also callable as a library function so the benchmark crate
@@ -40,6 +43,7 @@
 
 pub mod evaluate;
 pub mod figures;
+pub mod plans;
 pub mod service;
 pub mod tables;
 pub mod throughput;

@@ -19,32 +19,47 @@
 //!   fig10                      per-image θ adjustment
 //!   throughput [--images N] [--batch B] [--size S] [--seed S]
 //!              [--classifier exact|lut|table|quant|simd] [--tile WxH]
-//!              [--cache-mb M] [--video] [--change-rate R] [--no-verify]
+//!              [--plan SPEC|auto] [--cache-mb M] [--video]
+//!              [--change-rate R] [--no-verify]
 //!                              batched pipeline service workload
 //!                              (--tile splits images into tile jobs;
+//!                              --plan takes a whole classifier=…;tile=…;
+//!                              backend=… spec, or `auto` to probe the host
+//!                              and take the fastest measured plan;
 //!                              --cache-mb attaches the result cache and
 //!                              runs the per-request serving path; --video
 //!                              streams synthetic video through the
 //!                              per-tile delta path, mutating a fraction
 //!                              --change-rate of each frame's blocks)
-//!   serve   [--addr A] [--classifier C] [--tile T] [--workers W]
+//!   serve   [--addr A] [--classifier C] [--tile T] [--plan SPEC|auto]
+//!           [--workers W] [--max-queue Q]
 //!           [--serve-mode threads|evented] [--cache-mb M] [--addr-file PATH]
 //!                              boot the iqft-serve TCP daemon and block
 //!                              until a client sends Shutdown; --addr-file
 //!                              records the bound (possibly ephemeral) port;
+//!                              --plan auto calibrates the plan at boot (the
+//!                              evidence is surfaced through Stats);
+//!                              --max-queue bounds waiting segment requests
+//!                              (0 = unbounded) — saturated admission gets a
+//!                              typed Busy reply instead of queueing;
 //!                              --serve-mode picks the serving core (default
 //!                              evented: a nonblocking reactor loop that
 //!                              holds 1000+ pipelined connections)
 //!   loadgen [--addr A] [--clients C] [--images N] [--size S] [--seed S]
-//!           [--repeat-ratio R] [--pipeline K] [--expect-cache-hits]
-//!           [--video] [--change-rate R] [--no-verify] [--shutdown]
+//!           [--plan SPEC|auto] [--repeat-ratio R] [--pipeline K]
+//!           [--expect-cache-hits] [--video] [--change-rate R]
+//!           [--no-verify] [--shutdown]
 //!                              drive concurrent clients against a running
 //!                              daemon (byte-identity verified by default;
+//!                              --plan picks the local reference pass's
+//!                              plan — labels are identical either way;
 //!                              --repeat-ratio generates Zipf-ish repeated
 //!                              traffic, --pipeline keeps K requests in
 //!                              flight per connection; --video streams each
 //!                              client's own synthetic video through the
-//!                              per-tile delta op)
+//!                              per-tile delta op; typed Busy rejections
+//!                              from an admission-bounded server are
+//!                              counted, not fatal)
 //!   ping    [--addr A] [--retries N]
 //!                              readiness probe with bounded retries
 //!   all     [--out DIR]        everything above with reduced sizes
@@ -80,6 +95,8 @@ struct Args {
     batch: usize,
     classifier: String,
     tile: String,
+    plan: String,
+    max_queue: usize,
     verify: bool,
     addr: String,
     clients: usize,
@@ -111,6 +128,8 @@ fn parse_args() -> Args {
         batch: 16,
         classifier: "table".to_string(),
         tile: "off".to_string(),
+        plan: String::new(),
+        max_queue: 0,
         verify: true,
         addr: "127.0.0.1:7870".to_string(),
         clients: 4,
@@ -145,6 +164,8 @@ fn parse_args() -> Args {
             "--batch" => args.batch = value().parse().unwrap_or(args.batch),
             "--classifier" => args.classifier = value(),
             "--tile" => args.tile = value(),
+            "--plan" => args.plan = value(),
+            "--max-queue" => args.max_queue = value().parse().unwrap_or(args.max_queue),
             "--no-verify" => args.verify = false,
             "--addr" => args.addr = value(),
             "--clients" => args.clients = value().parse().unwrap_or(args.clients),
@@ -203,11 +224,13 @@ fn main() {
         "serve" => {
             let config = ServeCliConfig {
                 addr: args.addr.clone(),
+                plan: args.plan.clone(),
                 classifier: args.classifier.clone(),
                 tile: args.tile.clone(),
                 backend: args.backend.clone(),
                 threads: args.threads,
                 workers: args.workers,
+                max_queue: args.max_queue,
                 serve_mode: args.serve_mode.clone(),
                 cache_mb: args.cache_mb,
                 addr_file: args.addr_file.clone(),
@@ -223,6 +246,7 @@ fn main() {
         "loadgen" => {
             let config = LoadgenConfig {
                 addr: args.addr.clone(),
+                plan: args.plan.clone(),
                 clients: args.clients,
                 images: args.images,
                 image_size: args.size,
@@ -260,6 +284,7 @@ fn main() {
                 seed: args.seed,
                 classifier: args.classifier.clone(),
                 tile: args.tile.clone(),
+                plan: args.plan.clone(),
                 cache_mb: args.cache_mb,
                 verify: args.verify,
                 video: args.video,
@@ -286,6 +311,8 @@ fn main() {
                 batch: args.batch,
                 classifier: args.classifier.clone(),
                 tile: args.tile.clone(),
+                plan: args.plan.clone(),
+                max_queue: args.max_queue,
                 verify: args.verify,
                 addr: args.addr.clone(),
                 clients: args.clients,
@@ -411,6 +438,7 @@ fn main() {
                     seed: args.seed,
                     classifier: args.classifier.clone(),
                     tile: "32x32".to_string(),
+                    plan: String::new(),
                     cache_mb: if args.cache_mb > 0 { args.cache_mb } else { 32 },
                     verify: args.verify,
                     video: true,
@@ -424,7 +452,7 @@ fn main() {
             // one place the workspace enumerates it — so this usage line can
             // never drift from what `--classifier` actually accepts.
             eprintln!(
-                "usage: iqft-experiments <table1|table2|table3|fig1-3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|throughput|serve|loadgen|ping|all> [--out DIR] [--samples N] [--voc N] [--xview N] [--size S] [--seed S] [--backend serial|threads|rayon] [--threads N] [--images N] [--batch B] [--classifier {}] [--tile WxH] [--cache-mb M] [--no-verify] [--addr A] [--addr-file PATH] [--clients C] [--workers W] [--serve-mode threads|evented] [--repeat-ratio R] [--pipeline K] [--expect-cache-hits] [--video] [--change-rate R] [--retries N] [--shutdown]",
+                "usage: iqft-experiments <table1|table2|table3|fig1-3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|throughput|serve|loadgen|ping|all> [--out DIR] [--samples N] [--voc N] [--xview N] [--size S] [--seed S] [--backend serial|threads|rayon] [--threads N] [--images N] [--batch B] [--classifier {}] [--tile WxH] [--plan SPEC|auto] [--cache-mb M] [--no-verify] [--addr A] [--addr-file PATH] [--clients C] [--workers W] [--max-queue Q] [--serve-mode threads|evented] [--repeat-ratio R] [--pipeline K] [--expect-cache-hits] [--video] [--change-rate R] [--retries N] [--shutdown]",
                 seg_engine::ClassifierKind::FLAG_HELP
             );
             return;

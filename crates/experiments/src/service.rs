@@ -10,12 +10,13 @@
 //! snapshot.  With `--shutdown`, loadgen finishes by asking the server to
 //! drain and stop — which is exactly what the CI `service-smoke` job does.
 
+use crate::plans::{resolve_plan, ResolvedPlan};
 use crate::throughput::{throughput_images, ThroughputConfig};
 use imaging::{LabelMap, Segmenter};
 use iqft_pipeline::CacheConfig;
 use iqft_seg::IqftRgbSegmenter;
-use iqft_serve::{protocol, Client, ServeMode, Server, ServerConfig};
-use seg_engine::{SegmentEngine, SegmentPlan};
+use iqft_serve::{protocol, Client, SegmentOutcome, ServeError, ServeMode, Server, ServerConfig};
+use seg_engine::{ClassifierKind, SegmentEngine, SegmentPlan, Tiling};
 use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
@@ -25,6 +26,10 @@ use std::time::{Duration, Instant};
 pub struct ServeCliConfig {
     /// Listen address (`--addr`), e.g. `127.0.0.1:7870`.
     pub addr: String,
+    /// Whole-plan flag (`--plan`): a `classifier=…;tile=…;backend=…` spec,
+    /// `auto` to probe the host at boot ([`crate::plans`]), or empty to
+    /// compose the plan from the per-axis flags below.
+    pub plan: String,
     /// Classifier flag (`--classifier`), one of
     /// [`seg_engine::ClassifierKind::FLAG_HELP`].
     pub classifier: String,
@@ -37,6 +42,10 @@ pub struct ServeCliConfig {
     /// Cap on concurrently-executing segment requests (`--workers`,
     /// 0 = the plan's effective thread count).
     pub workers: usize,
+    /// Admission-control queue bound (`--max-queue`, 0 = unbounded): once
+    /// every worker is busy and this many segment requests are already
+    /// waiting, further ones get an immediate typed Busy reply.
+    pub max_queue: usize,
     /// Serving core (`--serve-mode threads|evented`).  `evented` (the
     /// default) multiplexes every connection over a small reactor set;
     /// `threads` is the classic thread-per-connection core.
@@ -54,11 +63,13 @@ impl Default for ServeCliConfig {
     fn default() -> Self {
         Self {
             addr: "127.0.0.1:7870".to_string(),
+            plan: String::new(),
             classifier: "table".to_string(),
             tile: "off".to_string(),
             backend: "threads".to_string(),
             threads: 0,
             workers: 0,
+            max_queue: 0,
             serve_mode: ServeMode::default().as_str().to_string(),
             cache_mb: 0,
             addr_file: None,
@@ -72,12 +83,18 @@ impl Default for ServeCliConfig {
 /// The boot line is printed to stdout *before* blocking so a supervising
 /// script (the CI smoke job) can tell the server is up.
 pub fn serve_command(config: &ServeCliConfig) -> Result<String, String> {
-    let plan = SegmentPlan::from_flags(
-        &config.classifier,
-        &config.tile,
-        &config.backend,
-        config.threads,
-    )?;
+    let resolved = resolve_plan(&config.plan, || {
+        let engine = SegmentEngine::from_flags(&config.backend, config.threads)?;
+        Ok(SegmentPlan::new(
+            ClassifierKind::from_flag(&config.classifier)?,
+            Tiling::from_flag(&config.tile)?,
+            engine.backend(),
+        ))
+    })?;
+    let plan = resolved.plan;
+    if let Some(report) = &resolved.calibration {
+        println!("iqft-serve calibrated [{plan}]: {}", report.summary());
+    }
     let mode: ServeMode = config.serve_mode.parse()?;
     // A thousand-connection sweep needs more descriptors than the common
     // 1024 soft default; raise it best-effort before binding.
@@ -85,13 +102,12 @@ pub fn serve_command(config: &ServeCliConfig) -> Result<String, String> {
     iqft_serve::poll::raise_nofile_limit(8192);
     let server = Server::bind(
         config.addr.as_str(),
-        ServerConfig {
-            plan,
-            max_inflight: config.workers,
-            cache: CacheConfig::with_capacity_mb(config.cache_mb),
-            mode,
-            ..ServerConfig::default()
-        },
+        ServerConfig::new(plan)
+            .with_max_inflight(config.workers)
+            .with_max_queue(config.max_queue)
+            .with_cache(CacheConfig::with_capacity_mb(config.cache_mb))
+            .with_mode(mode)
+            .with_calibration(resolved.calibration_summary()),
     )
     .map_err(|e| format!("failed to bind {}: {e}", config.addr))?;
     if let Some(path) = &config.addr_file {
@@ -101,11 +117,16 @@ pub fn serve_command(config: &ServeCliConfig) -> Result<String, String> {
             .map_err(|e| format!("failed to write {}: {e}", path.display()))?;
     }
     println!(
-        "iqft-serve listening on {} ({}; mode={}; max_inflight={}; cache={})",
+        "iqft-serve listening on {} ({}; mode={}; max_inflight={}; max_queue={}; cache={})",
         server.local_addr(),
         plan.describe(),
         server.mode().as_str(),
         server.max_inflight(),
+        if config.max_queue > 0 {
+            config.max_queue.to_string()
+        } else {
+            "unbounded".to_string()
+        },
         if config.cache_mb > 0 {
             format!("{}MiB", config.cache_mb)
         } else {
@@ -149,6 +170,12 @@ pub fn ping_command(addr: &str, retries: usize, interval_ms: u64) -> Result<Stri
 pub struct LoadgenConfig {
     /// Server address (`--addr`).
     pub addr: String,
+    /// Plan for the *local* verification reference (`--plan`): empty keeps
+    /// the exact serial pass, `auto` calibrates the reference backend, and
+    /// an explicit spec pins it.  Byte-identity makes every choice produce
+    /// the same labels; the knob only changes how fast the reference side
+    /// keeps up with a big run.
+    pub plan: String,
     /// Concurrent client connections (`--clients`).
     pub clients: usize,
     /// Total images to stream across all clients (`--images`).
@@ -193,6 +220,7 @@ impl Default for LoadgenConfig {
     fn default() -> Self {
         Self {
             addr: "127.0.0.1:7870".to_string(),
+            plan: String::new(),
             clients: 4,
             images: 32,
             image_size: 160,
@@ -255,10 +283,21 @@ struct ClientOutcome {
     requests: usize,
     pixels: u64,
     mismatches: usize,
+    busy: usize,
     cache_hits: usize,
     tiles_hit: u64,
     tiles_recomputed: u64,
     elapsed_secs: f64,
+}
+
+/// Resolves loadgen's `--plan` flag for the local reference pass: `None`
+/// when the flag is empty (keep the exact serial reference), otherwise the
+/// parsed or calibrated plan.
+fn resolve_local_plan(config: &LoadgenConfig) -> Result<Option<ResolvedPlan>, String> {
+    if config.plan.trim().is_empty() {
+        return Ok(None);
+    }
+    resolve_plan(&config.plan, || Ok(SegmentPlan::default())).map(Some)
 }
 
 /// Deterministic xorshift64* generator for the traffic shape (no external
@@ -324,13 +363,19 @@ pub fn loadgen_report(config: &LoadgenConfig) -> Result<String, String> {
     // Zipf-ish repeated traffic, the shape the server's result cache is
     // built for; at 0.0 every request is a distinct image.
     let sequence = request_sequence(config.images, config.repeat_ratio, config.seed);
-    // The reference pass runs locally on the serial engine: whatever
-    // classifier/tiling/backend the *server* was booted with, its replies —
-    // cache hits and misses alike — must be byte-identical to this by
-    // construction.
+    // The reference pass runs locally: whatever classifier/tiling/backend
+    // the *server* was booted with, its replies — cache hits and misses
+    // alike — must be byte-identical to this by construction.  `--plan`
+    // only picks the backend the reference pass runs on (labels are
+    // byte-identical across backends); the default stays the serial engine.
+    let resolved = resolve_local_plan(config)?;
     let reference: Vec<LabelMap> = if config.verify {
-        let serial = IqftRgbSegmenter::paper_default().with_engine(SegmentEngine::serial());
-        images.iter().map(|img| serial.segment_rgb(img)).collect()
+        let engine = resolved
+            .as_ref()
+            .map(|r| r.plan.engine())
+            .unwrap_or_else(SegmentEngine::serial);
+        let local = IqftRgbSegmenter::paper_default().with_engine(engine);
+        images.iter().map(|img| local.segment_rgb(img)).collect()
     } else {
         Vec::new()
     };
@@ -365,12 +410,20 @@ pub fn loadgen_report(config: &LoadgenConfig) -> Result<String, String> {
                         elapsed_secs: started.elapsed().as_secs_f64(),
                         ..ClientOutcome::default()
                     };
-                    for (&idx, (labels, cached)) in mine.iter().zip(&replies) {
-                        outcome.requests += 1;
-                        outcome.pixels += labels.len() as u64;
-                        outcome.cache_hits += usize::from(*cached);
-                        if verify && labels != &reference[sequence[idx]] {
-                            outcome.mismatches += 1;
+                    for (&idx, reply) in mine.iter().zip(&replies) {
+                        match reply {
+                            SegmentOutcome::Done { labels, cached } => {
+                                outcome.requests += 1;
+                                outcome.pixels += labels.len() as u64;
+                                outcome.cache_hits += usize::from(*cached);
+                                if verify && labels != &reference[sequence[idx]] {
+                                    outcome.mismatches += 1;
+                                }
+                            }
+                            // The server shed this request under overload;
+                            // it was never executed, so there is nothing to
+                            // verify.
+                            SegmentOutcome::Busy => outcome.busy += 1,
                         }
                     }
                     Ok(outcome)
@@ -403,14 +456,21 @@ pub fn loadgen_report(config: &LoadgenConfig) -> Result<String, String> {
         depth,
         config.addr,
     );
+    if let Some(resolved) = &resolved {
+        let _ = writeln!(out, "  local reference plan: [{}]", resolved.plan);
+        if let Some(report) = &resolved.calibration {
+            let _ = writeln!(out, "  local calibration: {}", report.summary());
+        }
+    }
     let mut total = ClientOutcome::default();
     for (idx, outcome) in outcomes.iter().enumerate() {
         let outcome = outcome.as_ref().map_err(|e| e.clone())?;
         let _ = writeln!(
             out,
-            "  client {idx}: {:>4} requests  {:>4} cache hits  {:>8.3} Mpx  {:>8.2} ms  \
-             {:>7.2} Mpx/s",
+            "  client {idx}: {:>4} requests  {:>3} busy  {:>4} cache hits  {:>8.3} Mpx  \
+             {:>8.2} ms  {:>7.2} Mpx/s",
             outcome.requests,
+            outcome.busy,
             outcome.cache_hits,
             outcome.pixels as f64 / 1e6,
             outcome.elapsed_secs * 1e3,
@@ -419,13 +479,16 @@ pub fn loadgen_report(config: &LoadgenConfig) -> Result<String, String> {
         total.requests += outcome.requests;
         total.pixels += outcome.pixels;
         total.mismatches += outcome.mismatches;
+        total.busy += outcome.busy;
         total.cache_hits += outcome.cache_hits;
     }
     let _ = writeln!(
         out,
-        "  total: {} requests ({} cache hits), {:.3} Mpx in {:.2} ms -> {:.2} Mpx/s over the wire",
+        "  total: {} requests ({} cache hits, {} busy-rejected), {:.3} Mpx in {:.2} ms -> \
+         {:.2} Mpx/s over the wire",
         total.requests,
         total.cache_hits,
+        total.busy,
         total.pixels as f64 / 1e6,
         wall_secs * 1e3,
         total.pixels as f64 / 1e6 / wall_secs.max(1e-9),
@@ -487,6 +550,32 @@ fn finish_report(
         stats.max_inflight,
         stats.protocol_errors,
     );
+    let _ = writeln!(
+        out,
+        "  server admission: max_queue {}, {} busy rejections",
+        if stats.max_queue > 0 {
+            stats.max_queue.to_string()
+        } else {
+            "unbounded".to_string()
+        },
+        stats.busy_rejections,
+    );
+    if stats.lat_count > 0 {
+        let _ = writeln!(
+            out,
+            "  server latency: p50 {} us, p90 {} us, p99 {} us, p999 {} us, max {} us \
+             over {} ops",
+            stats.lat_p50_us,
+            stats.lat_p90_us,
+            stats.lat_p99_us,
+            stats.lat_p999_us,
+            stats.lat_max_us,
+            stats.lat_count,
+        );
+    }
+    if !stats.calibration.is_empty() {
+        let _ = writeln!(out, "  server calibration: {}", stats.calibration);
+    }
     if stats.cache_capacity_bytes > 0 {
         let _ = writeln!(
             out,
@@ -590,10 +679,20 @@ fn loadgen_video_report(config: &LoadgenConfig) -> Result<String, String> {
                     let started = Instant::now();
                     let mut outcome = ClientOutcome::default();
                     for frame in &frames {
-                        let (labels, hit, recomputed) =
-                            client.segment_delta(frame).map_err(|e| {
-                                format!("client {client_idx}: delta segment failed: {e}")
-                            })?;
+                        let (labels, hit, recomputed) = match client.segment_delta(frame) {
+                            Ok(reply) => reply,
+                            // Overload shedding: the frame was refused, not
+                            // mis-served; keep streaming the rest.
+                            Err(ServeError::Busy) => {
+                                outcome.busy += 1;
+                                continue;
+                            }
+                            Err(e) => {
+                                return Err(format!(
+                                    "client {client_idx}: delta segment failed: {e}"
+                                ))
+                            }
+                        };
                         outcome.requests += 1;
                         outcome.pixels += labels.len() as u64;
                         outcome.tiles_hit += u64::from(hit);
@@ -641,15 +740,17 @@ fn loadgen_video_report(config: &LoadgenConfig) -> Result<String, String> {
         total.requests += outcome.requests;
         total.pixels += outcome.pixels;
         total.mismatches += outcome.mismatches;
+        total.busy += outcome.busy;
         total.tiles_hit += outcome.tiles_hit;
         total.tiles_recomputed += outcome.tiles_recomputed;
     }
     let tile_total = total.tiles_hit + total.tiles_recomputed;
     let _ = writeln!(
         out,
-        "  total: {} frames, {} of {} tiles from cache ({:.1}% tile hit ratio), {:.3} Mpx in \
-         {:.2} ms -> {:.2} Mpx/s over the wire",
+        "  total: {} frames ({} busy-rejected), {} of {} tiles from cache ({:.1}% tile hit \
+         ratio), {:.3} Mpx in {:.2} ms -> {:.2} Mpx/s over the wire",
         total.requests,
+        total.busy,
         total.tiles_hit,
         tile_total,
         if tile_total > 0 {
@@ -691,12 +792,7 @@ mod tests {
     fn boot_with_cache(plan: SegmentPlan, cache_mb: usize) -> Server {
         Server::bind(
             "127.0.0.1:0",
-            ServerConfig {
-                plan,
-                max_inflight: 0,
-                cache: CacheConfig::with_capacity_mb(cache_mb),
-                ..ServerConfig::default()
-            },
+            ServerConfig::new(plan).with_cache(CacheConfig::with_capacity_mb(cache_mb)),
         )
         .expect("ephemeral bind")
     }
@@ -803,6 +899,54 @@ mod tests {
         assert!(err.contains("expected delta tile hits"), "{err}");
         server.shutdown_now();
         server.join();
+    }
+
+    #[test]
+    fn overloaded_server_sheds_with_busy_and_the_rest_verifies() {
+        // One worker, a one-deep queue: a pipelined burst of 12 requests
+        // from 2 clients must overflow admission at least once.
+        let server = Server::bind(
+            "127.0.0.1:0",
+            ServerConfig::new(SegmentPlan::default())
+                .with_max_inflight(1)
+                .with_max_queue(1),
+        )
+        .expect("ephemeral bind");
+        let mut config = small_loadgen(server.local_addr().to_string());
+        config.clients = 2;
+        config.images = 16;
+        config.image_size = 120;
+        config.pipeline_depth = 8;
+        let report = loadgen_report(&config).unwrap();
+        assert!(report.contains("server admission: max_queue 1"), "{report}");
+        assert!(
+            !report.contains(", 0 busy rejections"),
+            "a 2x8-deep burst against 1 worker + 1 queue slot must shed:\n{report}"
+        );
+        // Whatever was admitted verified byte-identically; loadgen reports
+        // rather than fails when the shed count is nonzero.
+        assert!(report.contains("byte-identical"), "{report}");
+        server.join();
+    }
+
+    #[test]
+    fn loadgen_plan_flag_resolves_the_reference_backend() {
+        let server = boot(SegmentPlan::default());
+        let mut config = small_loadgen(server.local_addr().to_string());
+        config.plan = "classifier=table;tile=off;backend=threads:2".to_string();
+        let report = loadgen_report(&config).unwrap();
+        assert!(
+            report.contains("local reference plan: [classifier=table;tile=off;backend=threads:2]"),
+            "{report}"
+        );
+        assert!(report.contains("byte-identical"), "{report}");
+        assert!(report.contains("server admission:"), "{report}");
+        server.join();
+
+        let mut config = small_loadgen("127.0.0.1:1".to_string());
+        config.plan = "classifier=warp".to_string();
+        config.shutdown = false;
+        assert!(loadgen_report(&config).is_err());
     }
 
     #[test]

@@ -32,9 +32,10 @@
 //! — byte-identity is an acceptance criterion, not an option (and it holds
 //! for every classifier × tiling × backend combination by construction).
 
+use crate::plans::{resolve_plan, ResolvedPlan};
 use datasets::{synthetic_video, PascalVocLikeConfig, PascalVocLikeDataset, VideoConfig};
 use imaging::{LabelMap, RgbImage, Segmenter};
-use iqft_pipeline::{CacheConfig, PipelineConfig, PipelineReport, SegmentPipeline};
+use iqft_pipeline::{CacheConfig, LatencySummary, PipelineConfig, PipelineReport, SegmentPipeline};
 use iqft_seg::{IqftClassifier, IqftRgbSegmenter};
 use seg_engine::{ClassifierKind, SegmentEngine, SegmentPlan, Tiling};
 use std::fmt::Write as _;
@@ -57,6 +58,11 @@ pub struct ThroughputConfig {
     /// Work decomposition: `off` for whole-image jobs or `WxH` for tile
     /// jobs (`--tile`), parsed by [`Tiling::from_flag`].
     pub tile: String,
+    /// Whole-plan flag (`--plan`): a `classifier=…;tile=…;backend=…` spec,
+    /// `auto` to probe the host ([`crate::plans`]), or empty to compose the
+    /// plan from `classifier`/`tile` and the engine's backend.  Non-empty
+    /// values override the per-axis flags.
+    pub plan: String,
     /// Result-cache budget in MiB (`--cache-mb`, 0 = off).  With a cache
     /// the stream runs through the per-request path
     /// ([`SegmentPipeline::run_stream_requests`]) so repeated images are
@@ -84,6 +90,7 @@ impl Default for ThroughputConfig {
             seed: 42,
             classifier: ClassifierKind::default().flag().to_string(),
             tile: Tiling::default().flag(),
+            plan: String::new(),
             cache_mb: 0,
             verify: true,
             video: false,
@@ -95,13 +102,23 @@ impl Default for ThroughputConfig {
 impl ThroughputConfig {
     /// Parses the config's strategy flags into a [`SegmentPlan`] executing
     /// on `engine`'s backend.  Errors on an unknown classifier or a
-    /// malformed tile shape.
+    /// malformed tile shape.  With a non-empty `plan` flag this may run a
+    /// calibration sweep (`--plan auto`); use [`Self::resolved_plan`] when
+    /// the calibration evidence matters.
     pub fn plan(&self, engine: &SegmentEngine) -> Result<SegmentPlan, String> {
-        Ok(SegmentPlan::new(
-            ClassifierKind::from_flag(&self.classifier)?,
-            Tiling::from_flag(&self.tile)?,
-            engine.backend(),
-        ))
+        self.resolved_plan(engine).map(|resolved| resolved.plan)
+    }
+
+    /// Resolves the `--plan` flag (falling back to the per-axis flags) and
+    /// keeps the calibration report when the plan was probed.
+    pub fn resolved_plan(&self, engine: &SegmentEngine) -> Result<ResolvedPlan, String> {
+        resolve_plan(&self.plan, || {
+            Ok(SegmentPlan::new(
+                ClassifierKind::from_flag(&self.classifier)?,
+                Tiling::from_flag(&self.tile)?,
+                engine.backend(),
+            ))
+        })
     }
 }
 
@@ -201,9 +218,20 @@ pub fn throughput_run(
     images: &[RgbImage],
 ) -> Result<(Vec<LabelMap>, PipelineReport, u64), String> {
     let plan = config.plan(engine)?;
-    Ok(run_pipeline(
-        engine,
-        IqftClassifier::for_plan(&plan),
+    Ok(throughput_run_with_plan(config, images, &plan))
+}
+
+/// [`throughput_run`] with the plan already resolved — the path
+/// [`throughput_report`] takes so a `--plan auto` calibration sweep runs
+/// once, not once per stage.
+pub fn throughput_run_with_plan(
+    config: &ThroughputConfig,
+    images: &[RgbImage],
+    plan: &SegmentPlan,
+) -> (Vec<LabelMap>, PipelineReport, u64) {
+    run_pipeline(
+        &plan.engine(),
+        IqftClassifier::for_plan(plan),
         images,
         config.batch,
         StreamShape {
@@ -212,19 +240,22 @@ pub fn throughput_run(
             delta: config.video,
         },
         &plan.to_spec(),
-    ))
+    )
 }
 
 /// Runs the whole subcommand and renders the human-readable report.
 pub fn throughput_report(engine: &SegmentEngine, config: &ThroughputConfig) -> String {
     let images = throughput_images(config);
-    let (labels, report, quant_fallbacks) = match throughput_run(engine, config, &images) {
-        Ok(result) => result,
+    // Resolve the plan once up front: a `--plan auto` calibration sweep
+    // should probe the host a single time, and its evidence belongs in the
+    // report.
+    let resolved = match config.resolved_plan(engine) {
+        Ok(resolved) => resolved,
         Err(message) => return message,
     };
-    let quantized = ClassifierKind::from_flag(&config.classifier)
-        .map(ClassifierKind::is_quantized)
-        .unwrap_or(false);
+    let (labels, report, quant_fallbacks) =
+        throughput_run_with_plan(config, &images, &resolved.plan);
+    let quantized = resolved.plan.classifier().is_quantized();
 
     let mut out = String::new();
     let _ = writeln!(
@@ -244,6 +275,10 @@ pub fn throughput_report(engine: &SegmentEngine, config: &ThroughputConfig) -> S
             "off".to_string()
         },
     );
+    let _ = writeln!(out, "  plan: [{}]", resolved.plan);
+    if let Some(calibration) = &resolved.calibration {
+        let _ = writeln!(out, "  calibration: {}", calibration.summary());
+    }
     if config.video {
         let _ = writeln!(
             out,
@@ -279,6 +314,20 @@ pub fn throughput_report(engine: &SegmentEngine, config: &ThroughputConfig) -> S
         "  arena: {} allocations, {} reuses ({} buffers pooled at exit)",
         report.arena_allocations, report.arena_reuses, report.arena_pooled,
     );
+    if report.latency.count > 0 {
+        let lat = report.latency;
+        let _ = writeln!(
+            out,
+            "  latency: p50 {:.3} ms  p90 {:.3} ms  p99 {:.3} ms  p999 {:.3} ms  max {:.3} ms \
+             ({} ops)",
+            LatencySummary::ms(lat.p50_ns),
+            LatencySummary::ms(lat.p90_ns),
+            LatencySummary::ms(lat.p99_ns),
+            LatencySummary::ms(lat.p999_ns),
+            LatencySummary::ms(lat.max_ns),
+            lat.count,
+        );
+    }
     if config.cache_mb > 0 {
         let _ = writeln!(
             out,
@@ -352,6 +401,7 @@ mod tests {
             seed: 7,
             classifier: classifier.to_string(),
             tile: "off".to_string(),
+            plan: String::new(),
             cache_mb: 0,
             verify: true,
             video: false,
@@ -481,12 +531,33 @@ mod tests {
     }
 
     #[test]
+    fn plan_flag_overrides_the_axis_flags_and_stays_byte_identical() {
+        let engine = SegmentEngine::with_threads(2);
+        let mut config = small_config("table");
+        // The per-axis flags say table/off; the plan flag wins.
+        config.plan = "classifier=simd;tile=16x16;backend=serial".to_string();
+        let plan = config.plan(&engine).unwrap();
+        assert_eq!(plan.classifier(), ClassifierKind::Simd);
+        assert_eq!(plan.backend(), SegmentEngine::serial().backend());
+        let report = throughput_report(&engine, &config);
+        assert!(
+            report.contains("plan: [classifier=simd;tile=16x16;backend=serial]"),
+            "{report}"
+        );
+        assert!(report.contains("byte-identical"), "{report}");
+        // A malformed plan fails loudly instead of falling back.
+        config.plan = "classifier=warp".to_string();
+        assert!(throughput_report(&engine, &config).contains("unknown classifier"));
+    }
+
+    #[test]
     fn report_contains_verification_and_batch_lines() {
         let engine = SegmentEngine::with_threads(2);
         let report = throughput_report(&engine, &small_config("table"));
         assert!(report.contains("batch   0"), "{report}");
         assert!(report.contains("byte-identical"), "{report}");
         assert!(report.contains("arena"), "{report}");
+        assert!(report.contains("latency: p50"), "{report}");
         assert!(!report.contains("quant:"), "{report}");
         // --no-verify drops the verification pass.
         let mut config = small_config("table");

@@ -64,11 +64,13 @@
 
 pub mod arena;
 pub mod cache;
+pub mod hist;
 pub mod queue;
 pub mod stats;
 
 pub use arena::LabelArena;
 pub use cache::{CacheConfig, CacheStats, SegmentCache};
+pub use hist::{LatencyHistogram, LatencySummary};
 pub use queue::JobQueue;
 pub use stats::{BatchStats, PipelineReport};
 
@@ -359,11 +361,14 @@ impl<C: PixelClassifier + Sync> SegmentPipeline<C> {
             workers: self.workers(),
             ..PipelineReport::default()
         };
+        let latency = LatencyHistogram::new();
         for (batch_idx, chunk) in frames.chunks(batch_size).enumerate() {
             let offset = batch_idx * batch_size;
             let started = std::time::Instant::now();
             for (i, img) in chunk.iter().enumerate() {
+                let op_started = std::time::Instant::now();
                 let (labels, hit, recomputed) = self.segment_request_delta(img);
+                latency.record(op_started.elapsed());
                 report.delta_tiles_hit += hit as usize;
                 report.delta_tiles_recomputed += recomputed as usize;
                 sink(offset + i, labels, hit, recomputed);
@@ -375,6 +380,7 @@ impl<C: PixelClassifier + Sync> SegmentPipeline<C> {
                 elapsed_secs: started.elapsed().as_secs_f64(),
             });
         }
+        report.latency = latency.summary();
         report.arena_allocations = self.arena.allocations() - allocations_before;
         report.arena_reuses = self.arena.reuses() - reuses_before;
         report.arena_pooled = self.arena.pooled();
@@ -396,12 +402,17 @@ impl<C: PixelClassifier + Sync> SegmentPipeline<C> {
     /// stats.  The output is byte-identical to calling
     /// `SegmentEngine::serial().segment_rgb(..)` per image.
     pub fn run_batch(&self, images: &[RgbImage]) -> (Vec<LabelMap>, BatchStats) {
-        self.run_batch_indexed(0, images)
+        self.run_batch_indexed(0, images, &LatencyHistogram::new())
     }
 
-    fn run_batch_indexed(&self, batch: usize, images: &[RgbImage]) -> (Vec<LabelMap>, BatchStats) {
+    fn run_batch_indexed(
+        &self,
+        batch: usize,
+        images: &[RgbImage],
+        latency: &LatencyHistogram,
+    ) -> (Vec<LabelMap>, BatchStats) {
         if let Tiling::Tiles { width, height } = self.config.tiling {
-            return self.run_batch_tiled(batch, images, width, height);
+            return self.run_batch_tiled(batch, images, width, height, latency);
         }
         let progress = Progress::new(images.len());
         let workers = self.workers();
@@ -422,11 +433,13 @@ impl<C: PixelClassifier + Sync> SegmentPipeline<C> {
                     let mut done: Vec<(usize, LabelMap)> = Vec::new();
                     while let Some(idx) = queue.pop() {
                         let img = &images[idx];
+                        let started = std::time::Instant::now();
                         let mut buf = arena.take();
                         serial.segment_rgb_into(classifier, img, &mut buf);
                         let (w, h) = img.dimensions();
                         let map =
                             LabelMap::from_vec(w, h, buf).expect("label buffer matches image");
+                        latency.record(started.elapsed());
                         done.push((idx, map));
                         progress.inc(1);
                     }
@@ -488,6 +501,7 @@ impl<C: PixelClassifier + Sync> SegmentPipeline<C> {
         images: &[RgbImage],
         tile_w: usize,
         tile_h: usize,
+        latency: &LatencyHistogram,
     ) -> (Vec<LabelMap>, BatchStats) {
         // Jobs are materialised in (image, tile) order, so the grouped
         // assembly below can walk them with a single cursor.
@@ -515,6 +529,7 @@ impl<C: PixelClassifier + Sync> SegmentPipeline<C> {
                     let mut done: Vec<(usize, Vec<u32>)> = Vec::new();
                     while let Some(job) = queue.pop() {
                         let (img_idx, rect) = jobs[job];
+                        let started = std::time::Instant::now();
                         let tile = images[img_idx]
                             .view(rect)
                             .expect("tile rects lie inside their image");
@@ -524,6 +539,7 @@ impl<C: PixelClassifier + Sync> SegmentPipeline<C> {
                         let mut out = LabelViewMut::contiguous(&mut buf, rect.width, rect.height)
                             .expect("tile buffer matches tile area");
                         classifier.classify_rgb_view_into(&tile, &mut out);
+                        latency.record(started.elapsed());
                         done.push((job, buf));
                         progress.inc(1);
                     }
@@ -614,14 +630,16 @@ impl<C: PixelClassifier + Sync> SegmentPipeline<C> {
             workers: self.workers(),
             ..PipelineReport::default()
         };
+        let latency = LatencyHistogram::new();
         for (batch_idx, chunk) in images.chunks(batch_size).enumerate() {
             let offset = batch_idx * batch_size;
-            let (labels, stats) = self.run_batch_indexed(batch_idx, chunk);
+            let (labels, stats) = self.run_batch_indexed(batch_idx, chunk, &latency);
             report.batches.push(stats);
             for (i, map) in labels.into_iter().enumerate() {
                 sink(offset + i, map);
             }
         }
+        report.latency = latency.summary();
         report.arena_allocations = self.arena.allocations() - allocations_before;
         report.arena_reuses = self.arena.reuses() - reuses_before;
         report.arena_pooled = self.arena.pooled();
@@ -658,11 +676,14 @@ impl<C: PixelClassifier + Sync> SegmentPipeline<C> {
             workers: self.workers(),
             ..PipelineReport::default()
         };
+        let latency = LatencyHistogram::new();
         for (batch_idx, chunk) in images.chunks(batch_size).enumerate() {
             let offset = batch_idx * batch_size;
             let started = std::time::Instant::now();
             for (i, img) in chunk.iter().enumerate() {
+                let op_started = std::time::Instant::now();
                 let (labels, hit) = self.segment_request_cached(img, false);
+                latency.record(op_started.elapsed());
                 sink(offset + i, labels, hit);
             }
             report.batches.push(BatchStats {
@@ -672,6 +693,7 @@ impl<C: PixelClassifier + Sync> SegmentPipeline<C> {
                 elapsed_secs: started.elapsed().as_secs_f64(),
             });
         }
+        report.latency = latency.summary();
         report.arena_allocations = self.arena.allocations() - allocations_before;
         report.arena_reuses = self.arena.reuses() - reuses_before;
         report.arena_pooled = self.arena.pooled();
@@ -767,6 +789,10 @@ mod tests {
         assert_eq!(report.images(), 12);
         assert_eq!(report.batches.len(), 3);
         assert_eq!(report.workers, 2);
+        // Per-op service latency was recorded for every image.
+        assert_eq!(report.latency.count, 12, "{report:?}");
+        assert!(report.latency.p50_ns <= report.latency.p99_ns);
+        assert!(report.latency.p999_ns <= report.latency.max_ns);
         // Every take after the warm-up buffers exist is served from the pool:
         // allocations are bounded by the in-flight image count, not by the
         // stream length.
@@ -988,6 +1014,7 @@ mod tests {
         });
         assert_eq!(report.images(), 9);
         assert_eq!(report.batches.len(), 3);
+        assert_eq!(report.latency.count, 9, "one latency sample per request");
         assert_eq!(report.cache_misses, 3, "{report:?}");
         assert_eq!(report.cache_hits, 6, "{report:?}");
         assert_eq!(hits_seen, 6);

@@ -52,11 +52,17 @@ impl BatchStats {
     }
 }
 
+use crate::hist::LatencySummary;
+
 /// Aggregated statistics for a whole pipeline run.
 #[derive(Debug, Clone, Default)]
 pub struct PipelineReport {
     /// Per-batch figures, in execution order.
     pub batches: Vec<BatchStats>,
+    /// Per-operation service-latency percentiles for the run, recorded into
+    /// a [`crate::LatencyHistogram`]: one sample per image on the whole-image
+    /// paths, one per tile job on the tiled batch path.
+    pub latency: LatencySummary,
     /// Worker threads the pipeline ran with.
     pub workers: usize,
     /// Fresh label-buffer allocations the arena performed during this run.

@@ -27,6 +27,10 @@ pub enum ServeError {
     Protocol(ProtocolError),
     /// The server answered with an [`Message::Error`] frame.
     Server(String),
+    /// The server refused admission ([`Message::Busy`]): its worker pool and
+    /// wait queue are saturated.  The request was not executed and may be
+    /// retried; the connection remains usable.
+    Busy,
     /// The server answered with a well-formed frame of the wrong kind.
     Unexpected {
         /// What the call was waiting for.
@@ -53,6 +57,7 @@ impl std::fmt::Display for ServeError {
         match self {
             ServeError::Protocol(err) => write!(f, "protocol error: {err}"),
             ServeError::Server(message) => write!(f, "server error: {message}"),
+            ServeError::Busy => write!(f, "server busy: admission refused, retry later"),
             ServeError::Unexpected { expected, got } => {
                 write!(f, "expected a {expected} reply, got {got}")
             }
@@ -82,6 +87,28 @@ impl From<io::Error> for ServeError {
     fn from(err: io::Error) -> Self {
         ServeError::Protocol(ProtocolError::Io(err))
     }
+}
+
+/// What became of one request in a pipelined burst.
+///
+/// Unlike the lockstep calls — where admission refusal surfaces as
+/// [`ServeError::Busy`] and aborts the call — a pipelined burst keeps
+/// going when the server sheds one request, so each slot reports its own
+/// fate.  A [`SegmentOutcome::Busy`] slot was never executed and may be
+/// retried on the same connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SegmentOutcome {
+    /// The frame was segmented; `cached` says whether the server answered
+    /// from its result cache (always `false` for plain `Segment` requests).
+    Done {
+        /// The computed label map, byte-identical to the serial reference.
+        labels: LabelMap,
+        /// Whether the reply was served from the server's result cache.
+        cached: bool,
+    },
+    /// The server refused admission for this request (pool and queue
+    /// saturated); it was not executed.
+    Busy,
 }
 
 /// A synchronous connection to an `iqft-serve` daemon.
@@ -132,6 +159,9 @@ impl Client {
         let (got, reply) = protocol::read_message(&mut self.stream)?;
         if let Message::Error { message } = reply {
             return Err(ServeError::Server(message));
+        }
+        if let Message::Busy = reply {
+            return Err(ServeError::Busy);
         }
         if got != sent {
             return Err(ServeError::IdMismatch { sent, got });
@@ -267,8 +297,10 @@ impl Client {
     ///
     /// Replies may arrive in any completion order; they are matched back to
     /// their requests by the echoed id, so the returned vector is always in
-    /// input order.  Each element is `(labels, served_from_cache)` (the
-    /// flag is always `false` for plain `Segment` requests).
+    /// input order.  Each element is a [`SegmentOutcome`]: either the labels
+    /// plus the served-from-cache flag, or [`SegmentOutcome::Busy`] when the
+    /// server shed that request under overload (the rest of the burst still
+    /// completes).
     ///
     /// Deadlock safety: a pipelined burst can exceed what the kernel socket
     /// buffers hold (large frames, deep pipelines), and a server blocked
@@ -283,9 +315,9 @@ impl Client {
         images: &[&RgbImage],
         depth: usize,
         use_cache: bool,
-    ) -> Result<Vec<(LabelMap, bool)>, ServeError> {
+    ) -> Result<Vec<SegmentOutcome>, ServeError> {
         let depth = depth.clamp(1, protocol::MAX_PIPELINE_DEPTH);
-        let mut results: Vec<Option<(LabelMap, bool)>> = (0..images.len()).map(|_| None).collect();
+        let mut results: Vec<Option<SegmentOutcome>> = (0..images.len()).map(|_| None).collect();
         let mut pending: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
         let mut next = 0usize;
         self.stream
@@ -329,7 +361,7 @@ impl Client {
         &mut self,
         frame: &[u8],
         pending: &mut std::collections::HashMap<u64, usize>,
-        results: &mut [Option<(LabelMap, bool)>],
+        results: &mut [Option<SegmentOutcome>],
         images: &[&RgbImage],
     ) -> Result<(), ServeError> {
         use std::io::Write as _;
@@ -368,7 +400,7 @@ impl Client {
     fn receive_pipelined_reply(
         &mut self,
         pending: &mut std::collections::HashMap<u64, usize>,
-        results: &mut [Option<(LabelMap, bool)>],
+        results: &mut [Option<SegmentOutcome>],
         images: &[&RgbImage],
     ) -> Result<(), ServeError> {
         let (got, reply) = protocol::read_message(&mut self.stream)?;
@@ -381,6 +413,10 @@ impl Client {
         let (labels, cached) = match reply {
             Message::SegmentCachedReply { labels, cached } => (labels, cached),
             Message::SegmentReply { labels } => (labels, false),
+            Message::Busy => {
+                results[slot] = Some(SegmentOutcome::Busy);
+                return Ok(());
+            }
             other => {
                 return Err(ServeError::Unexpected {
                     expected: "SegmentReply or SegmentCachedReply",
@@ -394,7 +430,7 @@ impl Client {
                 got: "a reply with different dimensions",
             });
         }
-        results[slot] = Some((labels, cached));
+        results[slot] = Some(SegmentOutcome::Done { labels, cached });
         Ok(())
     }
 
@@ -443,6 +479,7 @@ mod tests {
         assert!(ServeError::BadStats("no plan".into())
             .to_string()
             .contains("no plan"));
+        assert!(ServeError::Busy.to_string().contains("busy"));
     }
 
     #[test]

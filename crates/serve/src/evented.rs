@@ -585,6 +585,24 @@ impl Reactor {
                 message @ (Message::Segment { .. }
                 | Message::SegmentCached { .. }
                 | Message::SegmentDelta { .. }) => {
+                    // Admission control: the worker pool drains the queue
+                    // counter as it picks jobs up, so the counter gauges
+                    // *waiting* work.  Claim a queue slot optimistically;
+                    // if that overshoots the limit, give it back and answer
+                    // with the typed Busy reply instead of queueing
+                    // unboundedly (count before the reply can ship).
+                    let max_queue = self.shared.max_queue;
+                    if max_queue != 0 {
+                        let queued = self.shared.queued_jobs.fetch_add(1, Ordering::Relaxed);
+                        if queued >= max_queue {
+                            self.shared.queued_jobs.fetch_sub(1, Ordering::Relaxed);
+                            self.shared.stats.busy_rejection();
+                            let _ = conn.encoder.enqueue(request_id, &Message::Busy);
+                            continue;
+                        }
+                    } else {
+                        self.shared.queued_jobs.fetch_add(1, Ordering::Relaxed);
+                    }
                     let job = Job {
                         reactor: self.index,
                         conn: idx,
@@ -597,6 +615,7 @@ impl Reactor {
                     if self.job_tx.send(job).is_err() {
                         // Workers are gone (teardown race); nothing can
                         // answer.
+                        self.shared.queued_jobs.fetch_sub(1, Ordering::Relaxed);
                         conn.inflight = false;
                         conn.closing = true;
                     }
@@ -645,15 +664,18 @@ impl Reactor {
 /// returns the encoded reply frame (counters updated before the frame can
 /// reach the wire, mirroring the threaded path).
 fn execute_job(shared: &Shared, request_id: u64, message: Message, pixels: &AtomicU64) -> Vec<u8> {
+    let started = Instant::now();
     let reply = match message {
         Message::Segment { image } => {
             let labels = shared.pipeline.segment_request(&image);
+            shared.stats.record_latency(started.elapsed());
             shared.stats.segmented(labels.len());
             pixels.fetch_add(labels.len() as u64, Ordering::Relaxed);
             Message::SegmentReply { labels }
         }
         Message::SegmentCached { image, bypass } => {
             let (labels, cached) = shared.pipeline.segment_request_cached(&image, bypass);
+            shared.stats.record_latency(started.elapsed());
             shared.stats.segmented(labels.len());
             pixels.fetch_add(labels.len() as u64, Ordering::Relaxed);
             Message::SegmentCachedReply { labels, cached }
@@ -661,6 +683,7 @@ fn execute_job(shared: &Shared, request_id: u64, message: Message, pixels: &Atom
         Message::SegmentDelta { image } => {
             let (labels, tiles_hit, tiles_recomputed) =
                 shared.pipeline.segment_request_delta(&image);
+            shared.stats.record_latency(started.elapsed());
             shared.stats.segmented(labels.len());
             pixels.fetch_add(labels.len() as u64, Ordering::Relaxed);
             Message::SegmentDeltaReply {
@@ -711,6 +734,9 @@ fn worker_loop(
                 Err(_) => break, // all reactors gone: drain complete
             }
         };
+        // The job left the queue and is now executing: release its admission
+        // slot so the gauge tracks waiting work, not in-flight work.
+        shared.queued_jobs.fetch_sub(1, Ordering::Relaxed);
         let frame = execute_job(&shared, job.request_id, job.message, &job.pixels);
         reactors[job.reactor].push_completion(Completion {
             conn: job.conn,

@@ -70,7 +70,7 @@ pub mod protocol;
 pub mod server;
 pub mod stats;
 
-pub use client::{Client, ServeError};
+pub use client::{Client, SegmentOutcome, ServeError};
 pub use iqft_pipeline::CacheConfig;
 pub use protocol::{Frame, FrameDecoder, FrameEncoder, Message, Op, ProtocolError};
 pub use server::{ServeMode, Server, ServerConfig};

@@ -34,6 +34,10 @@
 //!   `tiles_hit: u32`, `tiles_recomputed: u32`, then the `SegmentReply`
 //!   layout.
 //! * [`Message::StatsReply`] / [`Message::Error`] — UTF-8 text.
+//! * [`Message::Busy`] (v2) — empty.  An admission-control rejection: the
+//!   segment request was well-formed but the server's worker pool and queue
+//!   are saturated (`max_queue` exceeded); the request was not executed and
+//!   may be retried.
 //! * Everything else — empty (a non-empty payload is a protocol error).
 //!
 //! # Version 2 and pipelining
@@ -130,6 +134,11 @@ pub enum Op {
     /// Reply to [`Op::SegmentDelta`]: the label map plus per-tile hit and
     /// recompute counts for the frame.
     SegmentDeltaReply = 0x86,
+    /// Reply to any segment op when the server's admission limit is reached:
+    /// the request was *not* executed and may be retried (v2, empty payload).
+    /// Distinct from [`Op::Error`] — the request was well-formed, the server
+    /// is just saturated.
+    Busy = 0x87,
     /// Reply to any malformed or failed request: a UTF-8 diagnostic.
     Error = 0xFF,
 }
@@ -149,6 +158,7 @@ impl Op {
             0x84 => Ok(Op::ShutdownReply),
             0x85 => Ok(Op::SegmentCachedReply),
             0x86 => Ok(Op::SegmentDeltaReply),
+            0x87 => Ok(Op::Busy),
             0xFF => Ok(Op::Error),
             other => Err(ProtocolError::UnknownOp(other)),
         }
@@ -212,6 +222,9 @@ pub enum Message {
     Shutdown,
     /// Shutdown acknowledged (reply); the connection closes after this frame.
     ShutdownReply,
+    /// The server's admission limit is reached; the segment request was not
+    /// executed and may be retried (reply).
+    Busy,
     /// Request failed; the payload is a human-readable diagnostic (reply).
     Error {
         /// What went wrong.
@@ -235,6 +248,7 @@ impl Message {
             Message::StatsReply { .. } => Op::StatsReply,
             Message::Shutdown => Op::Shutdown,
             Message::ShutdownReply => Op::ShutdownReply,
+            Message::Busy => Op::Busy,
             Message::Error { .. } => Op::Error,
         }
     }
@@ -254,6 +268,7 @@ impl Message {
             Message::StatsReply { .. } => "StatsReply",
             Message::Shutdown => "Shutdown",
             Message::ShutdownReply => "ShutdownReply",
+            Message::Busy => "Busy",
             Message::Error { .. } => "Error",
         }
     }
@@ -524,13 +539,14 @@ pub fn decode_body(op: Op, payload: &[u8]) -> Result<Message, ProtocolError> {
                 _ => Message::Error { message: text },
             })
         }
-        Op::Ping | Op::Pong | Op::Stats | Op::Shutdown | Op::ShutdownReply => {
+        Op::Ping | Op::Pong | Op::Stats | Op::Shutdown | Op::ShutdownReply | Op::Busy => {
             expect_len(op, payload, 0)?;
             Ok(match op {
                 Op::Ping => Message::Ping,
                 Op::Pong => Message::Pong,
                 Op::Stats => Message::Stats,
                 Op::Shutdown => Message::Shutdown,
+                Op::Busy => Message::Busy,
                 _ => Message::ShutdownReply,
             })
         }
@@ -1054,6 +1070,7 @@ mod tests {
             },
             Message::Shutdown,
             Message::ShutdownReply,
+            Message::Busy,
             Message::Error {
                 message: "no such θ".to_string(),
             },
@@ -1225,6 +1242,7 @@ mod tests {
             Op::Stats,
             Op::Shutdown,
             Op::ShutdownReply,
+            Op::Busy,
         ] {
             assert!(matches!(
                 decode_body(op, &[0]).unwrap_err(),

@@ -6,14 +6,21 @@
 //! plain `key=value` lines (one per field, split on the *first* `=` so values
 //! may themselves contain `=`, like the plan spec), which keeps the protocol
 //! free of any external serialization dependency and trivially
-//! forward-compatible: unknown keys are ignored on parse.
+//! forward-compatible: unknown keys are preserved in
+//! [`StatsSnapshot::extra`], so they survive a decode→encode round trip
+//! instead of silently vanishing when an older client polls a newer daemon.
 
+use iqft_pipeline::{LatencyHistogram, LatencySummary};
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
 
 /// Live aggregate counters for a running server.
 ///
 /// All counters are monotonic and relaxed — they feed an operator-facing
-/// snapshot, not a synchronization protocol.
+/// snapshot, not a synchronization protocol.  The latency histogram is the
+/// same lock-free log-bucketed structure offline pipeline runs use, so both
+/// serving cores record per-op service time with no lock on the hot path.
 #[derive(Debug, Default)]
 pub struct ServerStats {
     /// Connections accepted since boot.
@@ -28,6 +35,12 @@ pub struct ServerStats {
     pixels_total: AtomicU64,
     /// Frames that failed to decode or execute.
     protocol_errors: AtomicUsize,
+    /// Segment requests refused with a typed `Busy` reply because the
+    /// admission limit (`max_queue`) was reached.
+    busy_rejections: AtomicUsize,
+    /// Per-op service latency (pipeline execution time) across every
+    /// connection and both serving cores.
+    latency: LatencyHistogram,
 }
 
 impl ServerStats {
@@ -64,6 +77,21 @@ impl ServerStats {
         self.protocol_errors.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a segment request refused with a typed `Busy` reply.
+    pub fn busy_rejection(&self) {
+        self.busy_rejections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records the service latency of one completed segment request.
+    pub fn record_latency(&self, latency: Duration) {
+        self.latency.record(latency);
+    }
+
+    /// Percentile summary of every recorded service latency.
+    pub fn latency_summary(&self) -> LatencySummary {
+        self.latency.summary()
+    }
+
     /// Frames handled so far (any op).
     pub fn requests_total(&self) -> usize {
         self.requests_total.load(Ordering::Relaxed)
@@ -82,6 +110,11 @@ impl ServerStats {
     /// Frames rejected so far.
     pub fn protocol_errors(&self) -> usize {
         self.protocol_errors.load(Ordering::Relaxed)
+    }
+
+    /// Segment requests refused with a typed `Busy` reply so far.
+    pub fn busy_rejections(&self) -> usize {
+        self.busy_rejections.load(Ordering::Relaxed)
     }
 
     /// Connections accepted since boot.
@@ -154,10 +187,47 @@ pub struct StatsSnapshot {
     /// oracle because the fixed-point arg-max was ambiguous (0 for
     /// non-quantized classifier kinds, which have no fallback path).
     pub quant_fallback_pixels: u64,
+    /// Admission limit: segment requests beyond the worker pool plus this
+    /// many queued get a typed `Busy` reply (0 = unbounded queueing).
+    pub max_queue: usize,
+    /// Segment requests refused with a typed `Busy` reply.
+    pub busy_rejections: usize,
+    /// Startup-calibration summary (probe counts and the best measured
+    /// throughput); empty when the server booted with an explicit plan.
+    pub calibration: String,
+    /// Service-latency samples recorded (one per completed segment request).
+    pub lat_count: u64,
+    /// Median service latency in microseconds.
+    pub lat_p50_us: u64,
+    /// 90th-percentile service latency in microseconds.
+    pub lat_p90_us: u64,
+    /// 99th-percentile service latency in microseconds.
+    pub lat_p99_us: u64,
+    /// 99.9th-percentile service latency in microseconds.
+    pub lat_p999_us: u64,
+    /// Maximum service latency in microseconds (exact, not bucket-quantised).
+    pub lat_max_us: u64,
     /// Frames handled on the connection that asked for this snapshot.
     pub conn_requests: usize,
     /// Pixels segmented on the connection that asked for this snapshot.
     pub conn_pixels: u64,
+    /// `key=value` pairs this decoder did not recognise, preserved verbatim
+    /// (sorted by key) so they survive a decode→encode round trip — a newer
+    /// daemon's keys are never dropped by an older relay.
+    pub extra: BTreeMap<String, String>,
+}
+
+impl StatsSnapshot {
+    /// Fills the latency fields from a histogram summary (nanoseconds →
+    /// microseconds).
+    pub fn set_latency(&mut self, summary: LatencySummary) {
+        self.lat_count = summary.count;
+        self.lat_p50_us = summary.p50_ns / 1_000;
+        self.lat_p90_us = summary.p90_ns / 1_000;
+        self.lat_p99_us = summary.p99_ns / 1_000;
+        self.lat_p999_us = summary.p999_ns / 1_000;
+        self.lat_max_us = summary.max_ns / 1_000;
+    }
 }
 
 impl StatsSnapshot {
@@ -202,15 +272,28 @@ impl StatsSnapshot {
             "quant_fallback_pixels",
             self.quant_fallback_pixels.to_string(),
         );
+        push("max_queue", self.max_queue.to_string());
+        push("busy_rejections", self.busy_rejections.to_string());
+        push("calibration", self.calibration.clone());
+        push("lat_count", self.lat_count.to_string());
+        push("lat_p50_us", self.lat_p50_us.to_string());
+        push("lat_p90_us", self.lat_p90_us.to_string());
+        push("lat_p99_us", self.lat_p99_us.to_string());
+        push("lat_p999_us", self.lat_p999_us.to_string());
+        push("lat_max_us", self.lat_max_us.to_string());
         push("conn_requests", self.conn_requests.to_string());
         push("conn_pixels", self.conn_pixels.to_string());
+        for (key, value) in &self.extra {
+            push(key, value.clone());
+        }
         out
     }
 
     /// Parses a snapshot back out of `key=value` lines.
     ///
-    /// Unknown keys are ignored (newer servers may add fields); a missing
-    /// `plan` key or an unparsable number is an error.
+    /// Unknown keys are preserved in [`StatsSnapshot::extra`] (newer servers
+    /// may add fields, and re-encoding must not drop them); a missing `plan`
+    /// key or an unparsable number is an error.
     pub fn from_text(text: &str) -> Result<Self, String> {
         let mut snapshot = StatsSnapshot::default();
         let mut saw_plan = false;
@@ -289,7 +372,20 @@ impl StatsSnapshot {
                     snapshot.conn_requests = value.parse().map_err(|_| bad("count"))?
                 }
                 "conn_pixels" => snapshot.conn_pixels = value.parse().map_err(|_| bad("count"))?,
-                _ => {}
+                "max_queue" => snapshot.max_queue = value.parse().map_err(|_| bad("count"))?,
+                "busy_rejections" => {
+                    snapshot.busy_rejections = value.parse().map_err(|_| bad("count"))?
+                }
+                "calibration" => snapshot.calibration = value.to_string(),
+                "lat_count" => snapshot.lat_count = value.parse().map_err(|_| bad("count"))?,
+                "lat_p50_us" => snapshot.lat_p50_us = value.parse().map_err(|_| bad("count"))?,
+                "lat_p90_us" => snapshot.lat_p90_us = value.parse().map_err(|_| bad("count"))?,
+                "lat_p99_us" => snapshot.lat_p99_us = value.parse().map_err(|_| bad("count"))?,
+                "lat_p999_us" => snapshot.lat_p999_us = value.parse().map_err(|_| bad("count"))?,
+                "lat_max_us" => snapshot.lat_max_us = value.parse().map_err(|_| bad("count"))?,
+                _ => {
+                    snapshot.extra.insert(key.to_string(), value.to_string());
+                }
             }
         }
         if !saw_plan {
@@ -328,8 +424,18 @@ mod tests {
             delta_tiles_hit: 44,
             delta_tiles_recomputed: 11,
             quant_fallback_pixels: 17,
+            max_queue: 8,
+            busy_rejections: 3,
+            calibration: "cores=4;probes=8;elapsed_ms=41;best_mpix_s=512.3;exhausted=0".to_string(),
+            lat_count: 100,
+            lat_p50_us: 900,
+            lat_p90_us: 1_500,
+            lat_p99_us: 4_000,
+            lat_p999_us: 9_000,
+            lat_max_us: 12_345,
             conn_requests: 31,
             conn_pixels: 480_000,
+            extra: BTreeMap::new(),
         }
     }
 
@@ -344,13 +450,53 @@ mod tests {
     }
 
     #[test]
-    fn unknown_keys_are_ignored_and_missing_plan_is_an_error() {
+    fn unknown_keys_are_preserved_and_missing_plan_is_an_error() {
         let mut text = sample().to_text();
         text.push_str("future_field=42\n");
-        assert_eq!(StatsSnapshot::from_text(&text).unwrap(), sample());
+        text.push_str("future_spec=a=b;c=d\n");
+        let parsed = StatsSnapshot::from_text(&text).unwrap();
+        assert_eq!(parsed.extra.get("future_field").unwrap(), "42");
+        assert_eq!(
+            parsed.extra.get("future_spec").unwrap(),
+            "a=b;c=d",
+            "first-'=' splitting preserves '=' inside unknown values too"
+        );
+        // The unknown keys survive a full decode → encode → decode cycle.
+        let reencoded = StatsSnapshot::from_text(&parsed.to_text()).unwrap();
+        assert_eq!(reencoded, parsed);
         assert!(StatsSnapshot::from_text("requests_total=1\n").is_err());
         assert!(StatsSnapshot::from_text("requests_total\n").is_err());
         assert!(StatsSnapshot::from_text("plan=x\nrequests_total=abc\n").is_err());
+    }
+
+    #[test]
+    fn latency_fields_convert_histogram_nanoseconds_to_microseconds() {
+        let mut snapshot = sample();
+        snapshot.set_latency(LatencySummary {
+            count: 7,
+            p50_ns: 1_500,
+            p90_ns: 2_000_000,
+            p99_ns: 3_000_000,
+            p999_ns: 3_000_000,
+            max_ns: 4_123_456,
+        });
+        assert_eq!(snapshot.lat_count, 7);
+        assert_eq!(snapshot.lat_p50_us, 1);
+        assert_eq!(snapshot.lat_p90_us, 2_000);
+        assert_eq!(snapshot.lat_max_us, 4_123);
+    }
+
+    #[test]
+    fn busy_and_latency_counters_accumulate() {
+        let stats = ServerStats::new();
+        stats.busy_rejection();
+        stats.busy_rejection();
+        stats.record_latency(Duration::from_micros(250));
+        stats.record_latency(Duration::from_micros(750));
+        assert_eq!(stats.busy_rejections(), 2);
+        let summary = stats.latency_summary();
+        assert_eq!(summary.count, 2);
+        assert!(summary.max_ns >= 750_000);
     }
 
     #[test]

@@ -21,7 +21,7 @@ use datasets::{PascalVocLikeConfig, PascalVocLikeDataset};
 use imaging::Segmenter;
 use iqft_pipeline::CacheConfig;
 use iqft_seg::IqftRgbSegmenter;
-use iqft_serve::{Client, Server, ServerConfig};
+use iqft_serve::{Client, SegmentOutcome, Server, ServerConfig};
 use seg_engine::{SegmentPlan, Tiling};
 
 fn main() {
@@ -34,12 +34,9 @@ fn main() {
     });
     let server = Server::bind(
         "127.0.0.1:0",
-        ServerConfig {
-            plan,
-            max_inflight: 2,
-            cache: CacheConfig::with_capacity_mb(64),
-            ..ServerConfig::default()
-        },
+        ServerConfig::new(plan)
+            .with_max_inflight(2)
+            .with_cache(CacheConfig::with_capacity_mb(64)),
     )
     .expect("bind loopback");
     println!(
@@ -95,9 +92,10 @@ fn main() {
     let replies = client
         .segment_pipelined(&burst, 4, true)
         .expect("pipelined burst");
-    assert!(replies
-        .iter()
-        .all(|(labels, cached)| labels == &local && *cached));
+    assert!(replies.iter().all(|reply| matches!(
+        reply,
+        SegmentOutcome::Done { labels, cached: true } if labels == &local
+    )));
     println!("pipelined burst of {} served from the cache", replies.len());
 
     // 7. Ask the server how it is doing.

@@ -196,3 +196,85 @@ fn segmentation_is_deterministic_across_backends() {
         assert_eq!(serial, rayon, "case {case}");
     });
 }
+
+/// A stats snapshot survives the wire round-trip (`to_text` → `from_text`)
+/// exactly, for arbitrary counter values — including unknown forward-compat
+/// keys, which must land in `extra` and re-encode without loss.
+#[test]
+fn stats_snapshot_round_trips_through_its_wire_text() {
+    use iqft_serve::StatsSnapshot;
+    check(109, |case, rng| {
+        let mut snapshot = StatsSnapshot {
+            plan: format!(
+                "classifier=table;tile={}x{};backend=threads:{}",
+                rng.gen_range(8usize..128),
+                rng.gen_range(8usize..128),
+                rng.gen_range(1usize..16),
+            ),
+            serve_mode: if rng.gen::<bool>() {
+                "threads"
+            } else {
+                "evented"
+            }
+            .to_string(),
+            // `to_text` renders floats with three decimals, so only
+            // millis-grained values round-trip bit-exactly.
+            uptime_secs: rng.gen_range(0u64..10_000_000) as f64 / 1000.0,
+            connections_total: rng.gen_range(0usize..1 << 20),
+            connections_open: rng.gen_range(0usize..1 << 10),
+            requests_total: rng.gen_range(0usize..1 << 30),
+            segment_requests: rng.gen_range(0usize..1 << 30),
+            pixels_total: rng.gen::<u64>() >> 16,
+            mpix_per_sec: rng.gen_range(0u64..100_000_000) as f64 / 1000.0,
+            protocol_errors: rng.gen_range(0usize..1 << 10),
+            arena_allocations: rng.gen_range(0usize..1 << 20),
+            arena_reuses: rng.gen_range(0usize..1 << 20),
+            arena_pooled: rng.gen_range(0usize..64),
+            max_inflight: rng.gen_range(1usize..64),
+            cache_hits: rng.gen_range(0usize..1 << 20),
+            cache_misses: rng.gen_range(0usize..1 << 20),
+            cache_evictions: rng.gen_range(0usize..1 << 20),
+            cache_entries: rng.gen_range(0usize..1 << 16),
+            cache_bytes: rng.gen_range(0usize..1 << 30),
+            cache_capacity_bytes: rng.gen_range(0usize..1 << 30),
+            delta_tiles_hit: rng.gen_range(0usize..1 << 20),
+            delta_tiles_recomputed: rng.gen_range(0usize..1 << 20),
+            quant_fallback_pixels: rng.gen::<u64>() >> 16,
+            max_queue: rng.gen_range(0usize..256),
+            busy_rejections: rng.gen_range(0usize..1 << 20),
+            calibration: if rng.gen::<bool>() {
+                // Calibration summaries themselves contain '=' — the parser
+                // must split on the first one only.
+                format!(
+                    "cores={};probes={}",
+                    rng.gen_range(1u32..64),
+                    rng.gen_range(1u32..32)
+                )
+            } else {
+                String::new()
+            },
+            lat_count: rng.gen::<u64>() >> 32,
+            lat_p50_us: rng.gen::<u64>() >> 40,
+            lat_p90_us: rng.gen::<u64>() >> 40,
+            lat_p99_us: rng.gen::<u64>() >> 40,
+            lat_p999_us: rng.gen::<u64>() >> 40,
+            lat_max_us: rng.gen::<u64>() >> 40,
+            conn_requests: rng.gen_range(0usize..1 << 20),
+            conn_pixels: rng.gen::<u64>() >> 16,
+            extra: std::collections::BTreeMap::new(),
+        };
+        // Unknown keys from a future server version.
+        for k in 0..rng.gen_range(0usize..4) {
+            snapshot.extra.insert(
+                format!("future_key_{k}"),
+                format!("value={}", rng.gen::<u32>()),
+            );
+        }
+        let text = snapshot.to_text();
+        let parsed = StatsSnapshot::from_text(&text)
+            .unwrap_or_else(|err| panic!("case {case}: round-trip parse failed: {err}\n{text}"));
+        assert_eq!(parsed, snapshot, "case {case}");
+        // Re-encoding the parsed snapshot is stable (extra keys included).
+        assert_eq!(parsed.to_text(), text, "case {case}");
+    });
+}

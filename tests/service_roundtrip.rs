@@ -14,7 +14,7 @@
 use imaging::{LabelMap, Rgb, RgbImage};
 use iqft_pipeline::CacheConfig;
 use iqft_seg::IqftClassifier;
-use iqft_serve::{protocol, Client, Message, ServeMode, Server, ServerConfig};
+use iqft_serve::{protocol, Client, Message, SegmentOutcome, ServeMode, Server, ServerConfig};
 use seg_engine::{ClassifierKind, SegmentEngine, SegmentPlan, Tiling};
 use std::io::{Read as _, Write as _};
 use std::net::{TcpListener, TcpStream};
@@ -22,6 +22,15 @@ use std::time::{Duration, Instant};
 
 /// Every test runs its server under both serving cores.
 const BOTH_MODES: [ServeMode; 2] = [ServeMode::Threads, ServeMode::Evented];
+
+/// Unwraps a pipelined [`SegmentOutcome`] in tests that run below the
+/// admission limit, where a Busy shed would be a bug.
+fn done(outcome: &SegmentOutcome) -> (&LabelMap, bool) {
+    match outcome {
+        SegmentOutcome::Done { labels, cached } => (labels, *cached),
+        SegmentOutcome::Busy => panic!("unexpected Busy reply below the admission limit"),
+    }
+}
 
 fn test_images(count: usize) -> Vec<RgbImage> {
     (0..count)
@@ -65,12 +74,7 @@ fn concurrent_clients_get_byte_identical_labels_for_every_classifier() {
                     .with_tiling(tiling);
                 let server = Server::bind(
                     "127.0.0.1:0",
-                    ServerConfig {
-                        plan,
-                        max_inflight: 2,
-                        mode,
-                        ..ServerConfig::default()
-                    },
+                    ServerConfig::new(plan).with_max_inflight(2).with_mode(mode),
                 )
                 .expect("ephemeral bind");
                 let addr = server.local_addr();
@@ -129,12 +133,10 @@ fn shutdown_drains_in_flight_requests_without_losing_replies() {
     for mode in BOTH_MODES {
         let server = Server::bind(
             "127.0.0.1:0",
-            ServerConfig {
-                plan: SegmentPlan::default(),
-                max_inflight: 1, // serialise execution to keep requests queued longer
-                mode,
-                ..ServerConfig::default()
-            },
+            // One worker serialises execution to keep requests queued longer.
+            ServerConfig::new(SegmentPlan::default())
+                .with_max_inflight(1)
+                .with_mode(mode),
         )
         .expect("ephemeral bind");
         let addr = server.local_addr();
@@ -185,10 +187,7 @@ fn v1_client_gets_a_typed_version_error_not_a_hang() {
     for mode in BOTH_MODES {
         let server = Server::bind(
             "127.0.0.1:0",
-            ServerConfig {
-                mode,
-                ..ServerConfig::default()
-            },
+            ServerConfig::new(SegmentPlan::default()).with_mode(mode),
         )
         .expect("bind");
         let addr = server.local_addr();
@@ -233,13 +232,10 @@ fn pipelined_requests_round_trip_byte_identically() {
     for mode in BOTH_MODES {
         let server = Server::bind(
             "127.0.0.1:0",
-            ServerConfig {
-                plan: SegmentPlan::default(),
-                max_inflight: 2,
-                cache: CacheConfig::with_capacity_mb(16),
-                mode,
-                ..ServerConfig::default()
-            },
+            ServerConfig::new(SegmentPlan::default())
+                .with_max_inflight(2)
+                .with_cache(CacheConfig::with_capacity_mb(16))
+                .with_mode(mode),
         )
         .expect("bind");
         let mut client = Client::connect(server.local_addr()).expect("connect");
@@ -251,19 +247,21 @@ fn pipelined_requests_round_trip_byte_identically() {
             .segment_pipelined(&refs, 4, true)
             .expect("pipelined segment");
         assert_eq!(replies.len(), 20);
-        for (k, (labels, _cached)) in replies.iter().enumerate() {
+        for (k, reply) in replies.iter().enumerate() {
+            let (labels, _cached) = done(reply);
             assert_eq!(labels, &reference[k % images.len()], "request {k} ({mode})");
         }
         // The second half repeats the first: the cache must have answered
         // them.
-        let hits = replies.iter().filter(|(_, cached)| *cached).count();
+        let hits = replies.iter().filter(|reply| done(reply).1).count();
         assert_eq!(hits, 10, "every repeated image is a cache hit ({mode})");
 
         // Plain (uncached) pipelining works over the same connection too.
         let replies = client
             .segment_pipelined(&refs[..6], 3, false)
             .expect("uncached pipelined segment");
-        for (k, (labels, cached)) in replies.iter().enumerate() {
+        for (k, reply) in replies.iter().enumerate() {
+            let (labels, cached) = done(reply);
             assert_eq!(labels, &reference[k % images.len()]);
             assert!(!cached, "plain Segment never reports a cache hit");
         }
@@ -289,13 +287,10 @@ fn deep_pipelined_burst_of_large_frames_does_not_deadlock() {
     for mode in BOTH_MODES {
         let server = Server::bind(
             "127.0.0.1:0",
-            ServerConfig {
-                plan: SegmentPlan::default(),
-                max_inflight: 2,
-                cache: CacheConfig::with_capacity_mb(64),
-                mode,
-                ..ServerConfig::default()
-            },
+            ServerConfig::new(SegmentPlan::default())
+                .with_max_inflight(2)
+                .with_cache(CacheConfig::with_capacity_mb(64))
+                .with_mode(mode),
         )
         .expect("bind");
         let mut client = Client::connect(server.local_addr()).expect("connect");
@@ -304,10 +299,10 @@ fn deep_pipelined_burst_of_large_frames_does_not_deadlock() {
             .segment_pipelined(&refs, protocol::MAX_PIPELINE_DEPTH, true)
             .expect("deep burst completes");
         assert_eq!(replies.len(), 16);
-        for (k, (labels, _)) in replies.iter().enumerate() {
-            assert_eq!(labels, &expected, "request {k} ({mode})");
+        for (k, reply) in replies.iter().enumerate() {
+            assert_eq!(done(reply).0, &expected, "request {k} ({mode})");
         }
-        let hits = replies.iter().filter(|(_, cached)| *cached).count();
+        let hits = replies.iter().filter(|reply| done(reply).1).count();
         assert_eq!(hits, 15, "all repeats served from the cache ({mode})");
         client.shutdown().expect("shutdown");
         server.join();
@@ -370,8 +365,12 @@ fn pipelined_replies_arriving_out_of_order_are_reordered_by_id() {
         .expect("pipelined against mock");
     mock.join().expect("mock thread");
     assert_eq!(replies.len(), 6);
-    for (k, (labels, _)) in replies.iter().enumerate() {
-        assert_eq!(labels, &reference[k], "reply {k} reordered incorrectly");
+    for (k, reply) in replies.iter().enumerate() {
+        assert_eq!(
+            done(reply).0,
+            &reference[k],
+            "reply {k} reordered incorrectly"
+        );
     }
 }
 
@@ -387,16 +386,13 @@ fn concurrent_cached_clients_get_hit_and_miss_replies_byte_identical_to_fresh() 
     for mode in BOTH_MODES {
         let server = Server::bind(
             "127.0.0.1:0",
-            ServerConfig {
-                plan: SegmentPlan::default(),
-                max_inflight: 3,
-                cache: CacheConfig {
+            ServerConfig::new(SegmentPlan::default())
+                .with_max_inflight(3)
+                .with_cache(CacheConfig {
                     capacity_bytes: entry_bytes * 6,
                     shards: 2,
-                },
-                mode,
-                ..ServerConfig::default()
-            },
+                })
+                .with_mode(mode),
         )
         .expect("bind");
         let addr = server.local_addr();
@@ -445,10 +441,7 @@ fn degenerate_and_malformed_requests_are_handled_cleanly() {
     for mode in BOTH_MODES {
         let server = Server::bind(
             "127.0.0.1:0",
-            ServerConfig {
-                mode,
-                ..ServerConfig::default()
-            },
+            ServerConfig::new(SegmentPlan::default()).with_mode(mode),
         )
         .expect("bind");
         let addr = server.local_addr();
@@ -523,13 +516,10 @@ fn video_delta_replies_are_byte_identical_across_tilings_classifiers_and_change_
                 let tiles_per_frame = (width.div_ceil(tile_w) * height.div_ceil(tile_h)) as u64;
                 let server = Server::bind(
                     "127.0.0.1:0",
-                    ServerConfig {
-                        plan,
-                        max_inflight: 2,
-                        cache: CacheConfig::with_capacity_mb(16),
-                        mode,
-                        ..ServerConfig::default()
-                    },
+                    ServerConfig::new(plan)
+                        .with_max_inflight(2)
+                        .with_cache(CacheConfig::with_capacity_mb(16))
+                        .with_mode(mode),
                 )
                 .expect("bind");
                 let mut client = Client::connect(server.local_addr()).expect("connect");
@@ -599,16 +589,13 @@ fn concurrent_video_clients_stay_byte_identical_under_forced_tile_eviction() {
         });
         let server = Server::bind(
             "127.0.0.1:0",
-            ServerConfig {
-                plan,
-                max_inflight: 3,
-                cache: CacheConfig {
+            ServerConfig::new(plan)
+                .with_max_inflight(3)
+                .with_cache(CacheConfig {
                     capacity_bytes: tile_entry_bytes * 8,
                     shards: 2,
-                },
-                mode,
-                ..ServerConfig::default()
-            },
+                })
+                .with_mode(mode),
         )
         .expect("bind");
         let addr = server.local_addr();
@@ -666,13 +653,10 @@ fn slow_loris_connection_is_deadlined_while_healthy_clients_keep_flowing() {
     for mode in BOTH_MODES {
         let server = Server::bind(
             "127.0.0.1:0",
-            ServerConfig {
-                plan: SegmentPlan::default(),
-                max_inflight: 2,
-                frame_deadline: Duration::from_millis(300),
-                mode,
-                ..ServerConfig::default()
-            },
+            ServerConfig::new(SegmentPlan::default())
+                .with_max_inflight(2)
+                .with_frame_deadline(Duration::from_millis(300))
+                .with_mode(mode),
         )
         .expect("bind");
         let addr = server.local_addr();
@@ -723,13 +707,10 @@ fn a_stalled_connection_does_not_delay_replies_on_healthy_connections() {
         let deadline = Duration::from_secs(10);
         let server = Server::bind(
             "127.0.0.1:0",
-            ServerConfig {
-                plan: SegmentPlan::default(),
-                max_inflight: 2,
-                frame_deadline: deadline,
-                mode,
-                ..ServerConfig::default()
-            },
+            ServerConfig::new(SegmentPlan::default())
+                .with_max_inflight(2)
+                .with_frame_deadline(deadline)
+                .with_mode(mode),
         )
         .expect("bind");
         let addr = server.local_addr();
@@ -758,8 +739,8 @@ fn a_stalled_connection_does_not_delay_replies_on_healthy_connections() {
             .segment_pipelined(&refs, 4, false)
             .expect("pipelined burst");
         let elapsed = started.elapsed();
-        for (idx, (labels, _)) in replies.iter().enumerate() {
-            assert_eq!(labels, &reference[idx], "image {idx} ({mode})");
+        for (idx, reply) in replies.iter().enumerate() {
+            assert_eq!(done(reply).0, &reference[idx], "image {idx} ({mode})");
         }
         assert!(
             elapsed < deadline,
@@ -768,6 +749,83 @@ fn a_stalled_connection_does_not_delay_replies_on_healthy_connections() {
 
         drop(stalled);
         client.shutdown().expect("shutdown");
+        server.join();
+    }
+}
+
+/// Admission control through the wire, in both modes: with one worker and a
+/// one-deep queue, a simultaneous fan-in of heavy frames must shed at least
+/// one with a typed Busy reply.  Every completed reply is still
+/// byte-identical, the shed count shows up in stats, and so do the service
+/// latency percentiles.
+#[test]
+fn saturated_admission_sheds_with_typed_busy_replies() {
+    let image = RgbImage::from_fn(600, 420, |x, y| {
+        Rgb::new((x / 3) as u8, (y / 2) as u8, ((x + y) / 5) as u8)
+    });
+    let expected = SegmentEngine::serial().segment_rgb(
+        &IqftClassifier::paper_default(ClassifierKind::Table),
+        &image,
+    );
+    for mode in BOTH_MODES {
+        let server = Server::bind(
+            "127.0.0.1:0",
+            ServerConfig::new(SegmentPlan::default())
+                .with_max_inflight(1)
+                .with_max_queue(1)
+                .with_mode(mode),
+        )
+        .expect("bind");
+        let addr = server.local_addr();
+
+        // Saturation is a race by nature; retry a few fan-in rounds so the
+        // test never depends on one round's scheduling.
+        let mut busy_total = 0usize;
+        for _round in 0..5 {
+            let mut streams: Vec<TcpStream> = Vec::new();
+            for id in 0..6u64 {
+                let mut stream = TcpStream::connect(addr).expect("connect");
+                let frame = protocol::encode_message(
+                    id,
+                    &Message::Segment {
+                        image: image.clone(),
+                    },
+                )
+                .expect("encode");
+                stream.write_all(&frame).expect("write frame");
+                stream.flush().expect("flush");
+                streams.push(stream);
+            }
+            for (id, mut stream) in streams.into_iter().enumerate() {
+                let (got, reply) = protocol::read_message(&mut stream).expect("reply");
+                assert_eq!(got, id as u64);
+                match reply {
+                    Message::SegmentReply { labels } => {
+                        assert_eq!(labels, expected, "admitted request {id} ({mode})")
+                    }
+                    Message::Busy => busy_total += 1,
+                    other => panic!("expected SegmentReply or Busy, got {other:?} ({mode})"),
+                }
+            }
+            if busy_total > 0 {
+                break;
+            }
+        }
+        assert!(
+            busy_total > 0,
+            "a 6-way fan-in against 1 worker + 1 queue slot never shed ({mode})"
+        );
+
+        let mut probe = Client::connect(addr).expect("probe");
+        let stats = probe.stats().expect("stats");
+        assert_eq!(stats.busy_rejections, busy_total, "{mode}: {stats:?}");
+        assert_eq!(stats.max_queue, 1, "{mode}: {stats:?}");
+        assert!(stats.lat_count > 0, "{mode}: {stats:?}");
+        assert!(
+            stats.lat_p50_us > 0 && stats.lat_p50_us <= stats.lat_max_us,
+            "heavy frames must show nonzero latency percentiles ({mode}): {stats:?}"
+        );
+        probe.shutdown().expect("shutdown");
         server.join();
     }
 }
