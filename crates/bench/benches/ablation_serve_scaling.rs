@@ -23,7 +23,7 @@
 use bench::synthetic_rgb;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use iqft_pipeline::CacheConfig;
-use iqft_serve::{Client, ServeMode, Server, ServerConfig};
+use iqft_serve::{Client, ClientConfig, ServeMode, Server, ServerConfig};
 use seg_engine::SegmentPlan;
 use std::time::Duration;
 
@@ -79,7 +79,9 @@ fn bench(c: &mut Criterion) {
         let before = rss_bytes();
         let mut conns: Vec<Client> = (0..n)
             .map(|i| {
-                let mut client = Client::connect_timeout(addr, Duration::from_secs(10))
+                let config = ClientConfig::new(addr.to_string())
+                    .with_connect_deadline(Duration::from_secs(10));
+                let mut client = Client::open(&config)
                     .unwrap_or_else(|e| panic!("dial connection {i}/{n}: {e}"));
                 client.ping().expect("settle ping");
                 client
@@ -88,7 +90,10 @@ fn bench(c: &mut Criterion) {
         // One request with a real payload proves the data path works at this
         // connection count (and faults in the pipeline's arenas exactly once
         // per sweep point, keeping them out of the per-connection delta).
-        let _ = conns[0].segment_cached(&image, false).expect("segment");
+        conns[0]
+            .segment_cached(&image, false)
+            .expect("segment")
+            .unwrap_done();
         let after = rss_bytes();
         let per_conn = after.saturating_sub(before) / n;
 

@@ -338,6 +338,25 @@ fn check_file_semantics(path: &Path, records: &[BTreeMap<String, Value>]) -> Res
             format!("bench id '{bench_id}' carries an unparsable plan spec: {err}")
         })?;
     }
+    if name == "BENCH_fleet.json" {
+        // The fleet's reason to exist: two daemons own twice the cache
+        // capacity, so a working set that thrashes one daemon's LRU budget
+        // is fully resident across two and serves from the hit path.  The
+        // recorded margin is several-fold (a thrashing daemon pays an
+        // exact-classifier pass per request); 1.5x leaves room for noise
+        // without ever accepting a fleet that fails to scale.
+        let single = rate_of(records, "fleet_1")
+            .ok_or("missing a 'fleet_1' record with a throughput pair")?;
+        let pair = rate_of(records, "fleet_2")
+            .ok_or("missing a 'fleet_2' record with a throughput pair")?;
+        rate_of(records, "fleet_4").ok_or("missing a 'fleet_4' record with a throughput pair")?;
+        if pair < 1.5 * single {
+            return Err(format!(
+                "2-daemon aggregate hit throughput ({pair:.0} elem/s) is below \
+                 1.5x the single daemon's ({single:.0} elem/s)"
+            ));
+        }
+    }
     if name == "BENCH_video.json" {
         // The per-tile delta path's reason to exist: on a streaming-video
         // workload where only part of each frame changes, stitching cached
@@ -525,6 +544,41 @@ mod tests {
             .unwrap_err()
             .contains("table_no_cache"));
         // Other baseline files carry no cache-specific requirements.
+        assert!(check_file_semantics(Path::new("BENCH_throughput.json"), &incomplete).is_ok());
+    }
+
+    #[test]
+    fn fleet_baseline_semantics_require_the_2_daemon_scaling_win() {
+        let record = |bench: &str, rate: f64| {
+            parse_flat_object(&format!(
+                r#"{{"group":"ablation_fleet","bench":"{bench}","mean_ns":1000.0,"min_ns":900.0,"iters":10,"throughput_elems":24,"elems_per_sec":{rate}}}"#
+            ))
+            .unwrap()
+        };
+        let path = Path::new("BENCH_fleet.json");
+        let good = vec![
+            record("daemons/fleet_1", 700.0),
+            record("daemons/fleet_2", 13000.0),
+            record("daemons/fleet_4", 12000.0),
+        ];
+        assert!(check_file_semantics(path, &good).is_ok());
+        // 1.4x is under the 1.5x bar.
+        let flat = vec![
+            record("daemons/fleet_1", 1000.0),
+            record("daemons/fleet_2", 1400.0),
+            record("daemons/fleet_4", 1400.0),
+        ];
+        assert!(check_file_semantics(path, &flat)
+            .unwrap_err()
+            .contains("below"));
+        let incomplete = vec![
+            record("daemons/fleet_1", 700.0),
+            record("daemons/fleet_2", 13000.0),
+        ];
+        assert!(check_file_semantics(path, &incomplete)
+            .unwrap_err()
+            .contains("fleet_4"));
+        // Other baseline files carry no fleet-specific requirements.
         assert!(check_file_semantics(Path::new("BENCH_throughput.json"), &incomplete).is_ok());
     }
 

@@ -34,6 +34,7 @@
 //!   serve   [--addr A] [--classifier C] [--tile T] [--plan SPEC|auto]
 //!           [--workers W] [--max-queue Q]
 //!           [--serve-mode threads|evented] [--cache-mb M] [--addr-file PATH]
+//!           [--cache-persist PATH]
 //!                              boot the iqft-serve TCP daemon and block
 //!                              until a client sends Shutdown; --addr-file
 //!                              records the bound (possibly ephemeral) port;
@@ -44,11 +45,14 @@
 //!                              typed Busy reply instead of queueing;
 //!                              --serve-mode picks the serving core (default
 //!                              evented: a nonblocking reactor loop that
-//!                              holds 1000+ pipelined connections)
+//!                              holds 1000+ pipelined connections);
+//!                              --cache-persist warm-loads the result cache
+//!                              from a snapshot on boot and writes it back
+//!                              on a drain-then-stop shutdown
 //!   loadgen [--addr A] [--clients C] [--images N] [--size S] [--seed S]
 //!           [--plan SPEC|auto] [--repeat-ratio R] [--pipeline K]
 //!           [--expect-cache-hits] [--video] [--change-rate R]
-//!           [--no-verify] [--shutdown]
+//!           [--fleet A,A,...] [--kill-one] [--no-verify] [--shutdown]
 //!                              drive concurrent clients against a running
 //!                              daemon (byte-identity verified by default;
 //!                              --plan picks the local reference pass's
@@ -59,7 +63,12 @@
 //!                              client's own synthetic video through the
 //!                              per-tile delta op; typed Busy rejections
 //!                              from an admission-bounded server are
-//!                              counted, not fatal)
+//!                              counted, not fatal; --fleet routes by
+//!                              content hash over a consistent-hash ring of
+//!                              daemons, failing over when one dies;
+//!                              --kill-one boots a three-daemon in-process
+//!                              fleet and kills one mid-run to prove
+//!                              graceful degradation)
 //!   ping    [--addr A] [--retries N]
 //!                              readiness probe with bounded retries
 //!   all     [--out DIR]        everything above with reduced sizes
@@ -110,6 +119,9 @@ struct Args {
     video: bool,
     change_rate: f64,
     addr_file: Option<PathBuf>,
+    cache_persist: Option<PathBuf>,
+    fleet: Vec<String>,
+    kill_one: bool,
     retries: usize,
 }
 
@@ -143,6 +155,9 @@ fn parse_args() -> Args {
         video: false,
         change_rate: 0.1,
         addr_file: None,
+        cache_persist: None,
+        fleet: Vec::new(),
+        kill_one: false,
         retries: 40,
     };
     let mut iter = std::env::args().skip(1);
@@ -179,6 +194,16 @@ fn parse_args() -> Args {
             "--video" => args.video = true,
             "--change-rate" => args.change_rate = value().parse().unwrap_or(args.change_rate),
             "--addr-file" => args.addr_file = Some(PathBuf::from(value())),
+            "--cache-persist" => args.cache_persist = Some(PathBuf::from(value())),
+            "--fleet" => {
+                args.fleet = value()
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|a| !a.is_empty())
+                    .map(str::to_string)
+                    .collect()
+            }
+            "--kill-one" => args.kill_one = true,
             "--retries" => args.retries = value().parse().unwrap_or(args.retries),
             other => eprintln!("ignoring unknown flag {other}"),
         }
@@ -234,6 +259,7 @@ fn main() {
                 serve_mode: args.serve_mode.clone(),
                 cache_mb: args.cache_mb,
                 addr_file: args.addr_file.clone(),
+                cache_persist: args.cache_persist.clone(),
             };
             match service::serve_command(&config) {
                 Ok(summary) => summary,
@@ -258,6 +284,8 @@ fn main() {
                 expect_cache_hits: args.expect_cache_hits,
                 video: args.video,
                 change_rate: args.change_rate,
+                fleet: args.fleet.clone(),
+                kill_one: args.kill_one,
                 ..LoadgenConfig::default()
             };
             match service::loadgen_report(&config) {
@@ -326,6 +354,9 @@ fn main() {
                 video: args.video,
                 change_rate: args.change_rate,
                 addr_file: args.addr_file.clone(),
+                cache_persist: args.cache_persist.clone(),
+                fleet: args.fleet.clone(),
+                kill_one: args.kill_one,
                 retries: args.retries,
             };
             all.push_str(&run_table3(&quick, &engine));
@@ -452,7 +483,7 @@ fn main() {
             // one place the workspace enumerates it — so this usage line can
             // never drift from what `--classifier` actually accepts.
             eprintln!(
-                "usage: iqft-experiments <table1|table2|table3|fig1-3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|throughput|serve|loadgen|ping|all> [--out DIR] [--samples N] [--voc N] [--xview N] [--size S] [--seed S] [--backend serial|threads|rayon] [--threads N] [--images N] [--batch B] [--classifier {}] [--tile WxH] [--plan SPEC|auto] [--cache-mb M] [--no-verify] [--addr A] [--addr-file PATH] [--clients C] [--workers W] [--max-queue Q] [--serve-mode threads|evented] [--repeat-ratio R] [--pipeline K] [--expect-cache-hits] [--video] [--change-rate R] [--retries N] [--shutdown]",
+                "usage: iqft-experiments <table1|table2|table3|fig1-3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|throughput|serve|loadgen|ping|all> [--out DIR] [--samples N] [--voc N] [--xview N] [--size S] [--seed S] [--backend serial|threads|rayon] [--threads N] [--images N] [--batch B] [--classifier {}] [--tile WxH] [--plan SPEC|auto] [--cache-mb M] [--no-verify] [--addr A] [--addr-file PATH] [--clients C] [--workers W] [--max-queue Q] [--serve-mode threads|evented] [--repeat-ratio R] [--pipeline K] [--expect-cache-hits] [--video] [--change-rate R] [--fleet A,A,...] [--kill-one] [--cache-persist PATH] [--retries N] [--shutdown]",
                 seg_engine::ClassifierKind::FLAG_HELP
             );
             return;

@@ -15,7 +15,9 @@ use crate::throughput::{throughput_images, ThroughputConfig};
 use imaging::{LabelMap, Segmenter};
 use iqft_pipeline::CacheConfig;
 use iqft_seg::IqftRgbSegmenter;
-use iqft_serve::{protocol, Client, SegmentOutcome, ServeError, ServeMode, Server, ServerConfig};
+use iqft_serve::{
+    protocol, Client, ClientConfig, FleetClient, SegmentOutcome, ServeMode, Server, ServerConfig,
+};
 use seg_engine::{ClassifierKind, SegmentEngine, SegmentPlan, Tiling};
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -57,6 +59,10 @@ pub struct ServeCliConfig {
     /// is listening (`--addr-file`) — with `--addr 127.0.0.1:0` this is how
     /// a supervising script learns the ephemeral port.
     pub addr_file: Option<PathBuf>,
+    /// Result-cache persistence path (`--cache-persist`): warm-load a
+    /// snapshot from here on boot (salt mismatch ⟹ clean cold start) and
+    /// write the resident entries back on a drain-then-stop shutdown.
+    pub cache_persist: Option<PathBuf>,
 }
 
 impl Default for ServeCliConfig {
@@ -73,6 +79,7 @@ impl Default for ServeCliConfig {
             serve_mode: ServeMode::default().as_str().to_string(),
             cache_mb: 0,
             addr_file: None,
+            cache_persist: None,
         }
     }
 }
@@ -100,16 +107,17 @@ pub fn serve_command(config: &ServeCliConfig) -> Result<String, String> {
     // 1024 soft default; raise it best-effort before binding.
     #[cfg(unix)]
     iqft_serve::poll::raise_nofile_limit(8192);
-    let server = Server::bind(
-        config.addr.as_str(),
-        ServerConfig::new(plan)
-            .with_max_inflight(config.workers)
-            .with_max_queue(config.max_queue)
-            .with_cache(CacheConfig::with_capacity_mb(config.cache_mb))
-            .with_mode(mode)
-            .with_calibration(resolved.calibration_summary()),
-    )
-    .map_err(|e| format!("failed to bind {}: {e}", config.addr))?;
+    let mut server_config = ServerConfig::new(plan)
+        .with_max_inflight(config.workers)
+        .with_max_queue(config.max_queue)
+        .with_cache(CacheConfig::with_capacity_mb(config.cache_mb))
+        .with_mode(mode)
+        .with_calibration(resolved.calibration_summary());
+    if let Some(path) = &config.cache_persist {
+        server_config = server_config.with_cache_persist(path);
+    }
+    let server = Server::bind(config.addr.as_str(), server_config)
+        .map_err(|e| format!("failed to bind {}: {e}", config.addr))?;
     if let Some(path) = &config.addr_file {
         // Written only after the bind succeeded, so a supervising script can
         // treat the file's existence as "the port is known and listening".
@@ -133,6 +141,13 @@ pub fn serve_command(config: &ServeCliConfig) -> Result<String, String> {
             "off".to_string()
         },
     );
+    if config.cache_persist.is_some() {
+        let (entries, bytes) = server.cache_warm_loaded();
+        println!(
+            "iqft-serve cache persistence on: warm-loaded {entries} entries ({:.1} MiB)",
+            bytes as f64 / (1 << 20) as f64
+        );
+    }
     let (total, pixels) = server.join_with_counters();
     Ok(format!(
         "iqft-serve drained and stopped after {total} requests ({:.3} Mpx segmented)",
@@ -147,7 +162,7 @@ pub fn ping_command(addr: &str, retries: usize, interval_ms: u64) -> Result<Stri
     let attempts = retries.max(1);
     let mut last = String::from("never attempted");
     for attempt in 1..=attempts {
-        match Client::connect(addr) {
+        match Client::open(&ClientConfig::new(addr)) {
             Ok(mut client) => match client.ping() {
                 Ok(()) => {
                     return Ok(format!("pong from {addr} (attempt {attempt}/{attempts})"));
@@ -210,6 +225,15 @@ pub struct LoadgenConfig {
     /// Fraction of each frame's blocks mutated per frame in `--video` mode
     /// (`--change-rate`, 0.0–1.0).
     pub change_rate: f64,
+    /// Fleet endpoints (`--fleet addr,addr,...`): when nonempty, traffic is
+    /// routed by content hash over the consistent-hash ring through a
+    /// [`FleetClient`] instead of dialing `--addr` directly.
+    pub fleet: Vec<String>,
+    /// Chaos mode (`--kill-one`): boot an in-process fleet of three cached
+    /// daemons, kill one mid-run, and require byte-identity plus at least
+    /// one recorded failover — proving a dead daemon degrades to misses,
+    /// never to errors.
+    pub kill_one: bool,
     /// How long the initial connection keeps retrying (milliseconds), so
     /// loadgen can be launched concurrently with a booting server.  No CLI
     /// flag; tests shrink it.
@@ -232,6 +256,8 @@ impl Default for LoadgenConfig {
             expect_cache_hits: false,
             video: false,
             change_rate: 0.1,
+            fleet: Vec::new(),
+            kill_one: false,
             connect_deadline_ms: 15_000,
         }
     }
@@ -244,15 +270,24 @@ const CONNECT_RETRY: Duration = Duration::from_millis(250);
 /// would otherwise sit in the OS default connect timeout for minutes.
 const CLIENT_CONNECT_TIMEOUT: Duration = Duration::from_secs(10);
 
+/// The client configuration every loadgen worker dials with: a bounded
+/// connect deadline (a thousand-way fan-out can momentarily overflow the
+/// accept backlog) and the run's pipeline depth.
+fn worker_config(addr: &str, pipeline_depth: usize) -> ClientConfig {
+    ClientConfig::new(addr)
+        .with_connect_deadline(CLIENT_CONNECT_TIMEOUT)
+        .with_pipeline_depth(pipeline_depth)
+}
+
 /// Dials one loadgen worker connection under a bounded timeout, retrying a
 /// few times so transient backlog overflow does not fail the whole run.
-fn connect_worker(addr: &str, client_idx: usize) -> Result<Client, String> {
+fn connect_worker(addr: &str, client_idx: usize, pipeline_depth: usize) -> Result<Client, String> {
     let mut last = String::new();
     for attempt in 0..3 {
         if attempt > 0 {
             std::thread::sleep(CONNECT_RETRY);
         }
-        match Client::connect_timeout(addr, CLIENT_CONNECT_TIMEOUT) {
+        match Client::open(&worker_config(addr, pipeline_depth)) {
             Ok(client) => return Ok(client),
             Err(e) => last = e.to_string(),
         }
@@ -266,7 +301,7 @@ fn connect_worker(addr: &str, client_idx: usize) -> Result<Client, String> {
 fn connect_with_retry(addr: &str, deadline_ms: u64) -> Result<Client, String> {
     let deadline = Instant::now() + Duration::from_millis(deadline_ms);
     loop {
-        match Client::connect(addr) {
+        match Client::open(&ClientConfig::new(addr)) {
             Ok(client) => return Ok(client),
             Err(e) if Instant::now() < deadline => {
                 let _ = e;
@@ -344,6 +379,9 @@ fn request_sequence(n: usize, repeat_ratio: f64, seed: u64) -> Vec<usize> {
 /// byte-identical to the local serial reference, so a supervising script
 /// fails loudly.
 pub fn loadgen_report(config: &LoadgenConfig) -> Result<String, String> {
+    if config.kill_one || !config.fleet.is_empty() {
+        return loadgen_fleet_report(config);
+    }
     if config.video {
         return loadgen_video_report(config);
     }
@@ -394,7 +432,7 @@ pub fn loadgen_report(config: &LoadgenConfig) -> Result<String, String> {
                 let addr = config.addr.as_str();
                 let verify = config.verify;
                 scope.spawn(move || -> Result<ClientOutcome, String> {
-                    let mut client = connect_worker(addr, client_idx)?;
+                    let mut client = connect_worker(addr, client_idx, depth)?;
                     // This client's share of the request sequence, pipelined
                     // over one connection with up to `depth` in flight.
                     let mine: Vec<usize> = (0..sequence.len())
@@ -403,7 +441,7 @@ pub fn loadgen_report(config: &LoadgenConfig) -> Result<String, String> {
                     let refs: Vec<&imaging::RgbImage> =
                         mine.iter().map(|&idx| &images[sequence[idx]]).collect();
                     let started = Instant::now();
-                    let replies = client.segment_pipelined(&refs, depth, true).map_err(|e| {
+                    let replies = client.segment_pipelined(&refs, true).map_err(|e| {
                         format!("client {client_idx}: pipelined segment failed: {e}")
                     })?;
                     let mut outcome = ClientOutcome {
@@ -412,7 +450,8 @@ pub fn loadgen_report(config: &LoadgenConfig) -> Result<String, String> {
                     };
                     for (&idx, reply) in mine.iter().zip(&replies) {
                         match reply {
-                            SegmentOutcome::Done { labels, cached } => {
+                            SegmentOutcome::Done { labels, cached }
+                            | SegmentOutcome::Failover { labels, cached, .. } => {
                                 outcome.requests += 1;
                                 outcome.pixels += labels.len() as u64;
                                 outcome.cache_hits += usize::from(*cached);
@@ -591,6 +630,20 @@ fn finish_report(
     } else {
         let _ = writeln!(out, "  server cache: off");
     }
+    // Forward-compatible keys travel in `extra`; read them through the
+    // typed accessor instead of re-parsing the snapshot text.
+    if let Some(entries) = stats.extra_u64("cache_warm_loaded_entries") {
+        let _ = writeln!(
+            out,
+            "  server cache persistence: warm-loaded {} entries ({:.1} MiB){}",
+            entries,
+            stats.extra_u64("cache_warm_loaded_bytes").unwrap_or(0) as f64 / (1 << 20) as f64,
+            match stats.extra.get("cache_warm_error") {
+                Some(why) => format!("; last load error: {why}"),
+                None => String::new(),
+            },
+        );
+    }
     let delta_total = stats.delta_tiles_hit + stats.delta_tiles_recomputed;
     if delta_total > 0 {
         let _ = writeln!(
@@ -637,6 +690,254 @@ fn finish_report(
     Ok(())
 }
 
+/// The `--fleet` / `--kill-one` traffic shape: route the whole request
+/// sequence by content hash over a [`FleetClient`] (per-endpoint pipelined
+/// bursts), optionally killing one daemon halfway through.
+///
+/// With `--kill-one` the fleet is self-contained: three cached in-process
+/// daemons boot on ephemeral loopback ports, the run streams its first half
+/// against all three, then the daemon owning the next image is stopped
+/// hard, and the second half must still verify byte-identically — the dead
+/// daemon's keys come back as counted failover *misses*, never errors.
+/// Without it, `--fleet addr,addr,...` drives externally-booted daemons.
+fn loadgen_fleet_report(config: &LoadgenConfig) -> Result<String, String> {
+    if config.video {
+        return Err("--fleet/--kill-one and --video are mutually exclusive".to_string());
+    }
+    if config.kill_one && !config.fleet.is_empty() {
+        return Err(
+            "--kill-one boots its own in-process fleet; it cannot be combined with --fleet"
+                .to_string(),
+        );
+    }
+    // Chaos mode boots its own three-daemon fleet, caches on, so the run is
+    // self-contained and the kill is a real (hard) stop.
+    let mut booted: Vec<Option<Server>> = Vec::new();
+    let addrs: Vec<String> = if config.kill_one {
+        for _ in 0..3 {
+            let server = Server::bind(
+                "127.0.0.1:0",
+                ServerConfig::new(SegmentPlan::default())
+                    .with_cache(CacheConfig::with_capacity_mb(64)),
+            )
+            .map_err(|e| format!("failed to boot chaos fleet daemon: {e}"))?;
+            booted.push(Some(server));
+        }
+        booted
+            .iter()
+            .map(|s| s.as_ref().unwrap().local_addr().to_string())
+            .collect()
+    } else {
+        config.fleet.clone()
+    };
+    if addrs.is_empty() {
+        return Err("--fleet needs at least one addr".to_string());
+    }
+
+    // Preflight the external daemons.  A dead endpoint is not fatal — its
+    // keys fail over to the next ring owner and get counted — but a fleet
+    // with *no* live endpoint is a configuration error worth failing fast.
+    if !config.kill_one {
+        let mut live = 0usize;
+        for addr in &addrs {
+            match connect_with_retry(addr, config.connect_deadline_ms) {
+                Ok(mut probe) => {
+                    probe
+                        .ping()
+                        .map_err(|e| format!("ping {addr} failed: {e}"))?;
+                    live += 1;
+                }
+                Err(_) => eprintln!(
+                    "loadgen: fleet endpoint {addr} is unreachable; its keys will fail over"
+                ),
+            }
+        }
+        if live == 0 {
+            return Err(format!(
+                "no fleet endpoint answered a ping (tried {})",
+                addrs.join(", ")
+            ));
+        }
+    }
+
+    let depth = config.pipeline_depth.clamp(1, protocol::MAX_PIPELINE_DEPTH);
+    let images = throughput_images(&ThroughputConfig {
+        images: config.images,
+        image_size: config.image_size,
+        seed: config.seed,
+        ..ThroughputConfig::default()
+    });
+    let sequence = request_sequence(config.images, config.repeat_ratio, config.seed);
+    let resolved = resolve_local_plan(config)?;
+    let reference: Vec<LabelMap> = if config.verify {
+        let engine = resolved
+            .as_ref()
+            .map(|r| r.plan.engine())
+            .unwrap_or_else(SegmentEngine::serial);
+        let local = IqftRgbSegmenter::paper_default().with_engine(engine);
+        images.iter().map(|img| local.segment_rgb(img)).collect()
+    } else {
+        Vec::new()
+    };
+
+    let fleet_config = ClientConfig::fleet(addrs.iter().cloned())
+        .with_connect_deadline(CLIENT_CONNECT_TIMEOUT)
+        .with_pipeline_depth(depth);
+    let mut fleet = FleetClient::open(&fleet_config).map_err(|e| e.to_string())?;
+
+    // Two halves so --kill-one has a "mid-run" to kill at; without the
+    // chaos flag the split is invisible (same connections, same ring).
+    let split = if config.kill_one {
+        (sequence.len() / 2).max(1)
+    } else {
+        sequence.len()
+    };
+    let started = Instant::now();
+    let mut outcome = ClientOutcome::default();
+    let mut failovers = 0usize;
+    let mut victim: Option<usize> = None;
+    for (half, range) in [(0usize, 0..split), (1, split..sequence.len())] {
+        if range.is_empty() {
+            continue;
+        }
+        if half == 1 && config.kill_one {
+            // Kill the daemon that owns the next image, so the second half
+            // is guaranteed to exercise failover.
+            let owner = fleet
+                .ring()
+                .owner(iqft_pipeline::route_hash(&images[sequence[range.start]]));
+            if let Some(server) = booted[owner].take() {
+                server.shutdown_now();
+                server.join();
+            }
+            victim = Some(owner);
+        }
+        let slice: Vec<usize> = sequence[range].to_vec();
+        let refs: Vec<&imaging::RgbImage> = slice.iter().map(|&img| &images[img]).collect();
+        let replies = fleet
+            .segment_pipelined(&refs, true)
+            .map_err(|e| format!("fleet pipelined segment failed: {e}"))?;
+        for (&img, reply) in slice.iter().zip(&replies) {
+            failovers += usize::from(reply.tried() > 0);
+            match reply.labels() {
+                Some(labels) => {
+                    outcome.requests += 1;
+                    outcome.pixels += labels.len() as u64;
+                    outcome.cache_hits += usize::from(reply.cached());
+                    if config.verify && labels != &reference[img] {
+                        outcome.mismatches += 1;
+                    }
+                }
+                None => outcome.busy += 1,
+            }
+        }
+    }
+    let wall_secs = started.elapsed().as_secs_f64();
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Loadgen (fleet): {} requests ({}x{}) by content hash over {} daemons \
+         (pipeline depth {}{})",
+        config.images,
+        config.image_size,
+        config.image_size * 3 / 4,
+        addrs.len(),
+        depth,
+        if config.kill_one {
+            "; chaos: kill one mid-run"
+        } else {
+            ""
+        },
+    );
+    if let Some(resolved) = &resolved {
+        let _ = writeln!(out, "  local reference plan: [{}]", resolved.plan);
+    }
+    for (idx, (addr, stats)) in addrs.iter().zip(fleet.stats()).enumerate() {
+        let _ = writeln!(
+            out,
+            "  endpoint {idx} ({addr}): {:>4} requests  {:>4} hits  {:>3} busy  \
+             {:>3} errors  {:>3} failovers{}",
+            stats.requests,
+            stats.hits,
+            stats.busy,
+            stats.errors,
+            stats.failovers,
+            if victim == Some(idx) {
+                "  [killed mid-run]"
+            } else {
+                ""
+            },
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  total: {} requests ({} cache hits, {} busy, {} failed over), {:.3} Mpx in \
+         {:.2} ms -> {:.2} Mpx/s over the wire",
+        outcome.requests,
+        outcome.cache_hits,
+        outcome.busy,
+        failovers,
+        outcome.pixels as f64 / 1e6,
+        wall_secs * 1e3,
+        outcome.pixels as f64 / 1e6 / wall_secs.max(1e-9),
+    );
+    if config.verify {
+        if outcome.mismatches > 0 {
+            return Err(format!(
+                "verify: FAILED — {} of {} replies differ from the local serial reference",
+                outcome.mismatches, outcome.requests
+            ));
+        }
+        let _ = writeln!(
+            out,
+            "  verify: all {} replies (hits, misses, and failovers alike) byte-identical \
+             to the local serial reference",
+            outcome.requests
+        );
+    }
+    if config.kill_one {
+        if failovers == 0 {
+            return Err(
+                "chaos: killed a daemon mid-run but recorded no failovers — the kill was \
+                 not exercised"
+                    .to_string(),
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  chaos: killed endpoint {} mid-run; {} requests degraded to graceful \
+             failover misses, zero errors",
+            victim.expect("kill-one picked a victim"),
+            failovers,
+        );
+    }
+    if config.expect_cache_hits && outcome.cache_hits == 0 {
+        return Err(format!(
+            "expected cache hits, but no fleet endpoint served one ({} requests)",
+            outcome.requests
+        ));
+    }
+    if config.shutdown {
+        let acknowledged = fleet.shutdown_all();
+        let _ = writeln!(
+            out,
+            "  shutdown: acknowledged by {acknowledged} of {} daemons",
+            addrs.len()
+        );
+    }
+    for server in booted.into_iter().flatten() {
+        // Self-booted chaos daemons must come down with the run: without
+        // `--shutdown` no drain was sent, and joining a still-listening
+        // server would block forever.
+        if !config.shutdown {
+            server.shutdown_now();
+        }
+        server.join();
+    }
+    Ok(out)
+}
+
 /// The `--video` traffic shape: each client plays its own deterministic
 /// synthetic video stream ([`datasets::synthetic_video`]) through the
 /// per-tile delta op in lockstep, so consecutive frames share most of their
@@ -675,29 +976,25 @@ fn loadgen_video_report(config: &LoadgenConfig) -> Result<String, String> {
                     });
                     let serial =
                         IqftRgbSegmenter::paper_default().with_engine(SegmentEngine::serial());
-                    let mut client = connect_worker(addr, client_idx)?;
+                    let mut client = connect_worker(addr, client_idx, 1)?;
                     let started = Instant::now();
                     let mut outcome = ClientOutcome::default();
                     for frame in &frames {
-                        let (labels, hit, recomputed) = match client.segment_delta(frame) {
-                            Ok(reply) => reply,
+                        let (reply, hit, recomputed) =
+                            client.segment_delta(frame).map_err(|e| {
+                                format!("client {client_idx}: delta segment failed: {e}")
+                            })?;
+                        let Some(labels) = reply.labels() else {
                             // Overload shedding: the frame was refused, not
                             // mis-served; keep streaming the rest.
-                            Err(ServeError::Busy) => {
-                                outcome.busy += 1;
-                                continue;
-                            }
-                            Err(e) => {
-                                return Err(format!(
-                                    "client {client_idx}: delta segment failed: {e}"
-                                ))
-                            }
+                            outcome.busy += 1;
+                            continue;
                         };
                         outcome.requests += 1;
                         outcome.pixels += labels.len() as u64;
                         outcome.tiles_hit += u64::from(hit);
                         outcome.tiles_recomputed += u64::from(recomputed);
-                        if verify && labels != serial.segment_rgb(frame) {
+                        if verify && *labels != serial.segment_rgb(frame) {
                             outcome.mismatches += 1;
                         }
                     }
@@ -1001,5 +1298,142 @@ mod tests {
             ..ServeCliConfig::default()
         };
         assert!(serve_command(&config).unwrap_err().contains("bind"));
+    }
+
+    #[test]
+    fn fleet_loadgen_routes_over_external_daemons_and_reports_per_endpoint() {
+        let a = boot_with_cache(SegmentPlan::default(), 64);
+        let b = boot_with_cache(SegmentPlan::default(), 64);
+        let mut config = small_loadgen(String::new());
+        config.fleet = vec![a.local_addr().to_string(), b.local_addr().to_string()];
+        config.images = 16;
+        config.repeat_ratio = 0.6;
+        config.pipeline_depth = 4;
+        config.expect_cache_hits = true;
+        let report = loadgen_report(&config).unwrap();
+        assert!(report.contains("Loadgen (fleet)"), "{report}");
+        assert!(report.contains("over 2 daemons"), "{report}");
+        assert!(report.contains("endpoint 0"), "{report}");
+        assert!(report.contains("endpoint 1"), "{report}");
+        assert!(
+            report.contains("byte-identical to the local serial reference"),
+            "{report}"
+        );
+        assert!(
+            report.contains("shutdown: acknowledged by 2 of 2"),
+            "{report}"
+        );
+        a.join();
+        b.join();
+    }
+
+    #[test]
+    fn fleet_loadgen_degrades_when_an_endpoint_is_already_dead() {
+        let live = boot_with_cache(SegmentPlan::default(), 64);
+        // An address nothing listens on: bind an ephemeral port, then drop
+        // the listener before the run.
+        let dead = std::net::TcpListener::bind("127.0.0.1:0")
+            .unwrap()
+            .local_addr()
+            .unwrap()
+            .to_string();
+        let mut config = small_loadgen(String::new());
+        config.fleet = vec![live.local_addr().to_string(), dead];
+        config.connect_deadline_ms = 300;
+        config.images = 12;
+        let report = loadgen_report(&config).unwrap();
+        assert!(report.contains("byte-identical"), "{report}");
+        assert!(
+            report.contains("shutdown: acknowledged by 1 of 2"),
+            "{report}"
+        );
+        live.join();
+    }
+
+    #[test]
+    fn kill_one_chaos_run_degrades_to_failovers_and_still_verifies() {
+        let mut config = small_loadgen(String::new());
+        config.kill_one = true;
+        config.images = 12;
+        config.pipeline_depth = 4;
+        let report = loadgen_report(&config).unwrap();
+        assert!(report.contains("chaos: kill one mid-run"), "{report}");
+        assert!(report.contains("[killed mid-run]"), "{report}");
+        assert!(report.contains("chaos: killed endpoint"), "{report}");
+        assert!(
+            report.contains("byte-identical to the local serial reference"),
+            "{report}"
+        );
+        // Exactly one of the three booted daemons was killed; the other two
+        // acknowledge the shutdown.
+        assert!(report.contains("acknowledged by 2 of 3"), "{report}");
+    }
+
+    #[test]
+    fn kill_one_chaos_fleet_tears_down_without_explicit_shutdown() {
+        // Regression: the self-booted chaos fleet must hard-stop its
+        // surviving daemons when no --shutdown drain was requested —
+        // otherwise the final join blocks forever.
+        let mut config = small_loadgen(String::new());
+        config.kill_one = true;
+        config.shutdown = false;
+        config.images = 12;
+        config.pipeline_depth = 4;
+        let report = loadgen_report(&config).unwrap();
+        assert!(report.contains("chaos: killed endpoint"), "{report}");
+        assert!(!report.contains("shutdown: acknowledged"), "{report}");
+    }
+
+    #[test]
+    fn fleet_flags_reject_incompatible_combinations() {
+        let mut config = small_loadgen(String::new());
+        config.kill_one = true;
+        config.video = true;
+        let err = loadgen_report(&config).unwrap_err();
+        assert!(err.contains("mutually exclusive"), "{err}");
+
+        let mut config = small_loadgen(String::new());
+        config.kill_one = true;
+        config.fleet = vec!["127.0.0.1:1".to_string()];
+        let err = loadgen_report(&config).unwrap_err();
+        assert!(err.contains("cannot be combined"), "{err}");
+    }
+
+    #[test]
+    fn loadgen_reports_a_warm_loaded_cache_after_a_persisted_restart() {
+        let dir = std::env::temp_dir().join("iqft-experiments-persist-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("loadgen-{}.snap", std::process::id()));
+        std::fs::remove_file(&path).ok();
+        let boot = || {
+            Server::bind(
+                "127.0.0.1:0",
+                ServerConfig::new(SegmentPlan::default())
+                    .with_cache(CacheConfig::with_capacity_mb(64))
+                    .with_cache_persist(&path),
+            )
+            .expect("ephemeral bind")
+        };
+
+        // First life: populate, then `--shutdown` drains, which saves.
+        let server = boot();
+        let report = loadgen_report(&small_loadgen(server.local_addr().to_string())).unwrap();
+        assert!(report.contains("byte-identical"), "{report}");
+        server.join();
+
+        // Second life: the report must surface the warm load through the
+        // typed `extra_u64` accessor, and repeats hit without re-populating.
+        let server = boot();
+        let mut config = small_loadgen(server.local_addr().to_string());
+        config.repeat_ratio = 0.0; // only warm entries can hit
+        config.expect_cache_hits = true;
+        let report = loadgen_report(&config).unwrap();
+        assert!(
+            report.contains("server cache persistence: warm-loaded 9 entries"),
+            "{report}"
+        );
+        assert!(report.contains("byte-identical"), "{report}");
+        server.join();
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -69,7 +69,7 @@ pub mod queue;
 pub mod stats;
 
 pub use arena::LabelArena;
-pub use cache::{CacheConfig, CacheStats, SegmentCache};
+pub use cache::{route_hash, CacheConfig, CacheStats, SegmentCache, SnapshotError, SnapshotStats};
 pub use hist::{LatencyHistogram, LatencySummary};
 pub use queue::JobQueue;
 pub use stats::{BatchStats, PipelineReport};

@@ -6,6 +6,13 @@
 //! [`ServeError::Server`].  One client is one connection — for concurrent
 //! load, open one client per thread (that is exactly what the
 //! `iqft-experiments loadgen` subcommand does).
+//!
+//! Construction mirrors the server side: a [`ClientConfig`] builder names
+//! the endpoint(s), the pipeline depth, the connect/reply deadlines, and the
+//! retry-on-[`Busy`](SegmentOutcome::Busy) policy, and [`Client::open`]
+//! dials it.  Saturation is not an error — every segmentation call returns
+//! a [`SegmentOutcome`], the one vocabulary shared by the lockstep calls,
+//! the pipelined burst, and the fleet layer ([`crate::fleet`]).
 
 use crate::protocol::{self, Message, ProtocolError};
 use crate::stats::StatsSnapshot;
@@ -20,17 +27,144 @@ use std::time::Duration;
 /// [`Client::segment_pipelined`]'s deadlock-safety note).
 const PIPELINE_WRITE_POLL: Duration = Duration::from_millis(100);
 
+/// How a [`Client`] is built: endpoint address(es), pipeline depth,
+/// deadlines, and the retry-on-`Busy` policy.  Mirrors the server-side
+/// `ServerConfig` builder; every knob chains:
+///
+/// ```no_run
+/// use iqft_serve::{Client, ClientConfig};
+/// use std::time::Duration;
+///
+/// let config = ClientConfig::new("127.0.0.1:7700")
+///     .with_pipeline_depth(16)
+///     .with_connect_deadline(Duration::from_millis(250))
+///     .with_busy_retries(3, Duration::from_millis(1));
+/// let client = Client::open(&config).unwrap();
+/// ```
+///
+/// A config with several addresses describes a fleet; [`Client::open`]
+/// dials the first address that answers, while
+/// [`FleetClient::open`](crate::fleet::FleetClient::open) keeps one
+/// connection per address and routes between them by content hash.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientConfig {
+    /// Daemon endpoint(s), in `host:port` form.  One for a single-daemon
+    /// client; the full fleet for [`crate::fleet::FleetClient`].
+    pub addrs: Vec<String>,
+    /// Default in-flight depth for [`Client::segment_pipelined`], clamped
+    /// to `1..=`[`protocol::MAX_PIPELINE_DEPTH`] at use.
+    pub pipeline_depth: usize,
+    /// Per-address connect timeout; `None` leaves the OS default (which can
+    /// be minutes when an accept backlog overflows).
+    pub connect_deadline: Option<Duration>,
+    /// Read timeout applied to every reply; `None` waits indefinitely.
+    pub reply_deadline: Option<Duration>,
+    /// How many times a lockstep call re-sends a request the server refused
+    /// with `Busy` before surfacing [`SegmentOutcome::Busy`].  `0` (the
+    /// default) surfaces the first refusal.
+    pub busy_retries: u32,
+    /// First retry backoff; doubles per attempt, capped at
+    /// [`ClientConfig::busy_backoff_cap`].
+    pub busy_backoff: Duration,
+    /// Upper bound on the exponential backoff between `Busy` retries.
+    pub busy_backoff_cap: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            addrs: Vec::new(),
+            pipeline_depth: 8,
+            connect_deadline: None,
+            reply_deadline: None,
+            busy_retries: 0,
+            busy_backoff: Duration::from_millis(1),
+            busy_backoff_cap: Duration::from_millis(64),
+        }
+    }
+}
+
+impl ClientConfig {
+    /// A config for one endpoint with every knob at its default.
+    pub fn new(addr: impl Into<String>) -> ClientConfig {
+        ClientConfig {
+            addrs: vec![addr.into()],
+            ..ClientConfig::default()
+        }
+    }
+
+    /// A config for a whole fleet of endpoints.
+    pub fn fleet<I, S>(addrs: I) -> ClientConfig
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        ClientConfig {
+            addrs: addrs.into_iter().map(Into::into).collect(),
+            ..ClientConfig::default()
+        }
+    }
+
+    /// Appends another endpoint (fleet construction one address at a time).
+    pub fn with_addr(mut self, addr: impl Into<String>) -> Self {
+        self.addrs.push(addr.into());
+        self
+    }
+
+    /// Sets the default pipelined in-flight depth.
+    pub fn with_pipeline_depth(mut self, depth: usize) -> Self {
+        self.pipeline_depth = depth;
+        self
+    }
+
+    /// Sets the per-address connect timeout.
+    pub fn with_connect_deadline(mut self, deadline: Duration) -> Self {
+        self.connect_deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the per-reply read timeout.
+    pub fn with_reply_deadline(mut self, deadline: Duration) -> Self {
+        self.reply_deadline = Some(deadline);
+        self
+    }
+
+    /// Enables retry-on-`Busy`: up to `retries` re-sends, backing off
+    /// exponentially from `backoff` (capped at
+    /// [`ClientConfig::busy_backoff_cap`]).
+    pub fn with_busy_retries(mut self, retries: u32, backoff: Duration) -> Self {
+        self.busy_retries = retries;
+        self.busy_backoff = backoff;
+        self
+    }
+
+    /// Caps the exponential backoff between `Busy` retries.
+    pub fn with_busy_backoff_cap(mut self, cap: Duration) -> Self {
+        self.busy_backoff_cap = cap;
+        self
+    }
+
+    /// The backoff before retry number `attempt` (1-based): exponential
+    /// doubling from [`ClientConfig::busy_backoff`], saturating at the cap.
+    pub fn backoff_for(&self, attempt: u32) -> Duration {
+        let doubled = self
+            .busy_backoff
+            .saturating_mul(1u32 << attempt.saturating_sub(1).min(16));
+        doubled.min(self.busy_backoff_cap)
+    }
+}
+
 /// Everything a client call can fail with.
+///
+/// Admission refusal is *not* here: a saturated server is an outcome
+/// ([`SegmentOutcome::Busy`]), not an error, so both the lockstep and the
+/// pipelined paths report it the same way.
 #[derive(Debug)]
 pub enum ServeError {
     /// The wire protocol failed (framing, limits, transport I/O).
     Protocol(ProtocolError),
     /// The server answered with an [`Message::Error`] frame.
     Server(String),
-    /// The server refused admission ([`Message::Busy`]): its worker pool and
-    /// wait queue are saturated.  The request was not executed and may be
-    /// retried; the connection remains usable.
-    Busy,
     /// The server answered with a well-formed frame of the wrong kind.
     Unexpected {
         /// What the call was waiting for.
@@ -57,7 +191,6 @@ impl std::fmt::Display for ServeError {
         match self {
             ServeError::Protocol(err) => write!(f, "protocol error: {err}"),
             ServeError::Server(message) => write!(f, "server error: {message}"),
-            ServeError::Busy => write!(f, "server busy: admission refused, retry later"),
             ServeError::Unexpected { expected, got } => {
                 write!(f, "expected a {expected} reply, got {got}")
             }
@@ -89,13 +222,14 @@ impl From<io::Error> for ServeError {
     }
 }
 
-/// What became of one request in a pipelined burst.
+/// What became of one segmentation request — the single outcome vocabulary
+/// shared by the lockstep calls, the pipelined burst, and the fleet layer.
 ///
-/// Unlike the lockstep calls — where admission refusal surfaces as
-/// [`ServeError::Busy`] and aborts the call — a pipelined burst keeps
-/// going when the server sheds one request, so each slot reports its own
-/// fate.  A [`SegmentOutcome::Busy`] slot was never executed and may be
-/// retried on the same connection.
+/// Saturation and failover are states to handle, not errors to unwrap:
+/// a [`SegmentOutcome::Busy`] slot was never executed and may be retried
+/// on the same connection, and a [`SegmentOutcome::Failover`] reply is a
+/// correct answer that simply came from a non-primary daemon (so it was
+/// almost certainly a cache miss there).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SegmentOutcome {
     /// The frame was segmented; `cached` says whether the server answered
@@ -109,6 +243,65 @@ pub enum SegmentOutcome {
     /// The server refused admission for this request (pool and queue
     /// saturated); it was not executed.
     Busy,
+    /// A fleet request whose ring owner was unreachable (connect failure or
+    /// drain) and that a fallback owner answered instead.  Only
+    /// [`crate::fleet::FleetClient`] produces this variant.
+    Failover {
+        /// The computed label map, byte-identical to the serial reference.
+        labels: LabelMap,
+        /// Whether the fallback server answered from its result cache.
+        cached: bool,
+        /// How many unreachable endpoints were skipped before this reply.
+        tried: u32,
+    },
+}
+
+impl SegmentOutcome {
+    /// The labels, unless the request was shed (`Busy`).
+    pub fn labels(&self) -> Option<&LabelMap> {
+        match self {
+            SegmentOutcome::Done { labels, .. } | SegmentOutcome::Failover { labels, .. } => {
+                Some(labels)
+            }
+            SegmentOutcome::Busy => None,
+        }
+    }
+
+    /// Whether the reply came from a server-side result cache.
+    pub fn cached(&self) -> bool {
+        match self {
+            SegmentOutcome::Done { cached, .. } | SegmentOutcome::Failover { cached, .. } => {
+                *cached
+            }
+            SegmentOutcome::Busy => false,
+        }
+    }
+
+    /// Whether the server shed this request.
+    pub fn is_busy(&self) -> bool {
+        matches!(self, SegmentOutcome::Busy)
+    }
+
+    /// How many unreachable endpoints the fleet skipped for this request
+    /// (`0` unless the outcome is [`SegmentOutcome::Failover`]).
+    pub fn tried(&self) -> u32 {
+        match self {
+            SegmentOutcome::Failover { tried, .. } => *tried,
+            _ => 0,
+        }
+    }
+
+    /// Unwraps into `(labels, cached)`; panics on [`SegmentOutcome::Busy`].
+    /// A failover reply unwraps like a done one — the labels are just as
+    /// correct, only their origin differs.
+    #[track_caller]
+    pub fn unwrap_done(self) -> (LabelMap, bool) {
+        match self {
+            SegmentOutcome::Done { labels, cached }
+            | SegmentOutcome::Failover { labels, cached, .. } => (labels, cached),
+            SegmentOutcome::Busy => panic!("request was shed by the server (Busy)"),
+        }
+    }
 }
 
 /// A synchronous connection to an `iqft-serve` daemon.
@@ -116,37 +309,92 @@ pub enum SegmentOutcome {
 pub struct Client {
     stream: TcpStream,
     next_id: u64,
+    config: ClientConfig,
 }
 
 impl Client {
-    /// Connects to a running server.
-    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
-        let _ = stream.set_nodelay(true);
-        Ok(Client { stream, next_id: 1 })
+    /// Dials the configured endpoint(s) and returns a connected client.
+    ///
+    /// Each address in [`ClientConfig::addrs`] is tried in order (and every
+    /// socket address each resolves to), under
+    /// [`ClientConfig::connect_deadline`] when one is set; the first that
+    /// answers wins.  The config's deadlines and retry policy stay attached
+    /// to the client for the lifetime of the connection.
+    pub fn open(config: &ClientConfig) -> io::Result<Client> {
+        let mut last_err = None;
+        for addr in &config.addrs {
+            match Client::dial(addr, config) {
+                Ok(client) => return Ok(client),
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "client config names no address",
+            )
+        }))
     }
 
-    /// Connects with a per-address connect timeout.
-    ///
-    /// Under a large fan-out (the load generator dialing a thousand
-    /// connections) a plain [`Client::connect`] can sit in the OS default
-    /// connect timeout for minutes when a listener's accept backlog
-    /// overflows; this variant fails fast instead.  Every resolved address
-    /// is tried in order, each under its own `timeout`.
-    pub fn connect_timeout<A: ToSocketAddrs>(addr: A, timeout: Duration) -> io::Result<Client> {
+    /// Dials one `host:port` endpoint under `config`'s deadlines.
+    pub(crate) fn dial(addr: &str, config: &ClientConfig) -> io::Result<Client> {
         let mut last_err = None;
-        for addr in addr.to_socket_addrs()? {
-            match TcpStream::connect_timeout(&addr, timeout) {
-                Ok(stream) => {
-                    let _ = stream.set_nodelay(true);
-                    return Ok(Client { stream, next_id: 1 });
-                }
+        for resolved in addr.to_socket_addrs()? {
+            let connected = match config.connect_deadline {
+                Some(deadline) => TcpStream::connect_timeout(&resolved, deadline),
+                None => TcpStream::connect(resolved),
+            };
+            match connected {
+                Ok(stream) => return Client::from_stream(stream, config.clone()),
                 Err(e) => last_err = Some(e),
             }
         }
         Err(last_err.unwrap_or_else(|| {
             io::Error::new(io::ErrorKind::InvalidInput, "address resolved to nothing")
         }))
+    }
+
+    fn from_stream(stream: TcpStream, config: ClientConfig) -> io::Result<Client> {
+        let _ = stream.set_nodelay(true);
+        stream.set_read_timeout(config.reply_deadline)?;
+        Ok(Client {
+            stream,
+            next_id: 1,
+            config,
+        })
+    }
+
+    /// Connects to a running server.
+    #[deprecated(
+        since = "0.6.0",
+        note = "build a `ClientConfig` and call `Client::open` instead"
+    )]
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        Client::from_stream(stream, ClientConfig::default())
+    }
+
+    /// Connects with a per-address connect timeout.
+    #[deprecated(
+        since = "0.6.0",
+        note = "use `ClientConfig::with_connect_deadline` and `Client::open` instead"
+    )]
+    pub fn connect_timeout<A: ToSocketAddrs>(addr: A, timeout: Duration) -> io::Result<Client> {
+        let mut last_err = None;
+        for addr in addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&addr, timeout) {
+                Ok(stream) => return Client::from_stream(stream, ClientConfig::default()),
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "address resolved to nothing")
+        }))
+    }
+
+    /// The config this client was opened with.
+    pub fn config(&self) -> &ClientConfig {
+        &self.config
     }
 
     fn next_id(&mut self) -> u64 {
@@ -161,12 +409,39 @@ impl Client {
             return Err(ServeError::Server(message));
         }
         if let Message::Busy = reply {
-            return Err(ServeError::Busy);
+            // Busy frames echo the refused id; tolerate servers that zero it.
+            return Ok(Message::Busy);
         }
         if got != sent {
             return Err(ServeError::IdMismatch { sent, got });
         }
         Ok(reply)
+    }
+
+    /// Sends `encode(id)` and reads its reply, re-sending under the
+    /// config's bounded exponential backoff while the server answers
+    /// `Busy`.  Returns `Message::Busy` once the retry budget is spent.
+    fn request_with_retry(
+        &mut self,
+        mut encode: impl FnMut(u64) -> Result<Vec<u8>, ProtocolError>,
+    ) -> Result<Message, ServeError> {
+        let mut attempt = 0u32;
+        loop {
+            let sent = self.next_id();
+            let frame = encode(sent)?;
+            {
+                use std::io::Write as _;
+                self.stream.write_all(&frame)?;
+                self.stream.flush()?;
+            }
+            match self.read_reply(sent)? {
+                Message::Busy if attempt < self.config.busy_retries => {
+                    attempt += 1;
+                    std::thread::sleep(self.config.backoff_for(attempt));
+                }
+                reply => return Ok(reply),
+            }
+        }
     }
 
     fn round_trip(&mut self, request: &Message) -> Result<Message, ServeError> {
@@ -186,21 +461,16 @@ impl Client {
         }
     }
 
-    /// Segments `image` on the server and returns the label map.
+    /// Segments `image` on the server.
     ///
     /// The reply's dimensions are checked against the request's, so a
     /// confused server cannot hand back a mis-shaped map silently.  The
     /// frame is encoded straight from the borrowed image
     /// ([`protocol::encode_segment`]); the hot path never clones the pixels.
-    pub fn segment(&mut self, image: &RgbImage) -> Result<LabelMap, ServeError> {
-        let sent = self.next_id();
-        let frame = protocol::encode_segment(sent, image)?;
-        {
-            use std::io::Write as _;
-            self.stream.write_all(&frame)?;
-            self.stream.flush()?;
-        }
-        match self.read_reply(sent)? {
+    /// A saturated server yields [`SegmentOutcome::Busy`] once the config's
+    /// retry budget is spent.
+    pub fn segment(&mut self, image: &RgbImage) -> Result<SegmentOutcome, ServeError> {
+        match self.request_with_retry(|id| protocol::encode_segment(id, image))? {
             Message::SegmentReply { labels } => {
                 if labels.dimensions() != image.dimensions() {
                     return Err(ServeError::Unexpected {
@@ -208,8 +478,12 @@ impl Client {
                         got: "SegmentReply with different dimensions",
                     });
                 }
-                Ok(labels)
+                Ok(SegmentOutcome::Done {
+                    labels,
+                    cached: false,
+                })
             }
+            Message::Busy => Ok(SegmentOutcome::Busy),
             other => Err(ServeError::Unexpected {
                 expected: "SegmentReply",
                 got: other.name(),
@@ -218,23 +492,16 @@ impl Client {
     }
 
     /// Segments `image` through the server's content-addressed result cache
-    /// (protocol v2's `SegmentCached` op).  Returns the labels plus whether
-    /// the server answered from its cache; with `bypass` the server skips
-    /// the cache entirely (neither lookup nor store).  Hit or miss, the
-    /// labels are byte-identical to [`Client::segment`].
+    /// (protocol v2's `SegmentCached` op).  The outcome's `cached` flag says
+    /// whether the server answered from its cache; with `bypass` the server
+    /// skips the cache entirely (neither lookup nor store).  Hit or miss,
+    /// the labels are byte-identical to [`Client::segment`].
     pub fn segment_cached(
         &mut self,
         image: &RgbImage,
         bypass: bool,
-    ) -> Result<(LabelMap, bool), ServeError> {
-        let sent = self.next_id();
-        let frame = protocol::encode_segment_cached(sent, image, bypass)?;
-        {
-            use std::io::Write as _;
-            self.stream.write_all(&frame)?;
-            self.stream.flush()?;
-        }
-        match self.read_reply(sent)? {
+    ) -> Result<SegmentOutcome, ServeError> {
+        match self.request_with_retry(|id| protocol::encode_segment_cached(id, image, bypass))? {
             Message::SegmentCachedReply { labels, cached } => {
                 if labels.dimensions() != image.dimensions() {
                     return Err(ServeError::Unexpected {
@@ -242,8 +509,9 @@ impl Client {
                         got: "SegmentCachedReply with different dimensions",
                     });
                 }
-                Ok((labels, cached))
+                Ok(SegmentOutcome::Done { labels, cached })
             }
+            Message::Busy => Ok(SegmentOutcome::Busy),
             other => Err(ServeError::Unexpected {
                 expected: "SegmentCachedReply",
                 got: other.name(),
@@ -252,21 +520,18 @@ impl Client {
     }
 
     /// Segments `image` through the server's per-tile delta cache (protocol
-    /// v2's `SegmentDelta` op).  Returns the labels plus
+    /// v2's `SegmentDelta` op).  Returns the outcome plus
     /// `(tiles_hit, tiles_recomputed)` — how many of the frame's tiles the
-    /// server stitched from cached label tiles versus re-classified.  The
-    /// stitched result is byte-identical to [`Client::segment`]; only the
-    /// cost differs, scaling with how much of the frame changed since the
-    /// tiles were last seen.
-    pub fn segment_delta(&mut self, image: &RgbImage) -> Result<(LabelMap, u32, u32), ServeError> {
-        let sent = self.next_id();
-        let frame = protocol::encode_segment_delta(sent, image)?;
-        {
-            use std::io::Write as _;
-            self.stream.write_all(&frame)?;
-            self.stream.flush()?;
-        }
-        match self.read_reply(sent)? {
+    /// server stitched from cached label tiles versus re-classified (both
+    /// zero when the request was shed).  The stitched result is
+    /// byte-identical to [`Client::segment`]; only the cost differs,
+    /// scaling with how much of the frame changed since the tiles were
+    /// last seen.
+    pub fn segment_delta(
+        &mut self,
+        image: &RgbImage,
+    ) -> Result<(SegmentOutcome, u32, u32), ServeError> {
+        match self.request_with_retry(|id| protocol::encode_segment_delta(id, image))? {
             Message::SegmentDeltaReply {
                 labels,
                 tiles_hit,
@@ -278,8 +543,16 @@ impl Client {
                         got: "SegmentDeltaReply with different dimensions",
                     });
                 }
-                Ok((labels, tiles_hit, tiles_recomputed))
+                Ok((
+                    SegmentOutcome::Done {
+                        labels,
+                        cached: tiles_recomputed == 0,
+                    },
+                    tiles_hit,
+                    tiles_recomputed,
+                ))
             }
+            Message::Busy => Ok((SegmentOutcome::Busy, 0, 0)),
             other => Err(ServeError::Unexpected {
                 expected: "SegmentDeltaReply",
                 got: other.name(),
@@ -287,12 +560,13 @@ impl Client {
         }
     }
 
-    /// Segments a whole slice of images with up to `depth` requests in
-    /// flight on this one connection (protocol v2 pipelining) — the client
-    /// no longer pays one network round-trip per image.
+    /// Segments a whole slice of images with up to
+    /// [`ClientConfig::pipeline_depth`] requests in flight on this one
+    /// connection (protocol v2 pipelining) — the client no longer pays one
+    /// network round-trip per image.
     ///
-    /// `depth` is clamped to `1..=`[`protocol::MAX_PIPELINE_DEPTH`].  With
-    /// `use_cache` the requests go through the server's result cache
+    /// The depth is clamped to `1..=`[`protocol::MAX_PIPELINE_DEPTH`].
+    /// With `use_cache` the requests go through the server's result cache
     /// (`SegmentCached`); otherwise plain `Segment` frames are sent.
     ///
     /// Replies may arrive in any completion order; they are matched back to
@@ -313,10 +587,12 @@ impl Client {
     pub fn segment_pipelined(
         &mut self,
         images: &[&RgbImage],
-        depth: usize,
         use_cache: bool,
     ) -> Result<Vec<SegmentOutcome>, ServeError> {
-        let depth = depth.clamp(1, protocol::MAX_PIPELINE_DEPTH);
+        let depth = self
+            .config
+            .pipeline_depth
+            .clamp(1, protocol::MAX_PIPELINE_DEPTH);
         let mut results: Vec<Option<SegmentOutcome>> = (0..images.len()).map(|_| None).collect();
         let mut pending: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
         let mut next = 0usize;
@@ -479,12 +755,90 @@ mod tests {
         assert!(ServeError::BadStats("no plan".into())
             .to_string()
             .contains("no plan"));
-        assert!(ServeError::Busy.to_string().contains("busy"));
     }
 
     #[test]
     fn connect_to_unbound_port_fails_cleanly() {
         // Port 1 on loopback is essentially never listening.
-        assert!(Client::connect("127.0.0.1:1").is_err());
+        assert!(Client::open(&ClientConfig::new("127.0.0.1:1")).is_err());
+    }
+
+    #[test]
+    fn deprecated_connect_shim_still_dials() {
+        #[allow(deprecated)]
+        let err = Client::connect("127.0.0.1:1");
+        assert!(err.is_err(), "shim still performs a real dial");
+        #[allow(deprecated)]
+        let err = Client::connect_timeout("127.0.0.1:1", Duration::from_millis(50));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn open_with_no_address_is_an_invalid_input_error() {
+        let err = Client::open(&ClientConfig::default()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn config_builder_chains_every_knob() {
+        let config = ClientConfig::new("a:1")
+            .with_addr("b:2")
+            .with_pipeline_depth(16)
+            .with_connect_deadline(Duration::from_millis(250))
+            .with_reply_deadline(Duration::from_secs(2))
+            .with_busy_retries(3, Duration::from_millis(2))
+            .with_busy_backoff_cap(Duration::from_millis(20));
+        assert_eq!(config.addrs, vec!["a:1".to_string(), "b:2".to_string()]);
+        assert_eq!(config.pipeline_depth, 16);
+        assert_eq!(config.connect_deadline, Some(Duration::from_millis(250)));
+        assert_eq!(config.reply_deadline, Some(Duration::from_secs(2)));
+        assert_eq!(config.busy_retries, 3);
+        assert_eq!(config.busy_backoff, Duration::from_millis(2));
+        assert_eq!(config.busy_backoff_cap, Duration::from_millis(20));
+        assert_eq!(
+            ClientConfig::fleet(["a:1", "b:2"]).addrs,
+            vec!["a:1".to_string(), "b:2".to_string()]
+        );
+    }
+
+    #[test]
+    fn busy_backoff_doubles_and_saturates_at_the_cap() {
+        let config = ClientConfig::new("a:1")
+            .with_busy_retries(10, Duration::from_millis(1))
+            .with_busy_backoff_cap(Duration::from_millis(6));
+        assert_eq!(config.backoff_for(1), Duration::from_millis(1));
+        assert_eq!(config.backoff_for(2), Duration::from_millis(2));
+        assert_eq!(config.backoff_for(3), Duration::from_millis(4));
+        assert_eq!(config.backoff_for(4), Duration::from_millis(6), "capped");
+        assert_eq!(config.backoff_for(40), Duration::from_millis(6));
+    }
+
+    #[test]
+    fn outcome_accessors_expose_one_uniform_vocabulary() {
+        let labels = LabelMap::new(2, 1, 0u32);
+        let done = SegmentOutcome::Done {
+            labels: labels.clone(),
+            cached: true,
+        };
+        assert!(done.cached());
+        assert!(!done.is_busy());
+        assert_eq!(done.tried(), 0);
+        assert_eq!(done.labels(), Some(&labels));
+        let failover = SegmentOutcome::Failover {
+            labels: labels.clone(),
+            cached: false,
+            tried: 2,
+        };
+        assert_eq!(failover.tried(), 2);
+        assert_eq!(failover.clone().unwrap_done(), (labels, false));
+        assert!(SegmentOutcome::Busy.is_busy());
+        assert_eq!(SegmentOutcome::Busy.labels(), None);
+        assert!(!SegmentOutcome::Busy.cached());
+    }
+
+    #[test]
+    #[should_panic(expected = "Busy")]
+    fn unwrap_done_panics_on_busy() {
+        SegmentOutcome::Busy.unwrap_done();
     }
 }

@@ -28,10 +28,18 @@
 //!   with a memcpy, per-connection and aggregate [`ServerStats`], per-frame
 //!   read deadlines ([`ServerConfig::frame_deadline`]) and graceful
 //!   drain-then-stop shutdown (in-flight requests are answered).
-//! * [`Client`] — the synchronous request/response side: `ping`, `segment`,
-//!   `segment_cached`, `segment_pipelined` (up to
-//!   [`protocol::MAX_PIPELINE_DEPTH`] requests in flight, replies reordered
-//!   by id), `stats`, `shutdown`.
+//! * [`Client`] — the synchronous request/response side, built from a
+//!   [`ClientConfig`] (endpoints, pipeline depth, deadlines, retry-on-`Busy`
+//!   backoff): `ping`, `segment`, `segment_cached`, `segment_pipelined` (up
+//!   to [`protocol::MAX_PIPELINE_DEPTH`] requests in flight, replies
+//!   reordered by id), `stats`, `shutdown`.  Every segmentation call
+//!   reports one [`SegmentOutcome`] vocabulary: `Done | Busy | Failover`.
+//! * [`fleet`] — the multi-daemon layer: a [`FleetClient`] routes requests
+//!   by content hash over a deterministic consistent-hash ring
+//!   ([`HashRing`], virtual nodes) so each daemon's cache owns a stable
+//!   slice of the key space, failing over to the next ring owner (with
+//!   typed per-endpoint accounting, [`EndpointStats`]) when a daemon dies
+//!   or drains.
 //!
 //! The `iqft-experiments` binary exposes both ends as subcommands:
 //! `serve --addr … --classifier … --tile … --backend … --workers …
@@ -44,15 +52,16 @@
 //!
 //! ```
 //! use imaging::{Rgb, RgbImage, Segmenter};
-//! use iqft_serve::{Client, Server, ServerConfig};
+//! use iqft_serve::{Client, ClientConfig, Server, ServerConfig};
 //!
 //! // Boot a server on an ephemeral loopback port.
 //! let server = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
 //!
 //! // Segment over the wire; the result is byte-identical to a local pass.
 //! let img = RgbImage::from_fn(24, 16, |x, y| Rgb::new((x * 10) as u8, (y * 12) as u8, 80));
-//! let mut client = Client::connect(server.local_addr()).unwrap();
-//! let remote = client.segment(&img).unwrap();
+//! let config = ClientConfig::new(server.local_addr().to_string());
+//! let mut client = Client::open(&config).unwrap();
+//! let (remote, _) = client.segment(&img).unwrap().unwrap_done();
 //! let local = iqft_seg::IqftRgbSegmenter::paper_default().segment_rgb(&img);
 //! assert_eq!(remote, local);
 //!
@@ -64,13 +73,15 @@
 pub mod client;
 #[cfg(unix)]
 mod evented;
+pub mod fleet;
 #[cfg(unix)]
 pub mod poll;
 pub mod protocol;
 pub mod server;
 pub mod stats;
 
-pub use client::{Client, SegmentOutcome, ServeError};
+pub use client::{Client, ClientConfig, SegmentOutcome, ServeError};
+pub use fleet::{EndpointStats, FleetClient, HashRing};
 pub use iqft_pipeline::CacheConfig;
 pub use protocol::{Frame, FrameDecoder, FrameEncoder, Message, Op, ProtocolError};
 pub use server::{ServeMode, Server, ServerConfig};

@@ -33,11 +33,12 @@
 
 use crate::protocol::{self, Header, Message, ProtocolError, HEADER_LEN};
 use crate::stats::{ServerStats, StatsSnapshot};
-use iqft_pipeline::{CacheConfig, PipelineConfig, SegmentPipeline};
+use iqft_pipeline::{CacheConfig, PipelineConfig, SegmentPipeline, SnapshotError, SnapshotStats};
 use iqft_seg::IqftClassifier;
 use seg_engine::SegmentPlan;
 use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -144,6 +145,12 @@ pub struct ServerConfig {
     /// Startup-calibration summary to surface through Stats (empty when the
     /// plan was chosen explicitly rather than by `--plan auto`).
     pub calibration: String,
+    /// Where to persist the result cache across restarts (default: `None`,
+    /// no persistence).  On boot a snapshot at this path is warm-loaded —
+    /// unless its salt (plan spec) or checksum disagrees, which is a clean
+    /// cold start — and on a drain-then-stop shutdown the resident entries
+    /// are written back.  Requires [`ServerConfig::cache`] to be enabled.
+    pub cache_persist: Option<PathBuf>,
 }
 
 impl ServerConfig {
@@ -191,6 +198,13 @@ impl ServerConfig {
         self.calibration = calibration;
         self
     }
+
+    /// Persists the result cache to `path`: warm-load on boot, save on a
+    /// drain-then-stop shutdown.
+    pub fn with_cache_persist(mut self, path: impl Into<PathBuf>) -> Self {
+        self.cache_persist = Some(path.into());
+        self
+    }
 }
 
 impl Default for ServerConfig {
@@ -203,6 +217,7 @@ impl Default for ServerConfig {
             frame_deadline: FRAME_READ_DEADLINE,
             max_queue: 0,
             calibration: String::new(),
+            cache_persist: None,
         }
     }
 }
@@ -285,6 +300,14 @@ pub(crate) struct Shared {
     pub(crate) queued_jobs: std::sync::atomic::AtomicUsize,
     /// Startup-calibration summary (empty when the plan was explicit).
     calibration: String,
+    /// Result-cache persistence path (None = no persistence).
+    cache_persist: Option<PathBuf>,
+    /// What the boot-time warm load brought in (zero when persistence is off,
+    /// the snapshot was absent, or it was rejected).
+    warm_loaded: SnapshotStats,
+    /// Why the boot-time warm load was rejected, if it was (a fresh boot
+    /// with no snapshot yet is not an error and leaves this empty).
+    warm_error: Option<String>,
     shutting_down: AtomicBool,
     started: Instant,
     addr: SocketAddr,
@@ -342,7 +365,36 @@ impl Shared {
             ..StatsSnapshot::default()
         };
         snapshot.set_latency(self.stats.latency_summary());
+        // Persistence figures ride the forward-compat `extra` map: older
+        // clients relay them untouched, newer ones read them through
+        // `StatsSnapshot::extra_u64`.
+        if self.cache_persist.is_some() {
+            snapshot.extra.insert(
+                "cache_warm_loaded_entries".to_string(),
+                self.warm_loaded.entries.to_string(),
+            );
+            snapshot.extra.insert(
+                "cache_warm_loaded_bytes".to_string(),
+                self.warm_loaded.label_bytes.to_string(),
+            );
+            if let Some(why) = &self.warm_error {
+                snapshot
+                    .extra
+                    .insert("cache_warm_error".to_string(), why.replace('\n', " "));
+            }
+        }
         snapshot
+    }
+
+    /// Writes the result cache back to the persistence path, if one is
+    /// configured.  Runs exactly once, after the drain has finished (the
+    /// acceptor has exited and every connection is joined), so the snapshot
+    /// reflects the final resident set.  A failed save is best-effort: the
+    /// next boot simply starts cold.
+    fn persist_cache(&self) {
+        if let (Some(path), Some(cache)) = (&self.cache_persist, self.pipeline.cache()) {
+            let _ = cache.save_to(path);
+        }
     }
 
     /// Flips the shutdown flag and pokes the (possibly blocked) acceptor
@@ -403,6 +455,21 @@ impl Server {
         } else {
             ServeMode::Threads
         };
+        // Warm-load a persisted cache snapshot before the first connection
+        // is accepted, so the very first request can already hit.  Any
+        // defect in the snapshot — truncation, corruption, a different
+        // plan's salt — is a clean cold start, never a bind failure and
+        // never a wrong label.  A simply-absent snapshot (first boot) is
+        // not an error.
+        let mut warm_loaded = SnapshotStats::default();
+        let mut warm_error = None;
+        if let (Some(path), Some(cache)) = (&config.cache_persist, pipeline.cache()) {
+            match cache.load_from(path, pipeline.arena()) {
+                Ok(stats) => warm_loaded = stats,
+                Err(SnapshotError::Io(e)) if e.kind() == io::ErrorKind::NotFound => {}
+                Err(err) => warm_error = Some(err.to_string()),
+            }
+        }
         let shared = Arc::new(Shared {
             pipeline,
             plan,
@@ -412,6 +479,9 @@ impl Server {
             max_queue: config.max_queue,
             queued_jobs: std::sync::atomic::AtomicUsize::new(0),
             calibration: config.calibration,
+            cache_persist: config.cache_persist,
+            warm_loaded,
+            warm_error,
             shutting_down: AtomicBool::new(false),
             started: Instant::now(),
             addr,
@@ -481,12 +551,23 @@ impl Server {
         let _ = self.join_with_counters();
     }
 
+    /// What the boot-time warm load brought in: `(entries, label_bytes)`.
+    /// Zero unless the server was configured with a persistence path and a
+    /// valid matching snapshot existed.
+    pub fn cache_warm_loaded(&self) -> (usize, usize) {
+        (
+            self.shared.warm_loaded.entries,
+            self.shared.warm_loaded.label_bytes,
+        )
+    }
+
     /// Like [`Server::join`], but returns the final
     /// `(requests_total, pixels_total)` counters observed after the drain —
     /// what a supervising CLI prints as its exit summary.
     pub fn join_with_counters(mut self) -> (usize, u64) {
         if let Some(handle) = self.acceptor.take() {
             let _ = handle.join();
+            self.shared.persist_cache();
         }
         (
             self.shared.stats.requests_total(),
@@ -501,6 +582,7 @@ impl Drop for Server {
         if let Some(handle) = self.acceptor.take() {
             self.shared.signal_shutdown();
             let _ = handle.join();
+            self.shared.persist_cache();
         }
     }
 }
@@ -873,6 +955,7 @@ mod tests {
     use imaging::{Rgb, RgbImage};
     use seg_engine::{ClassifierKind, SegmentEngine, Tiling};
     use std::io::Write;
+    use std::path::Path;
 
     fn test_image(seed: u8) -> RgbImage {
         RgbImage::from_fn(31, 17, move |x, y| {
@@ -882,6 +965,10 @@ mod tests {
                 ((x + y) * 5) as u8,
             )
         })
+    }
+
+    fn open_client(addr: SocketAddr) -> io::Result<Client> {
+        Client::open(&crate::client::ClientConfig::new(addr.to_string()))
     }
 
     #[test]
@@ -901,10 +988,10 @@ mod tests {
         assert_eq!(server.plan(), plan);
         assert!(!server.is_shutting_down());
 
-        let mut client = Client::connect(server.local_addr()).unwrap();
+        let mut client = open_client(server.local_addr()).unwrap();
         client.ping().unwrap();
         let img = test_image(3);
-        let labels = client.segment(&img).unwrap();
+        let (labels, _) = client.segment(&img).unwrap().unwrap_done();
         let expected = SegmentEngine::serial()
             .segment_rgb(&IqftClassifier::paper_default(ClassifierKind::Exact), &img);
         assert_eq!(labels, expected);
@@ -933,18 +1020,18 @@ mod tests {
                 .with_cache(CacheConfig::with_capacity_mb(8)),
         )
         .unwrap();
-        let mut client = Client::connect(server.local_addr()).unwrap();
+        let mut client = open_client(server.local_addr()).unwrap();
         let img = test_image(5);
         let expected = SegmentEngine::serial()
             .segment_rgb(&IqftClassifier::paper_default(ClassifierKind::Exact), &img);
-        let (first, hit) = client.segment_cached(&img, false).unwrap();
+        let (first, hit) = client.segment_cached(&img, false).unwrap().unwrap_done();
         assert!(!hit, "cold cache misses");
         assert_eq!(first, expected);
-        let (second, hit) = client.segment_cached(&img, false).unwrap();
+        let (second, hit) = client.segment_cached(&img, false).unwrap().unwrap_done();
         assert!(hit, "warm cache hits");
         assert_eq!(second, expected, "hit is byte-identical to a fresh pass");
         // Bypass skips the cache but still answers identically.
-        let (third, hit) = client.segment_cached(&img, true).unwrap();
+        let (third, hit) = client.segment_cached(&img, true).unwrap().unwrap_done();
         assert!(!hit);
         assert_eq!(third, expected);
         let stats = client.stats().unwrap();
@@ -955,6 +1042,83 @@ mod tests {
         assert!(stats.cache_bytes > 0);
         client.shutdown().unwrap();
         server.join();
+    }
+
+    #[test]
+    fn restarted_server_serves_warm_hits_from_a_persisted_cache() {
+        let dir = std::env::temp_dir().join("iqft-serve-persist-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("restart-{}.snap", std::process::id()));
+        std::fs::remove_file(&path).ok();
+        let config = || {
+            ServerConfig::new(SegmentPlan::default())
+                .with_max_inflight(2)
+                .with_cache(CacheConfig::with_capacity_mb(8))
+                .with_cache_persist(&path)
+        };
+
+        // First life: populate the cache and drain (which saves).
+        let server = Server::bind("127.0.0.1:0", config()).unwrap();
+        assert_eq!(server.cache_warm_loaded(), (0, 0), "first boot is cold");
+        let mut client = open_client(server.local_addr()).unwrap();
+        let img = test_image(9);
+        let (first, hit) = client.segment_cached(&img, false).unwrap().unwrap_done();
+        assert!(!hit);
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.extra_u64("cache_warm_loaded_entries"), Some(0));
+        client.shutdown().unwrap();
+        server.join();
+        assert!(path.exists(), "drain-then-stop wrote the snapshot");
+
+        // Second life: the very first request must hit the warm-loaded
+        // entry and answer byte-identically.
+        let server = Server::bind("127.0.0.1:0", config()).unwrap();
+        let (entries, bytes) = server.cache_warm_loaded();
+        assert_eq!(entries, 1);
+        assert_eq!(bytes, img.len() * 4);
+        let mut client = open_client(server.local_addr()).unwrap();
+        let (second, hit) = client.segment_cached(&img, false).unwrap().unwrap_done();
+        assert!(hit, "first post-restart request is a warm hit");
+        assert_eq!(second, first, "warm hit is byte-identical");
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.extra_u64("cache_warm_loaded_entries"), Some(1));
+        assert_eq!(
+            stats.extra_u64("cache_warm_loaded_bytes"),
+            Some(img.len() as u64 * 4)
+        );
+        assert!(stats.extra_u64("cache_warm_error").is_none());
+        client.shutdown().unwrap();
+        server.join();
+
+        // Third life under a *different plan*: the salt mismatch is a clean
+        // cold start, surfaced through the stats extras — never a wrong
+        // label served from a foreign snapshot.
+        let other_plan: SegmentPlan = "classifier=simd;tile=off;backend=serial".parse().unwrap();
+        let server = Server::bind(
+            "127.0.0.1:0",
+            ServerConfig::new(other_plan)
+                .with_max_inflight(2)
+                .with_cache(CacheConfig::with_capacity_mb(8))
+                .with_cache_persist(&path),
+        )
+        .unwrap();
+        assert_eq!(server.cache_warm_loaded(), (0, 0));
+        let mut client = open_client(server.local_addr()).unwrap();
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.extra_u64("cache_warm_loaded_entries"), Some(0));
+        assert!(
+            stats
+                .extra
+                .get("cache_warm_error")
+                .is_some_and(|why| why.contains("salt")),
+            "{:?}",
+            stats.extra
+        );
+        let (_, hit) = client.segment_cached(&img, false).unwrap().unwrap_done();
+        assert!(!hit, "foreign snapshot never produces a hit");
+        client.shutdown().unwrap();
+        server.join();
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]
@@ -988,7 +1152,8 @@ mod tests {
             .with_frame_deadline(Duration::from_secs(3))
             .with_max_queue(9)
             .with_max_inflight(5)
-            .with_calibration("cores=2;probes=3".to_string());
+            .with_calibration("cores=2;probes=3".to_string())
+            .with_cache_persist("/tmp/iqft-cache.snap");
         assert_eq!(config.plan, plan);
         assert_eq!(config.cache, CacheConfig::with_capacity_mb(4));
         assert_eq!(config.mode, ServeMode::Threads);
@@ -996,6 +1161,10 @@ mod tests {
         assert_eq!(config.max_queue, 9);
         assert_eq!(config.max_inflight, 5);
         assert_eq!(config.calibration, "cores=2;probes=3");
+        assert_eq!(
+            config.cache_persist.as_deref(),
+            Some(Path::new("/tmp/iqft-cache.snap"))
+        );
         assert_eq!(ServerConfig::new(plan).max_queue, 0, "default: unbounded");
     }
 
@@ -1006,7 +1175,7 @@ mod tests {
             ServerConfig::default().with_calibration("cores=1;probes=4;exhausted=0".to_string()),
         )
         .unwrap();
-        let mut client = Client::connect(server.local_addr()).unwrap();
+        let mut client = open_client(server.local_addr()).unwrap();
         let stats = client.stats().unwrap();
         assert_eq!(stats.calibration, "cores=1;probes=4;exhausted=0");
         client.shutdown().unwrap();
@@ -1019,10 +1188,10 @@ mod tests {
         let addr = server.local_addr();
         drop(server); // Drop joins the acceptor; a hang here fails the test.
         assert!(
-            Client::connect(addr).is_err() || {
+            open_client(addr).is_err() || {
                 // The OS may briefly accept on the dead listener's backlog; a
                 // subsequent request must still fail.
-                let mut c = Client::connect(addr).unwrap();
+                let mut c = open_client(addr).unwrap();
                 c.ping().is_err()
             }
         );
@@ -1052,7 +1221,7 @@ mod tests {
             "{reply:?}"
         );
         // The server survives and still serves fresh connections.
-        let mut client = Client::connect(server.local_addr()).unwrap();
+        let mut client = open_client(server.local_addr()).unwrap();
         client.ping().unwrap();
         let stats = client.stats().unwrap();
         assert_eq!(stats.protocol_errors, 2, "bad magic + reply-op request");

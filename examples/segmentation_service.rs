@@ -21,7 +21,7 @@ use datasets::{PascalVocLikeConfig, PascalVocLikeDataset};
 use imaging::Segmenter;
 use iqft_pipeline::CacheConfig;
 use iqft_seg::IqftRgbSegmenter;
-use iqft_serve::{Client, SegmentOutcome, Server, ServerConfig};
+use iqft_serve::{Client, ClientConfig, SegmentOutcome, Server, ServerConfig};
 use seg_engine::{SegmentPlan, Tiling};
 
 fn main() {
@@ -56,12 +56,16 @@ fn main() {
     })
     .sample(0);
 
-    // 3. Segment it over the wire.
-    let mut client = Client::connect(server.local_addr()).expect("connect");
+    // 3. Segment it over the wire.  The client is built from a
+    //    `ClientConfig` — endpoints, pipeline depth, deadlines, and the
+    //    retry-on-Busy policy all live on the config.
+    let config = ClientConfig::new(server.local_addr().to_string()).with_pipeline_depth(4);
+    let mut client = Client::open(&config).expect("connect");
     client.ping().expect("ping");
-    let remote = client
+    let (remote, _) = client
         .segment(&sample.image)
-        .expect("segment over the wire");
+        .expect("segment over the wire")
+        .unwrap_done();
 
     // 4. The reply is byte-identical to a local in-process pass.
     let local = IqftRgbSegmenter::paper_default().segment_rgb(&sample.image);
@@ -76,21 +80,23 @@ fn main() {
     //    and stores, the second is answered from the cache — byte-identical.
     let (miss, was_hit) = client
         .segment_cached(&sample.image, false)
-        .expect("cached segment (miss)");
+        .expect("cached segment (miss)")
+        .unwrap_done();
     assert!(!was_hit, "cold cache must miss");
     let (hit, was_hit) = client
         .segment_cached(&sample.image, false)
-        .expect("cached segment (hit)");
+        .expect("cached segment (hit)")
+        .unwrap_done();
     assert!(was_hit, "warm cache must hit");
     assert_eq!(miss, local);
     assert_eq!(hit, local, "cache hit must be byte-identical");
     println!("cache hit byte-identical to the fresh segmentation");
 
-    // 6. Pipeline a burst: four requests in flight on one connection,
-    //    replies matched back by id.
+    // 6. Pipeline a burst: four requests in flight on one connection (the
+    //    config's pipeline depth), replies matched back by id.
     let burst = vec![&sample.image; 4];
     let replies = client
-        .segment_pipelined(&burst, 4, true)
+        .segment_pipelined(&burst, true)
         .expect("pipelined burst");
     assert!(replies.iter().all(|reply| matches!(
         reply,

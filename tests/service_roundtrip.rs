@@ -14,7 +14,9 @@
 use imaging::{LabelMap, Rgb, RgbImage};
 use iqft_pipeline::CacheConfig;
 use iqft_seg::IqftClassifier;
-use iqft_serve::{protocol, Client, Message, SegmentOutcome, ServeMode, Server, ServerConfig};
+use iqft_serve::{
+    protocol, Client, ClientConfig, Message, SegmentOutcome, ServeMode, Server, ServerConfig,
+};
 use seg_engine::{ClassifierKind, SegmentEngine, SegmentPlan, Tiling};
 use std::io::{Read as _, Write as _};
 use std::net::{TcpListener, TcpStream};
@@ -28,8 +30,19 @@ const BOTH_MODES: [ServeMode; 2] = [ServeMode::Threads, ServeMode::Evented];
 fn done(outcome: &SegmentOutcome) -> (&LabelMap, bool) {
     match outcome {
         SegmentOutcome::Done { labels, cached } => (labels, *cached),
-        SegmentOutcome::Busy => panic!("unexpected Busy reply below the admission limit"),
+        other => panic!("expected Done below the admission limit, got {other:?}"),
     }
+}
+
+/// Opens a client on the new builder config; single-endpoint tests only
+/// need the address.
+fn open_client(addr: std::net::SocketAddr) -> std::io::Result<Client> {
+    Client::open(&ClientConfig::new(addr.to_string()))
+}
+
+/// Same, with an explicit pipeline window for the burst tests.
+fn open_client_depth(addr: std::net::SocketAddr, depth: usize) -> std::io::Result<Client> {
+    Client::open(&ClientConfig::new(addr.to_string()).with_pipeline_depth(depth))
 }
 
 fn test_images(count: usize) -> Vec<RgbImage> {
@@ -85,13 +98,14 @@ fn concurrent_clients_get_byte_identical_labels_for_every_classifier() {
                         let images = &images;
                         let reference = &reference;
                         scope.spawn(move || {
-                            let mut client = Client::connect(addr).expect("connect");
+                            let mut client = open_client(addr).expect("connect");
                             client.ping().expect("ping");
                             for (idx, img) in images.iter().enumerate() {
                                 if idx % clients != client_idx {
                                     continue;
                                 }
-                                let labels = client.segment(img).expect("segment");
+                                let (labels, _) =
+                                    client.segment(img).expect("segment").unwrap_done();
                                 assert_eq!(
                                     labels, reference[idx],
                                     "image {idx} via {kind} tile={tiling} ({mode})"
@@ -101,7 +115,7 @@ fn concurrent_clients_get_byte_identical_labels_for_every_classifier() {
                     }
                 });
 
-                let mut probe = Client::connect(addr).expect("probe connect");
+                let mut probe = open_client(addr).expect("probe connect");
                 let stats = probe.stats().expect("stats");
                 assert_eq!(
                     stats.segment_requests,
@@ -154,7 +168,7 @@ fn shutdown_drains_in_flight_requests_without_losing_replies() {
         }
 
         // Shut the server down while those requests are in flight.
-        let mut ctl = Client::connect(addr).expect("ctl connect");
+        let mut ctl = open_client(addr).expect("ctl connect");
         ctl.shutdown().expect("shutdown ack");
 
         // Every already-sent request still gets its reply before the drain
@@ -172,7 +186,7 @@ fn shutdown_drains_in_flight_requests_without_losing_replies() {
         server.join();
 
         // The drained server is really gone: fresh traffic fails.
-        let refused = match Client::connect(addr) {
+        let refused = match open_client(addr) {
             Err(_) => true,
             Ok(mut client) => client.ping().is_err(),
         };
@@ -213,7 +227,7 @@ fn v1_client_gets_a_typed_version_error_not_a_hang() {
         stream.read_to_end(&mut rest).expect("clean close");
         assert!(rest.is_empty());
         // ...and the server keeps serving v2 clients.
-        let mut client = Client::connect(addr).expect("connect v2");
+        let mut client = open_client(addr).expect("connect v2");
         client.ping().expect("still alive");
         let stats = client.stats().expect("stats");
         assert_eq!(stats.protocol_errors, 1, "{mode}");
@@ -238,13 +252,13 @@ fn pipelined_requests_round_trip_byte_identically() {
                 .with_mode(mode),
         )
         .expect("bind");
-        let mut client = Client::connect(server.local_addr()).expect("connect");
+        let mut client = open_client_depth(server.local_addr(), 4).expect("connect");
 
         // Repeated traffic: every image requested twice in one pipelined
         // burst.
         let refs: Vec<&RgbImage> = images.iter().chain(images.iter()).collect();
         let replies = client
-            .segment_pipelined(&refs, 4, true)
+            .segment_pipelined(&refs, true)
             .expect("pipelined segment");
         assert_eq!(replies.len(), 20);
         for (k, reply) in replies.iter().enumerate() {
@@ -258,7 +272,7 @@ fn pipelined_requests_round_trip_byte_identically() {
 
         // Plain (uncached) pipelining works over the same connection too.
         let replies = client
-            .segment_pipelined(&refs[..6], 3, false)
+            .segment_pipelined(&refs[..6], false)
             .expect("uncached pipelined segment");
         for (k, reply) in replies.iter().enumerate() {
             let (labels, cached) = done(reply);
@@ -293,10 +307,11 @@ fn deep_pipelined_burst_of_large_frames_does_not_deadlock() {
                 .with_mode(mode),
         )
         .expect("bind");
-        let mut client = Client::connect(server.local_addr()).expect("connect");
+        let mut client =
+            open_client_depth(server.local_addr(), protocol::MAX_PIPELINE_DEPTH).expect("connect");
         let refs: Vec<&RgbImage> = (0..16).map(|_| &image).collect();
         let replies = client
-            .segment_pipelined(&refs, protocol::MAX_PIPELINE_DEPTH, true)
+            .segment_pipelined(&refs, true)
             .expect("deep burst completes");
         assert_eq!(replies.len(), 16);
         for (k, reply) in replies.iter().enumerate() {
@@ -358,10 +373,10 @@ fn pipelined_replies_arriving_out_of_order_are_reordered_by_id() {
             .expect("mock received an unknown image")
     }
 
-    let mut client = Client::connect(addr).expect("connect");
+    let mut client = open_client_depth(addr, 6).expect("connect");
     let refs: Vec<&RgbImage> = images.iter().collect();
     let replies = client
-        .segment_pipelined(&refs, 6, true)
+        .segment_pipelined(&refs, true)
         .expect("pipelined against mock");
     mock.join().expect("mock thread");
     assert_eq!(replies.len(), 6);
@@ -402,7 +417,7 @@ fn concurrent_cached_clients_get_hit_and_miss_replies_byte_identical_to_fresh() 
                 let images = &images;
                 let reference = &reference;
                 scope.spawn(move || {
-                    let mut client = Client::connect(addr).expect("connect");
+                    let mut client = open_client(addr).expect("connect");
                     for round in 0..4 {
                         for step in 0..images.len() {
                             // Stagger the orders so clients race on the same
@@ -410,7 +425,8 @@ fn concurrent_cached_clients_get_hit_and_miss_replies_byte_identical_to_fresh() 
                             let idx = (step + client_idx * 3 + round) % images.len();
                             let (labels, _cached) = client
                                 .segment_cached(&images[idx], false)
-                                .expect("cached segment");
+                                .expect("cached segment")
+                                .unwrap_done();
                             assert_eq!(
                                 labels, reference[idx],
                                 "client {client_idx} image {idx} ({mode})"
@@ -421,7 +437,7 @@ fn concurrent_cached_clients_get_hit_and_miss_replies_byte_identical_to_fresh() 
             }
         });
 
-        let mut probe = Client::connect(addr).expect("probe");
+        let mut probe = open_client(addr).expect("probe");
         let stats = probe.stats().expect("stats");
         assert!(stats.cache_hits > 0, "repeated traffic must hit: {stats:?}");
         assert!(stats.cache_misses > 0, "cold keys must miss: {stats:?}");
@@ -447,8 +463,8 @@ fn degenerate_and_malformed_requests_are_handled_cleanly() {
         let addr = server.local_addr();
 
         let empty = RgbImage::from_fn(0, 0, |_, _| Rgb::new(0, 0, 0));
-        let mut client = Client::connect(addr).expect("connect");
-        let labels = client.segment(&empty).expect("empty segment");
+        let mut client = open_client(addr).expect("connect");
+        let (labels, _) = client.segment(&empty).expect("empty segment").unwrap_done();
         assert_eq!(labels.len(), 0);
 
         // A Segment frame whose payload length disagrees with its
@@ -522,7 +538,7 @@ fn video_delta_replies_are_byte_identical_across_tilings_classifiers_and_change_
                         .with_mode(mode),
                 )
                 .expect("bind");
-                let mut client = Client::connect(server.local_addr()).expect("connect");
+                let mut client = open_client(server.local_addr()).expect("connect");
 
                 for change_rate in [0.0, 0.5, 1.0] {
                     let frames = datasets::synthetic_video(&datasets::VideoConfig {
@@ -534,8 +550,9 @@ fn video_delta_replies_are_byte_identical_across_tilings_classifiers_and_change_
                         seed: 42,
                     });
                     for (idx, frame) in frames.iter().enumerate() {
-                        let (labels, hit, recomputed) =
+                        let (reply, hit, recomputed) =
                             client.segment_delta(frame).expect("segment delta");
+                        let (labels, _) = reply.unwrap_done();
                         let fresh = SegmentEngine::serial().segment_rgb(&exact, frame);
                         assert_eq!(
                             labels, fresh,
@@ -612,10 +629,11 @@ fn concurrent_video_clients_stay_byte_identical_under_forced_tile_eviction() {
                         seed: 1000 + client_idx,
                     });
                     let exact = IqftClassifier::paper_default(ClassifierKind::Exact);
-                    let mut client = Client::connect(addr).expect("connect");
+                    let mut client = open_client(addr).expect("connect");
                     for (idx, frame) in frames.iter().enumerate() {
-                        let (labels, hit, recomputed) =
+                        let (reply, hit, recomputed) =
                             client.segment_delta(frame).expect("segment delta");
+                        let (labels, _) = reply.unwrap_done();
                         let fresh = SegmentEngine::serial().segment_rgb(&exact, frame);
                         assert_eq!(labels, fresh, "client {client_idx} frame {idx} ({mode})");
                         assert_eq!(hit + recomputed, 12, "client {client_idx} frame {idx}");
@@ -624,7 +642,7 @@ fn concurrent_video_clients_stay_byte_identical_under_forced_tile_eviction() {
             }
         });
 
-        let mut probe = Client::connect(addr).expect("probe");
+        let mut probe = open_client(addr).expect("probe");
         let stats = probe.stats().expect("stats");
         assert!(
             stats.delta_tiles_recomputed > 0,
@@ -668,9 +686,9 @@ fn slow_loris_connection_is_deadlined_while_healthy_clients_keep_flowing() {
         loris.flush().expect("flush");
 
         // Healthy traffic is served while the loris stalls mid-frame.
-        let mut client = Client::connect(addr).expect("connect healthy");
+        let mut client = open_client(addr).expect("connect healthy");
         for (idx, img) in images.iter().enumerate() {
-            let labels = client.segment(img).expect("segment");
+            let (labels, _) = client.segment(img).expect("segment").unwrap_done();
             assert_eq!(labels, reference[idx], "image {idx} ({mode})");
         }
 
@@ -733,10 +751,10 @@ fn a_stalled_connection_does_not_delay_replies_on_healthy_connections() {
         }
 
         let started = Instant::now();
-        let mut client = Client::connect(addr).expect("connect healthy");
+        let mut client = open_client_depth(addr, 4).expect("connect healthy");
         let refs: Vec<&RgbImage> = images.iter().collect();
         let replies = client
-            .segment_pipelined(&refs, 4, false)
+            .segment_pipelined(&refs, false)
             .expect("pipelined burst");
         let elapsed = started.elapsed();
         for (idx, reply) in replies.iter().enumerate() {
@@ -816,7 +834,7 @@ fn saturated_admission_sheds_with_typed_busy_replies() {
             "a 6-way fan-in against 1 worker + 1 queue slot never shed ({mode})"
         );
 
-        let mut probe = Client::connect(addr).expect("probe");
+        let mut probe = open_client(addr).expect("probe");
         let stats = probe.stats().expect("stats");
         assert_eq!(stats.busy_rejections, busy_total, "{mode}: {stats:?}");
         assert_eq!(stats.max_queue, 1, "{mode}: {stats:?}");
